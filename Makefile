@@ -1,0 +1,26 @@
+# Developer entry points for the BurstLink reproduction.
+
+.PHONY: install test bench figures examples validate all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-rows:
+	pytest benchmarks/ --benchmark-only -s
+
+figures:
+	python -m repro figures --out figures
+
+validate:
+	python -m repro validate
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+all: test bench

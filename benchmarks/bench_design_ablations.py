@@ -1,0 +1,63 @@
+"""Design-choice ablation benches (the knobs DESIGN.md calls out):
+DC buffer sizing, the decoder's latency-tolerant stretch target, and
+the DRFB's cost-per-saved-watt economics."""
+
+from repro.analysis.report import format_table
+from repro.analysis.tradeoffs import (
+    drfb_cost_benefit,
+    sweep_dc_buffer,
+    sweep_deadline_utilization,
+)
+from repro.config import FHD, PLANAR_RESOLUTIONS, UHD_4K
+
+
+def test_dc_buffer_ablation(run_once):
+    result = run_once(sweep_dc_buffer, UHD_4K)
+    rows = [
+        (
+            p.label,
+            f"{p.burstlink_mw:.0f}",
+            f"{p.vd_wakes_per_frame:.1f}",
+        )
+        for p in result.points
+    ]
+    print()
+    print("DC double-buffer size (BurstLink, 4K60):")
+    print(format_table(
+        ("Buffer", "Power (mW)", "VD wakes/frame"), rows
+    ))
+    print(f"spread: {result.spread_mw():.0f} mW — not a first-order "
+          f"knob")
+    assert result.spread_mw() < 0.05 * result.best().burstlink_mw
+
+
+def test_deadline_utilization_ablation(run_once):
+    result = run_once(sweep_deadline_utilization, FHD)
+    rows = [
+        (p.label, f"{p.burstlink_mw:.0f}") for p in result.points
+    ]
+    print()
+    print("VD stretch target (BurstLink, FHD30):")
+    print(format_table(("Utilization", "Power (mW)"), rows))
+    print(f"best: {result.best().label}")
+    assert len(result.points) == 5
+
+
+def test_drfb_economics(run_once):
+    results = run_once(drfb_cost_benefit, PLANAR_RESOLUTIONS)
+    rows = [
+        (
+            r.resolution,
+            f"${r.drfb_usd:.3f}",
+            f"{r.saved_mw:.0f}",
+            f"{r.cents_per_saved_watt:.1f} c/W",
+        )
+        for r in results
+    ]
+    print()
+    print("DRFB cost vs BurstLink savings (Sec. 4.4 economics):")
+    print(format_table(
+        ("Display", "DRFB BOM", "Saved (mW)", "Cost-effectiveness"),
+        rows,
+    ))
+    assert all(r.cents_per_saved_watt < 100 for r in results)

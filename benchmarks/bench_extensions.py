@@ -1,0 +1,116 @@
+"""Extension benches beyond the paper's evaluation:
+
+* the Sec. 4.5 generalization — capture with producer-side staging;
+* DSC-assisted Frame Bursting (shorter bursts, high-refresh modes);
+* the battery-life framing of the headline results.
+"""
+
+from repro.analysis.battery import compare_battery_life
+from repro.analysis.report import format_table
+from repro.config import FHD, UHD_4K, skylake_tablet
+from repro.core import BurstLinkScheme
+from repro.core.capture import (
+    BurstCaptureScheme,
+    ConventionalCaptureScheme,
+)
+from repro.display.dsc import DscConfig, with_dsc
+from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+from repro.power import PlatformExtras, PowerModel
+from repro.video.frames import FrameType
+from repro.video.source import AnalyticContentModel, FrameDescriptor
+
+
+def _capture_reduction():
+    model = PowerModel(
+        extras=PlatformExtras(streaming=False, local_playback=True)
+    )
+    rows = []
+    for resolution in (FHD, UHD_4K):
+        raw = float(resolution.frame_bytes())
+        frames = [
+            FrameDescriptor(i, FrameType.I, raw / 30.0, raw)
+            for i in range(16)
+        ]
+        base = model.report(
+            FrameWindowSimulator(
+                skylake_tablet(resolution), ConventionalCaptureScheme()
+            ).run(frames, 30.0)
+        )
+        burst = model.report(
+            FrameWindowSimulator(
+                skylake_tablet(resolution).with_drfb(),
+                BurstCaptureScheme(),
+            ).run(frames, 30.0)
+        )
+        rows.append(
+            (
+                str(resolution),
+                f"{base.average_power_mw:.0f}",
+                f"{burst.average_power_mw:.0f}",
+                f"-{(1 - burst.average_power_mw / base.average_power_mw) * 100:.1f}%",
+            )
+        )
+    return rows
+
+
+def test_capture_generalization(run_once):
+    rows = run_once(_capture_reduction)
+    print()
+    print("Sec. 4.5 generalization: camera capture with producer-side "
+          "staging")
+    print(format_table(
+        ("Sensor", "Conventional mW", "Burst mW", "Reduction"), rows
+    ))
+    reduction = float(rows[0][3].strip("-%"))
+    assert reduction > 25.0
+
+
+def _dsc_comparison():
+    model = PowerModel()
+    frames = AnalyticContentModel().frames(UHD_4K, 20)
+    results = {}
+    for label, config in (
+        ("eDP 1.4", skylake_tablet(UHD_4K).with_drfb()),
+        (
+            "eDP 1.4 +DSC2",
+            with_dsc(
+                skylake_tablet(UHD_4K), DscConfig(ratio=2.0)
+            ).with_drfb(),
+        ),
+    ):
+        run = FrameWindowSimulator(config, BurstLinkScheme()).run(
+            frames, 60.0
+        )
+        results[label] = model.report(run).average_power_mw
+    return results
+
+
+def test_dsc_assisted_bursting(run_once):
+    results = run_once(_dsc_comparison)
+    print()
+    for label, power in results.items():
+        print(f"  BurstLink 4K60 over {label}: {power:.0f} mW")
+    assert results["eDP 1.4 +DSC2"] < results["eDP 1.4"]
+
+
+def _battery_headline():
+    model = PowerModel()
+    frames = AnalyticContentModel().frames(UHD_4K, 20)
+    base = model.report(
+        FrameWindowSimulator(
+            skylake_tablet(UHD_4K), ConventionalScheme()
+        ).run(frames, 60.0)
+    )
+    burst = model.report(
+        FrameWindowSimulator(
+            skylake_tablet(UHD_4K).with_drfb(), BurstLinkScheme()
+        ).run(frames, 60.0)
+    )
+    return compare_battery_life(base, burst)
+
+
+def test_battery_life_headline(run_once):
+    comparison = run_once(_battery_headline)
+    print()
+    print(f"4K60 streaming on a 45 Wh tablet: {comparison.summary()}")
+    assert comparison.extra_hours > 4.0

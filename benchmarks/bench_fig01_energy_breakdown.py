@@ -1,0 +1,36 @@
+"""Fig. 1: baseline energy breakdown (DRAM / Display / Others) while
+streaming 30 FPS video at FHD, QHD, and 4K, normalised to the FHD total.
+
+Paper shape: total energy grows with resolution; DRAM alone passes 30%
+of system energy at 4K.
+"""
+
+from repro.analysis.experiments import fig01_energy_breakdown
+from repro.analysis.report import format_table
+
+
+def test_fig01(run_once):
+    result = run_once(fig01_energy_breakdown)
+    rows = []
+    for name, (dram, display, others) in result.normalised.items():
+        rows.append(
+            (
+                name,
+                f"{dram * 100:.0f}%",
+                f"{display * 100:.0f}%",
+                f"{others * 100:.0f}%",
+                f"{(dram + display + others) * 100:.0f}%",
+                f"{result.dram_fraction(name) * 100:.0f}%",
+            )
+        )
+    print()
+    print(
+        format_table(
+            (
+                "Display", "DRAM", "Panel", "Others",
+                "Total (vs FHD)", "DRAM share",
+            ),
+            rows,
+        )
+    )
+    assert result.dram_fraction("4K") > 0.27

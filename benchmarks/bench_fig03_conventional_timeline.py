@@ -1,0 +1,23 @@
+"""Fig. 3: package C-state timeline of the conventional pipeline for
+(a) 30 FPS and (b) 60 FPS video on a 60 Hz panel.
+
+Paper shape: C0 decode burst, then the C2/C8 fetch-drain oscillation;
+the 30 FPS repeat window self-refreshes with the host parked (C8 in the
+measured system)."""
+
+from repro.analysis.experiments import fig03_conventional_timeline
+
+
+def test_fig03(run_once):
+    result = run_once(fig03_conventional_timeline)
+    print()
+    print(f"30 FPS window pair: {result.pattern_30fps}")
+    print(f"60 FPS window pair: {result.pattern_60fps}")
+    print("residencies @30FPS: " + "  ".join(
+        f"{state.label}={fraction * 100:.1f}%"
+        for state, fraction in sorted(
+            result.residencies_30fps.items(),
+            key=lambda kv: kv[0].depth,
+        )
+    ))
+    assert result.pattern_30fps.startswith("C0 C2 C8")

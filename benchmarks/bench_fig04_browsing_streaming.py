@@ -1,0 +1,23 @@
+"""Fig. 4: system power and package C-state residency across a
+web-browsing phase followed by FHD 60 FPS streaming.
+
+Paper numbers: streaming mean ~2831 mW with residency concentrated in
+C8 (~75%), C2 (~15%), C0 (~8%)."""
+
+from repro.analysis.experiments import fig04_browsing_then_streaming
+
+
+def test_fig04(run_once):
+    result = run_once(fig04_browsing_then_streaming)
+    print()
+    print(f"browsing mean power:  {result.browsing_power_mw:7.0f} mW")
+    print(f"streaming mean power: {result.streaming_power_mw:7.0f} mW "
+          f"(paper: 2831 mW)")
+    print("streaming residency: " + "  ".join(
+        f"{state.label}={fraction * 100:.1f}%"
+        for state, fraction in sorted(
+            result.streaming_residency.items(),
+            key=lambda kv: kv[0].depth,
+        )
+    ))
+    assert result.streaming_power_mw > result.browsing_power_mw

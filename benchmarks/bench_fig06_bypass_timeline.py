@@ -1,0 +1,17 @@
+"""Fig. 6: package C-state timeline under Frame Buffer Bypass for
+30/60 FPS on a 60 Hz panel.
+
+Paper shape: a short C0 orchestration slice, then the C7/C7' decode
+interleave across the window (DRAM bypassed; the DC drains at the
+pixel-update rate)."""
+
+from repro.analysis.experiments import fig06_bypass_timeline
+
+
+def test_fig06(run_once):
+    result = run_once(fig06_bypass_timeline)
+    print()
+    print(f"30 FPS window pair: {result.pattern_30fps}")
+    print(f"60 FPS window pair: {result.pattern_60fps}")
+    assert "C7 C7'" in result.pattern_30fps
+    assert "C2" not in result.pattern_60fps

@@ -1,0 +1,41 @@
+"""Fig. 9: total system energy reduction of Frame Bursting, Frame
+Buffer Bypassing, and full BurstLink for 30 FPS videos, FHD -> 5K.
+
+Paper numbers: at FHD, burst 23% / bypass 31% / BurstLink 37%;
+BurstLink reaches ~42% at 5K."""
+
+from repro.analysis.experiments import fig09_planar_reduction_30fps
+from repro.analysis.report import format_table
+
+PAPER = {"FHD": {"burst": 0.23, "bypass": 0.31, "burstlink": 0.37}}
+
+
+def test_fig09(run_once):
+    result = run_once(fig09_planar_reduction_30fps)
+    rows = []
+    for name, reductions in result.reductions.items():
+        paper = PAPER.get(name, {})
+        rows.append(
+            (
+                name,
+                f"{result.baseline_power_mw[name]:.0f}",
+                f"-{reductions['burst'] * 100:.1f}%"
+                + (f" ({paper['burst']:.0%})" if paper else ""),
+                f"-{reductions['bypass'] * 100:.1f}%"
+                + (f" ({paper['bypass']:.0%})" if paper else ""),
+                f"-{reductions['burstlink'] * 100:.1f}%"
+                + (f" ({paper['burstlink']:.0%})" if paper else ""),
+            )
+        )
+    print()
+    print(
+        format_table(
+            (
+                "Display", "Baseline mW", "Burst (paper)",
+                "Bypass (paper)", "BurstLink (paper)",
+            ),
+            rows,
+        )
+    )
+    fhd = result.reductions["FHD"]
+    assert abs(fhd["burstlink"] - 0.37) < 0.06

@@ -1,0 +1,39 @@
+"""Fig. 10: energy breakdown into DRAM / Display / Others, baseline vs
+BurstLink, per resolution.
+
+Paper numbers: BurstLink cuts DRAM energy 3.8x at FHD and 5.7x at 5K
+(our model, with almost no residual frame traffic, cuts deeper — see
+EXPERIMENTS.md); Others shrink by a large factor at FHD."""
+
+from repro.analysis.experiments import fig10_energy_breakdown_comparison
+from repro.analysis.report import format_table
+
+
+def test_fig10(run_once):
+    result = run_once(fig10_energy_breakdown_comparison)
+    rows = []
+    for name in result.baseline:
+        base = result.baseline[name]
+        burst = result.burstlink[name]
+        rows.append(
+            (
+                name,
+                f"{base.dram_fraction * 100:.0f}%",
+                f"{burst.dram_fraction * 100:.0f}%",
+                f"{result.dram_reduction_factor(name):.1f}x",
+                f"{result.others_reduction_factor(name):.1f}x",
+            )
+        )
+    print()
+    print(
+        format_table(
+            (
+                "Display", "DRAM share (base)",
+                "DRAM share (BL)", "DRAM cut", "Others cut",
+            ),
+            rows,
+        )
+    )
+    assert result.dram_reduction_factor("5K") > (
+        result.dram_reduction_factor("FHD")
+    )

@@ -1,0 +1,36 @@
+"""Fig. 11: VR streaming energy reduction.
+
+(a) the five Corbillon-style workloads (paper: up to 33%, with
+compute-dominant workloads benefitting least); (b) the Rhino workload
+across per-eye resolutions (paper: benefit decreases as the per-eye
+resolution grows, because compute energy becomes dominant)."""
+
+from repro.analysis.experiments import (
+    fig11a_vr_workloads,
+    fig11b_vr_resolutions,
+)
+from repro.analysis.report import render_reductions
+
+
+def test_fig11a(run_once):
+    result = run_once(fig11a_vr_workloads)
+    print()
+    print(render_reductions(
+        "VR workloads (paper: up to 33%):", result.reductions
+    ))
+    best = max(result.reductions.values())
+    assert abs(best - 0.33) < 0.05
+    assert min(
+        result.reductions, key=result.reductions.get
+    ) == "Rollercoaster"
+
+
+def test_fig11b(run_once):
+    result = run_once(fig11b_vr_resolutions)
+    print()
+    print(render_reductions(
+        "Rhino vs per-eye resolution (paper: decreasing):",
+        result.reductions,
+    ))
+    values = list(result.reductions.values())
+    assert values[-1] < max(values)

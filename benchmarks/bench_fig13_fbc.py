@@ -1,0 +1,35 @@
+"""Fig. 13: BurstLink against a baseline with frame-buffer compression
+at 20/30/50% rates, 4K and 5K displays at 60 Hz.
+
+Paper numbers: FBC-50 saves ~9% at 4K; BurstLink saves 40.6%."""
+
+from repro.analysis.experiments import fig13_fbc_comparison
+from repro.analysis.report import format_table
+
+
+def test_fig13(run_once):
+    result = run_once(fig13_fbc_comparison)
+    rows = []
+    for name, reductions in result.reductions.items():
+        rows.append(
+            (
+                name,
+                f"-{reductions['fbc-20'] * 100:.1f}%",
+                f"-{reductions['fbc-30'] * 100:.1f}%",
+                f"-{reductions['fbc-50'] * 100:.1f}%",
+                f"-{reductions['burstlink'] * 100:.1f}%",
+            )
+        )
+    print()
+    print(
+        format_table(
+            (
+                "Display", "FBC-20", "FBC-30",
+                "FBC-50 (paper 9%@4K)", "BurstLink (paper 40.6%@4K)",
+            ),
+            rows,
+        )
+    )
+    four_k = result.reductions["4K"]
+    assert abs(four_k["fbc-50"] - 0.09) < 0.04
+    assert four_k["burstlink"] > 0.40

@@ -1,0 +1,39 @@
+"""Fig. 14: BurstLink's techniques beyond full-screen streaming.
+
+(a) Frame Buffer Bypassing on local high-resolution playback (paper:
+>40% for 4K@144, 4K@120, 5K@60); (b) Frame Bursting on video
+conferencing, video capture, casual gaming, and MobileMark at FHD, QHD,
+and 4K (paper: ~27-30% at the tablet's native mode)."""
+
+from repro.analysis.experiments import (
+    fig14a_local_playback,
+    fig14b_mobile_workloads,
+)
+from repro.analysis.report import format_table, render_reductions
+
+
+def test_fig14a(run_once):
+    result = run_once(fig14a_local_playback)
+    print()
+    print(render_reductions(
+        "Local playback, Bypass only (paper: >40%):",
+        result.reductions,
+    ))
+    assert all(r > 0.40 for r in result.reductions.values())
+
+
+def test_fig14b(run_once):
+    result = run_once(fig14b_mobile_workloads)
+    workloads = list(next(iter(result.reductions.values())))
+    rows = []
+    for resolution, reductions in result.reductions.items():
+        rows.append(
+            (resolution,)
+            + tuple(
+                f"-{reductions[name] * 100:.1f}%" for name in workloads
+            )
+        )
+    print()
+    print(format_table(("Display",) + tuple(workloads), rows))
+    print("(paper: ~27-30% per workload at the native mode)")
+    assert all(r > 0.15 for r in result.reductions["FHD"].values())

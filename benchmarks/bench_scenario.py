@@ -1,0 +1,22 @@
+"""Session-level bench: the Sec. 4.1 opportunistic behaviour played out
+over a five-phase usage script, with the hardware's selector switching
+schemes at every boundary."""
+
+from repro.config import FHD, skylake_tablet
+from repro.workloads.scenario import streaming_session
+
+
+def _play():
+    return streaming_session(skylake_tablet(FHD)).play()
+
+
+def test_streaming_session(run_once):
+    result = run_once(_play)
+    print()
+    print(result.summary())
+    # The selector must have bounced between burstlink and conventional.
+    schemes = set(result.scheme_sequence())
+    assert schemes == {"burstlink", "conventional"}
+    # The session average sits between the steady and fallback phases.
+    powers = [o.report.average_power_mw for o in result.outcomes]
+    assert min(powers) < result.average_power_mw < max(powers)

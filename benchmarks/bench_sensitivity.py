@@ -1,0 +1,29 @@
+"""Calibration robustness bench: the tornado analysis over the power
+library's constants — does the headline conclusion survive +/-20%
+perturbation of every calibrated number?"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sensitivity import sensitivity_analysis
+from repro.config import FHD
+
+
+def test_sensitivity_tornado(run_once):
+    rows = run_once(sensitivity_analysis, FHD)
+    table = [
+        (
+            row.parameter,
+            f"{row.reduction_low * 100:.1f}%",
+            f"{row.reduction_base * 100:.1f}%",
+            f"{row.reduction_high * 100:.1f}%",
+            f"{row.swing * 100:.1f}pp",
+        )
+        for row in rows
+    ]
+    print()
+    print("BurstLink FHD30 reduction under +/-20% per-constant "
+          "perturbation:")
+    print(format_table(
+        ("parameter", "-20%", "base", "+20%", "swing"), table
+    ))
+    assert all(row.conclusion_stable for row in rows)
+    assert max(row.swing for row in rows) < 0.08

@@ -1,0 +1,67 @@
+"""Substrate micro-benchmarks: the functional codec and the frame-window
+simulator themselves (how fast the reproduction machinery runs, not a
+paper exhibit)."""
+
+import numpy as np
+
+from repro.config import FHD, skylake_tablet
+from repro.core import BurstLinkScheme
+from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+from repro.video import Codec, CodecConfig
+from repro.video.frames import FrameType
+from repro.video.source import AnalyticContentModel
+
+
+def _test_frame(size=96):
+    ys, xs = np.mgrid[0:size, 0:size]
+    base = (xs * 3 + ys * 2) % 256
+    return np.stack(
+        [base, 255 - base, base // 2], axis=-1
+    ).astype(np.uint8)
+
+
+def test_codec_encode_throughput(benchmark):
+    codec = Codec(CodecConfig(qstep=12.0))
+    frame = _test_frame()
+
+    encoded, _ = benchmark(
+        codec.encode_frame, 0, frame, FrameType.I
+    )
+    pixels = frame.shape[0] * frame.shape[1]
+    print(f"\nencoded {pixels} px -> {encoded.size_bytes} B")
+
+
+def test_codec_decode_throughput(benchmark):
+    codec = Codec(CodecConfig(qstep=12.0))
+    encoded, _ = codec.encode_frame(0, _test_frame(), FrameType.I)
+
+    decoded = benchmark(codec.decode_frame, encoded)
+    print(f"\ndecoded to {decoded.size_bytes} B")
+
+
+def test_simulator_throughput_baseline(benchmark):
+    config = skylake_tablet(FHD)
+    frames = AnalyticContentModel().frames(FHD, 120)
+
+    def run():
+        return FrameWindowSimulator(
+            config, ConventionalScheme()
+        ).run(frames, 60.0)
+
+    result = benchmark(run)
+    rate = result.stats.windows / benchmark.stats["mean"]
+    print(f"\n{result.stats.windows} windows simulated "
+          f"({rate:,.0f} windows/s)")
+
+
+def test_simulator_throughput_burstlink(benchmark):
+    config = skylake_tablet(FHD).with_drfb()
+    frames = AnalyticContentModel().frames(FHD, 120)
+
+    def run():
+        return FrameWindowSimulator(
+            config, BurstLinkScheme()
+        ).run(frames, 60.0)
+
+    result = benchmark(run)
+    print(f"\n{result.stats.windows} windows simulated")

@@ -1,0 +1,32 @@
+"""Table 2: per-C-state power and residency, baseline vs BurstLink,
+FHD 30 FPS on a 60 Hz panel.
+
+Paper rows: baseline AvgP 2162 mW (C0 9% / C2 11% / C8 80%); BurstLink
+AvgP 1274 mW (C0 2% / C7 19% / C9 79%) — a >40% average-power cut.
+"""
+
+from repro.analysis.experiments import table2_power_comparison
+from repro.analysis.report import render_cstate_table
+
+
+def test_table2(run_once):
+    result = run_once(table2_power_comparison)
+    print()
+    print(
+        render_cstate_table(
+            "Baseline (paper AvgP 2162 mW):",
+            result.baseline_rows,
+            result.baseline_avg_mw,
+        )
+    )
+    print()
+    print(
+        render_cstate_table(
+            "BurstLink (paper AvgP 1274 mW):",
+            result.burstlink_rows,
+            result.burstlink_avg_mw,
+        )
+    )
+    print(f"\nreduction: {result.reduction:.1%} "
+          f"(paper: >40%)")
+    assert result.reduction > 0.38

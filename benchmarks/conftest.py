@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each bench module regenerates one of the paper's tables/figures through
+:mod:`repro.analysis.experiments` and prints the same rows/series the
+paper reports (run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them).  Timing uses two measured rounds per experiment — these are
+throughput benches for the *regeneration*, not statistical micro
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a regeneration function under the benchmark with a bounded
+    round count and hand back its result for row printing."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=2,
+            iterations=1, warmup_rounds=0,
+        )
+
+    return runner

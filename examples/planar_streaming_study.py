@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Planar streaming study: the paper's Figs. 9, 10, and 12 in one run.
+
+Sweeps display resolution (FHD -> 5K) at 30 and 60 FPS, comparing the
+conventional pipeline against Frame Bursting alone, Frame Buffer Bypass
+alone, and full BurstLink, and prints the energy-reduction series plus
+the DRAM/Display/Others breakdown shift.
+
+Run:  python examples/planar_streaming_study.py
+"""
+
+from repro.analysis import (
+    fig09_planar_reduction_30fps,
+    fig10_energy_breakdown_comparison,
+    fig12_planar_reduction_60fps,
+    format_table,
+)
+
+
+def print_reduction_sweep(title: str, result) -> None:
+    rows = []
+    for resolution, reductions in result.reductions.items():
+        rows.append(
+            (
+                resolution,
+                f"{result.baseline_power_mw[resolution]:.0f}",
+                f"-{reductions['burst'] * 100:.1f}%",
+                f"-{reductions['bypass'] * 100:.1f}%",
+                f"-{reductions['burstlink'] * 100:.1f}%",
+            )
+        )
+    print(title)
+    print(
+        format_table(
+            ("Display", "Baseline (mW)", "Burst", "Bypass", "BurstLink"),
+            rows,
+        )
+    )
+    print()
+
+
+def print_breakdown(result) -> None:
+    rows = []
+    for resolution in result.baseline:
+        base = result.baseline[resolution]
+        burst = result.burstlink[resolution]
+        rows.append(
+            (
+                resolution,
+                f"{base.dram_fraction * 100:.0f}%",
+                f"{base.display_fraction * 100:.0f}%",
+                f"{base.others_fraction * 100:.0f}%",
+                f"{result.dram_reduction_factor(resolution):.1f}x",
+                f"{result.others_reduction_factor(resolution):.1f}x",
+            )
+        )
+    print("Baseline energy shares and BurstLink reduction factors "
+          "(paper Fig. 10):")
+    print(
+        format_table(
+            (
+                "Display", "DRAM", "Panel", "Others",
+                "DRAM cut", "Others cut",
+            ),
+            rows,
+        )
+    )
+    print()
+
+
+def main() -> None:
+    print_reduction_sweep(
+        "Energy reduction, 30 FPS videos (paper Fig. 9):",
+        fig09_planar_reduction_30fps(),
+    )
+    print_reduction_sweep(
+        "Energy reduction, 60 FPS videos (paper Fig. 12):",
+        fig12_planar_reduction_60fps(),
+    )
+    print_breakdown(fig10_energy_breakdown_comparison())
+    print(
+        "Takeaway: the DRAM round trip and the idle-state headroom both "
+        "grow with resolution, so BurstLink's reduction grows from FHD "
+        "to 5K — the paper's core scaling argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim for environments whose setuptools cannot build PEP 660
+editable wheels (no `wheel` package available offline).  All metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,111 @@
+"""BurstLink reproduction — energy-efficient video display for
+conventional and virtual-reality systems (Haj-Yahya et al., MICRO 2021).
+
+The package models the full mobile video-display stack: the SoC with its
+package C-states and PMU, DRAM with the paper's two-part power model, the
+display subsystem (DC, eDP link, panel T-con with RFB/DRFB, PSR/PSR2), a
+functional macroblock codec and VR projection, a frame-window simulator,
+the BurstLink mechanisms (Frame Buffer Bypass + Frame Bursting), every
+baseline the paper compares against, and the validated analytical power
+model that evaluates them all.
+
+Quickstart::
+
+    from repro import (
+        BurstLinkScheme, ConventionalScheme, FrameWindowSimulator,
+        PowerModel, skylake_tablet, UHD_4K,
+    )
+    from repro.video.source import AnalyticContentModel
+
+    config = skylake_tablet(UHD_4K)
+    frames = AnalyticContentModel().frames(UHD_4K, 60)
+    baseline = FrameWindowSimulator(config, ConventionalScheme()).run(
+        frames, video_fps=60.0
+    )
+    burstlink = FrameWindowSimulator(
+        config.with_drfb(), BurstLinkScheme()
+    ).run(frames, video_fps=60.0)
+    model = PowerModel()
+    saving = 1 - (model.report(burstlink).average_power_mw
+                  / model.report(baseline).average_power_mw)
+    print(f"BurstLink saves {saving:.0%}")
+"""
+
+from .config import (
+    EDP_1_3,
+    EDP_1_4,
+    EdpConfig,
+    FHD,
+    PLANAR_RESOLUTIONS,
+    PanelConfig,
+    QHD,
+    Resolution,
+    SystemConfig,
+    UHD_4K,
+    UHD_5K,
+    VR_EYE_RESOLUTIONS,
+    skylake_tablet,
+    vr_headset,
+)
+from .core import (
+    BurstLinkScheme,
+    FrameBufferBypassScheme,
+    FrameBurstingScheme,
+    HardwareCostModel,
+    SchemeSelector,
+    WindowedVideoScheme,
+    select_scheme,
+)
+from .errors import ReproError
+from .pipeline import (
+    ConventionalScheme,
+    FrameWindowSimulator,
+    RunResult,
+    Timeline,
+)
+from .power import (
+    PlatformExtras,
+    PowerModel,
+    SKYLAKE_TABLET_POWER,
+    breakdown_report,
+    validate_against_paper,
+)
+from .soc import PackageCState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BurstLinkScheme",
+    "ConventionalScheme",
+    "EDP_1_3",
+    "EDP_1_4",
+    "EdpConfig",
+    "FHD",
+    "FrameBufferBypassScheme",
+    "FrameBurstingScheme",
+    "FrameWindowSimulator",
+    "HardwareCostModel",
+    "PLANAR_RESOLUTIONS",
+    "PackageCState",
+    "PanelConfig",
+    "PlatformExtras",
+    "PowerModel",
+    "QHD",
+    "ReproError",
+    "Resolution",
+    "RunResult",
+    "SKYLAKE_TABLET_POWER",
+    "SchemeSelector",
+    "SystemConfig",
+    "Timeline",
+    "UHD_4K",
+    "UHD_5K",
+    "VR_EYE_RESOLUTIONS",
+    "WindowedVideoScheme",
+    "breakdown_report",
+    "select_scheme",
+    "skylake_tablet",
+    "validate_against_paper",
+    "vr_headset",
+    "__version__",
+]

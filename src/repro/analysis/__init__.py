@@ -1,0 +1,114 @@
+"""Analysis layer: scheme comparison helpers, the per-figure experiment
+functions that regenerate every table and figure of the paper's
+evaluation, text report rendering, and parameter sweeps."""
+
+from .energy import SchemeComparison, compare_schemes, energy_reduction
+from .experiments import (
+    fig01_energy_breakdown,
+    fig03_conventional_timeline,
+    fig04_browsing_then_streaming,
+    fig06_bypass_timeline,
+    fig07_burstlink_timeline,
+    fig09_planar_reduction_30fps,
+    fig10_energy_breakdown_comparison,
+    fig11a_vr_workloads,
+    fig11b_vr_resolutions,
+    fig12_planar_reduction_60fps,
+    fig13_fbc_comparison,
+    fig14a_local_playback,
+    fig14b_mobile_workloads,
+    sec64_related_work,
+    table2_power_comparison,
+)
+from .report import format_table, render_cstate_table, render_reductions
+from .pareto import QosPoint, evaluate_qos, pareto_front
+from .sensitivity import (
+    SensitivityRow,
+    perturb_library,
+    sensitivity_analysis,
+)
+from .svg import BarChart, write_figures
+from .sweep import (
+    SweepResult,
+    sweep_edp_bandwidth,
+    sweep_refresh_rate,
+    sweep_vrr,
+)
+from .battery import (
+    BatteryComparison,
+    BatteryLife,
+    battery_life,
+    compare_battery_life,
+)
+from .export import (
+    report_to_dict,
+    run_to_dict,
+    timeline_to_csv,
+    timeline_to_records,
+    to_json,
+)
+from .tradeoffs import (
+    AblationResult,
+    drfb_cost_benefit,
+    sweep_dc_buffer,
+    sweep_deadline_utilization,
+)
+from .visualize import (
+    render_lanes,
+    render_residency_bars,
+    render_strip,
+    render_window_report,
+)
+
+__all__ = [
+    "BarChart",
+    "BatteryComparison",
+    "BatteryLife",
+    "SchemeComparison",
+    "SweepResult",
+    "battery_life",
+    "compare_battery_life",
+    "render_lanes",
+    "render_residency_bars",
+    "render_strip",
+    "render_window_report",
+    "report_to_dict",
+    "run_to_dict",
+    "timeline_to_csv",
+    "timeline_to_records",
+    "to_json",
+    "AblationResult",
+    "drfb_cost_benefit",
+    "sweep_dc_buffer",
+    "sweep_deadline_utilization",
+    "sweep_vrr",
+    "write_figures",
+    "QosPoint",
+    "evaluate_qos",
+    "pareto_front",
+    "SensitivityRow",
+    "perturb_library",
+    "sensitivity_analysis",
+    "compare_schemes",
+    "energy_reduction",
+    "fig01_energy_breakdown",
+    "fig03_conventional_timeline",
+    "fig04_browsing_then_streaming",
+    "fig06_bypass_timeline",
+    "fig07_burstlink_timeline",
+    "fig09_planar_reduction_30fps",
+    "fig10_energy_breakdown_comparison",
+    "fig11a_vr_workloads",
+    "fig11b_vr_resolutions",
+    "fig12_planar_reduction_60fps",
+    "fig13_fbc_comparison",
+    "fig14a_local_playback",
+    "fig14b_mobile_workloads",
+    "format_table",
+    "render_cstate_table",
+    "render_reductions",
+    "sec64_related_work",
+    "sweep_edp_bandwidth",
+    "sweep_refresh_rate",
+    "table2_power_comparison",
+]

@@ -1,0 +1,82 @@
+"""Quality-of-service vs energy Pareto analysis.
+
+Energy work lives or dies by what it costs the user: a scheme that saves
+power by dropping frames is not a win.  This module evaluates schemes as
+(effective FPS, average power) points and extracts the Pareto-efficient
+set — the check that BurstLink's savings come *without* QoS loss, and a
+reusable harness for any future scheme someone bolts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..pipeline.sim import DisplayScheme, FrameWindowSimulator
+from ..power.model import PowerModel
+from ..video.source import FrameDescriptor
+
+
+@dataclass(frozen=True)
+class QosPoint:
+    """One scheme's quality/energy operating point."""
+
+    scheme: str
+    effective_fps: float
+    average_power_mw: float
+    deadline_misses: int
+
+    def dominates(self, other: "QosPoint") -> bool:
+        """Pareto dominance: at least as good on both axes, strictly
+        better on one (higher FPS is better, lower power is better)."""
+        at_least_as_good = (
+            self.effective_fps >= other.effective_fps
+            and self.average_power_mw <= other.average_power_mw
+        )
+        strictly_better = (
+            self.effective_fps > other.effective_fps
+            or self.average_power_mw < other.average_power_mw
+        )
+        return at_least_as_good and strictly_better
+
+
+def evaluate_qos(
+    config: SystemConfig,
+    frames: list[FrameDescriptor],
+    fps: float,
+    schemes: dict[str, tuple[DisplayScheme, bool]],
+) -> list[QosPoint]:
+    """Evaluate each scheme as a :class:`QosPoint`.
+
+    ``schemes`` maps labels to ``(scheme, needs_drfb)`` as in
+    :func:`~repro.analysis.energy.compare_schemes`.
+    """
+    if not schemes:
+        raise ConfigurationError("need at least one scheme")
+    model = PowerModel()
+    points = []
+    for label, (scheme, needs_drfb) in schemes.items():
+        run_config = config.with_drfb() if needs_drfb else config
+        run = FrameWindowSimulator(run_config, scheme).run(frames, fps)
+        report = model.report(run)
+        points.append(
+            QosPoint(
+                scheme=label,
+                effective_fps=run.effective_fps,
+                average_power_mw=report.average_power_mw,
+                deadline_misses=run.stats.deadline_misses,
+            )
+        )
+    return points
+
+
+def pareto_front(points: list[QosPoint]) -> list[QosPoint]:
+    """The non-dominated subset, sorted by power (ascending)."""
+    if not points:
+        raise ConfigurationError("need at least one point")
+    front = [
+        point for point in points
+        if not any(other.dominates(point) for other in points)
+    ]
+    return sorted(front, key=lambda p: p.average_power_mw)

@@ -1,0 +1,62 @@
+"""Text rendering of experiment results — the rows/series the paper's
+tables and figures show, printable from benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import SimulationError
+from ..power.model import CStateSummary
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """A plain fixed-width text table."""
+    if not headers:
+        raise SimulationError("a table needs headers")
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise SimulationError(
+                f"row {row!r} does not match {len(headers)} headers"
+            )
+        cells.append([str(value) for value in row])
+    widths = [
+        max(len(line[column]) for line in cells)
+        for column in range(len(headers))
+    ]
+    lines = []
+    for index, line in enumerate(cells):
+        lines.append(
+            "  ".join(
+                value.ljust(width)
+                for value, width in zip(line, widths)
+            ).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_cstate_table(label: str,
+                        rows: Sequence[CStateSummary],
+                        average_mw: float) -> str:
+    """A Table 2-style half: per-state power and residency plus AvgP."""
+    body = [
+        (
+            row.state.label,
+            f"{row.average_power_mw:.0f}",
+            f"{row.residency_fraction * 100:.1f}%",
+        )
+        for row in rows
+    ]
+    table = format_table(("C-state", "Power (mW)", "Residency"), body)
+    return f"{label}\n{table}\nAvgP: {average_mw:.0f} mW"
+
+
+def render_reductions(title: str, reductions: dict[str, float]) -> str:
+    """A one-line-per-entry reduction listing ("FHD  -37.2%")."""
+    lines = [title]
+    for name, value in reductions.items():
+        lines.append(f"  {name:24s} -{value * 100:5.1f}%")
+    return "\n".join(lines)

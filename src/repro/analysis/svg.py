@@ -1,0 +1,260 @@
+"""Dependency-free SVG chart rendering — the paper's figures as files.
+
+The benches print the numbers; this module draws them.  A small grouped
+bar-chart renderer (hand-emitted SVG, no plotting stack required
+offline) plus :func:`write_figures`, which regenerates the headline
+evaluation figures as ``figNN_*.svg`` so the reproduction produces
+actual figure artifacts (``python -m repro figures --out figures/``).
+"""
+
+from __future__ import annotations
+
+import xml.sax.saxutils as saxutils
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+#: A colour cycle that survives grayscale printing.
+_PALETTE = ("#4878a8", "#e49444", "#6aa46a", "#b05555", "#8064a2")
+
+
+@dataclass
+class BarChart:
+    """A grouped bar chart."""
+
+    title: str
+    categories: list[str]
+    #: series label -> one value per category.
+    series: dict[str, list[float]] = field(default_factory=dict)
+    y_label: str = ""
+    #: Values are fractions to render as percentages.
+    percent: bool = False
+    width: int = 640
+    height: int = 360
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise ConfigurationError("a chart needs categories")
+        if not self.series:
+            raise ConfigurationError("a chart needs at least one series")
+        for label, values in self.series.items():
+            if len(values) != len(self.categories):
+                raise ConfigurationError(
+                    f"series {label!r} has {len(values)} values for "
+                    f"{len(self.categories)} categories"
+                )
+        if self.width < 200 or self.height < 120:
+            raise ConfigurationError("chart too small to render")
+
+    # -- rendering ------------------------------------------------------------
+
+    def to_svg(self) -> str:
+        """The chart as a standalone SVG document."""
+        margin_left, margin_right = 64, 16
+        margin_top, margin_bottom = 40, 56
+        plot_w = self.width - margin_left - margin_right
+        plot_h = self.height - margin_top - margin_bottom
+
+        peak = max(
+            max(values) for values in self.series.values()
+        )
+        peak = max(peak, 1e-12)
+        scale = 1.05 * peak
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>',
+            f'<text x="{self.width / 2}" y="22" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14" '
+            f'font-weight="bold">{saxutils.escape(self.title)}</text>',
+        ]
+
+        # Y axis with four gridlines.
+        for tick in range(5):
+            value = scale * tick / 4
+            y = margin_top + plot_h * (1 - tick / 4)
+            label = (
+                f"{value * 100:.0f}%" if self.percent else f"{value:.0f}"
+            )
+            parts.append(
+                f'<line x1="{margin_left}" y1="{y:.1f}" '
+                f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+                f'stroke="#dddddd"/>'
+            )
+            parts.append(
+                f'<text x="{margin_left - 6}" y="{y + 4:.1f}" '
+                f'text-anchor="end" font-family="sans-serif" '
+                f'font-size="10">{label}</text>'
+            )
+        if self.y_label:
+            parts.append(
+                f'<text x="14" y="{margin_top + plot_h / 2:.1f}" '
+                f'font-family="sans-serif" font-size="11" '
+                f'text-anchor="middle" transform="rotate(-90 14 '
+                f'{margin_top + plot_h / 2:.1f})">'
+                f"{saxutils.escape(self.y_label)}</text>"
+            )
+
+        # Bars.
+        group_w = plot_w / len(self.categories)
+        bar_w = group_w * 0.8 / len(self.series)
+        for series_index, (label, values) in enumerate(
+            self.series.items()
+        ):
+            colour = _PALETTE[series_index % len(_PALETTE)]
+            for category_index, value in enumerate(values):
+                bar_h = plot_h * max(0.0, value) / scale
+                x = (
+                    margin_left
+                    + category_index * group_w
+                    + group_w * 0.1
+                    + series_index * bar_w
+                )
+                y = margin_top + plot_h - bar_h
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y:.1f}" '
+                    f'width="{bar_w:.1f}" height="{bar_h:.1f}" '
+                    f'fill="{colour}"/>'
+                )
+
+        # Category labels.
+        for category_index, category in enumerate(self.categories):
+            x = margin_left + (category_index + 0.5) * group_w
+            parts.append(
+                f'<text x="{x:.1f}" y="{margin_top + plot_h + 16}" '
+                f'text-anchor="middle" font-family="sans-serif" '
+                f'font-size="11">{saxutils.escape(category)}</text>'
+            )
+
+        # Legend.
+        legend_x = margin_left
+        legend_y = self.height - 14
+        for series_index, label in enumerate(self.series):
+            colour = _PALETTE[series_index % len(_PALETTE)]
+            parts.append(
+                f'<rect x="{legend_x}" y="{legend_y - 9}" width="10" '
+                f'height="10" fill="{colour}"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 14}" y="{legend_y}" '
+                f'font-family="sans-serif" font-size="11">'
+                f"{saxutils.escape(label)}</text>"
+            )
+            legend_x += 24 + 7 * len(label)
+
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def write_figures(output_dir: str | Path) -> list[Path]:
+    """Regenerate the headline evaluation figures as SVG files.
+
+    Returns the written paths.  Each chart is driven by the same
+    experiment functions the benches use.
+    """
+    from . import experiments
+
+    output = Path(output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def emit(name: str, chart: BarChart) -> None:
+        path = output / name
+        path.write_text(chart.to_svg(), encoding="utf-8")
+        written.append(path)
+
+    fig01 = experiments.fig01_energy_breakdown()
+    emit(
+        "fig01_energy_breakdown.svg",
+        BarChart(
+            title="Fig. 1 — energy vs resolution (norm. to FHD total)",
+            categories=list(fig01.normalised),
+            series={
+                "DRAM": [v[0] for v in fig01.normalised.values()],
+                "Display": [v[1] for v in fig01.normalised.values()],
+                "Others": [v[2] for v in fig01.normalised.values()],
+            },
+            percent=True,
+        ),
+    )
+
+    for name, result, title in (
+        ("fig09_planar_30fps.svg",
+         experiments.fig09_planar_reduction_30fps(),
+         "Fig. 9 — energy reduction, 30 FPS"),
+        ("fig12_planar_60fps.svg",
+         experiments.fig12_planar_reduction_60fps(),
+         "Fig. 12 — energy reduction, 60 FPS"),
+    ):
+        emit(
+            name,
+            BarChart(
+                title=title,
+                categories=list(result.reductions),
+                series={
+                    technique: [
+                        result.reductions[r][technique]
+                        for r in result.reductions
+                    ]
+                    for technique in ("burst", "bypass", "burstlink")
+                },
+                y_label="energy reduction",
+                percent=True,
+            ),
+        )
+
+    fig11a = experiments.fig11a_vr_workloads()
+    emit(
+        "fig11a_vr_workloads.svg",
+        BarChart(
+            title="Fig. 11a — VR energy reduction",
+            categories=list(fig11a.reductions),
+            series={"BurstLink": list(fig11a.reductions.values())},
+            y_label="energy reduction",
+            percent=True,
+        ),
+    )
+
+    fig13 = experiments.fig13_fbc_comparison()
+    emit(
+        "fig13_fbc.svg",
+        BarChart(
+            title="Fig. 13 — FBC vs BurstLink (60 Hz)",
+            categories=list(fig13.reductions),
+            series={
+                technique: [
+                    fig13.reductions[r][technique]
+                    for r in fig13.reductions
+                ]
+                for technique in (
+                    "fbc-20", "fbc-30", "fbc-50", "burstlink",
+                )
+            },
+            y_label="energy reduction",
+            percent=True,
+        ),
+    )
+
+    fig14b = experiments.fig14b_mobile_workloads()
+    workloads = list(next(iter(fig14b.reductions.values())))
+    emit(
+        "fig14b_mobile.svg",
+        BarChart(
+            title="Fig. 14b — Frame Bursting on mobile workloads",
+            categories=list(fig14b.reductions),
+            series={
+                workload: [
+                    fig14b.reductions[r][workload]
+                    for r in fig14b.reductions
+                ]
+                for workload in workloads
+            },
+            y_label="energy reduction",
+            percent=True,
+        ),
+    )
+    return written

@@ -1,0 +1,177 @@
+"""Parameter sweeps beyond the paper's fixed evaluation points.
+
+The paper argues BurstLink's benefit *grows* with display bandwidth
+headroom (faster eDP generations) and refresh rate; these sweeps quantify
+both claims with the same machinery — the ablation benches in
+``benchmarks/bench_ablation_sweeps.py`` print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import EdpConfig, Resolution, SystemConfig, skylake_tablet
+from ..core import BurstLinkScheme
+from ..errors import ConfigurationError
+from ..pipeline.conventional import ConventionalScheme
+from ..pipeline.sim import FrameWindowSimulator
+from ..power.model import PowerModel
+from ..units import gbps
+from ..video.source import AnalyticContentModel
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample."""
+
+    label: str
+    value: float
+    baseline_mw: float
+    burstlink_mw: float
+
+    @property
+    def reduction(self) -> float:
+        """Fractional reduction at this point."""
+        return 1.0 - self.burstlink_mw / self.baseline_mw
+
+
+@dataclass
+class SweepResult:
+    """An ordered list of sweep samples."""
+
+    parameter: str
+    points: list[SweepPoint]
+
+    def reductions(self) -> dict[str, float]:
+        """label -> reduction map."""
+        return {p.label: p.reduction for p in self.points}
+
+    def is_monotonic_increasing(self, tolerance: float = 0.0) -> bool:
+        """Whether the reduction grows along the sweep."""
+        values = [p.reduction for p in self.points]
+        return all(
+            b >= a - tolerance for a, b in zip(values, values[1:])
+        )
+
+
+def _evaluate(config: SystemConfig, fps: float,
+              frame_count: int = 30) -> tuple[float, float]:
+    model = PowerModel()
+    frames = AnalyticContentModel().frames(
+        config.panel.resolution, frame_count
+    )
+    base = model.report(
+        FrameWindowSimulator(config, ConventionalScheme()).run(
+            frames, fps
+        )
+    )
+    burst = model.report(
+        FrameWindowSimulator(
+            config.with_drfb(), BurstLinkScheme()
+        ).run(frames, fps)
+    )
+    return base.average_power_mw, burst.average_power_mw
+
+
+def sweep_edp_bandwidth(
+    resolution: Resolution,
+    bandwidths_gbps: tuple[float, ...] = (12.96, 17.28, 25.92, 38.88),
+    fps: float = 60.0,
+) -> SweepResult:
+    """BurstLink reduction vs eDP link generation (faster links shorten
+    the burst and deepen C9 residency)."""
+    if not bandwidths_gbps:
+        raise ConfigurationError("sweep needs at least one bandwidth")
+    points = []
+    for bandwidth in bandwidths_gbps:
+        base_config = skylake_tablet(resolution)
+        if gbps(bandwidth) < base_config.panel.pixel_update_bandwidth:
+            continue  # this link cannot drive the panel at all
+        config = replace(
+            base_config,
+            edp=EdpConfig(
+                name=f"{bandwidth:g} Gbps", max_bandwidth=gbps(bandwidth)
+            ),
+        )
+        baseline_mw, burstlink_mw = _evaluate(config, fps)
+        points.append(
+            SweepPoint(
+                label=f"{bandwidth:g} Gbps",
+                value=bandwidth,
+                baseline_mw=baseline_mw,
+                burstlink_mw=burstlink_mw,
+            )
+        )
+    return SweepResult(parameter="edp_bandwidth", points=points)
+
+
+def sweep_vrr(
+    resolution: Resolution,
+    content_fps: tuple[float, ...] = (24.0, 30.0),
+) -> SweepResult:
+    """Variable refresh rate: run the panel *at the content rate*
+    instead of a fixed 60 Hz.
+
+    With VRR there are no repeat windows — each (longer) window carries
+    exactly one frame, so the same per-frame work amortises over more
+    idle time.  Each point compares BurstLink on a fixed 60 Hz panel
+    (baseline slot) against BurstLink on a VRR panel matched to the
+    content (burstlink slot); the reduction is therefore *VRR's* extra
+    saving on top of BurstLink.
+    """
+    if not content_fps:
+        raise ConfigurationError("sweep needs at least one rate")
+    points = []
+    for fps in content_fps:
+        fixed = skylake_tablet(resolution, 60.0)
+        matched = skylake_tablet(resolution, fps)
+        model = PowerModel()
+        frames = AnalyticContentModel().frames(resolution, 24)
+        from ..core.burstlink import BurstLinkScheme as _BL
+
+        fixed_mw = model.report(
+            FrameWindowSimulator(fixed.with_drfb(), _BL()).run(
+                frames, fps
+            )
+        ).average_power_mw
+        matched_mw = model.report(
+            FrameWindowSimulator(matched.with_drfb(), _BL()).run(
+                frames, fps
+            )
+        ).average_power_mw
+        points.append(
+            SweepPoint(
+                label=f"{fps:g} FPS content",
+                value=fps,
+                baseline_mw=fixed_mw,
+                burstlink_mw=matched_mw,
+            )
+        )
+    return SweepResult(parameter="vrr", points=points)
+
+
+def sweep_refresh_rate(
+    resolution: Resolution,
+    refresh_rates: tuple[float, ...] = (60.0, 90.0, 120.0),
+    fps: float = 30.0,
+) -> SweepResult:
+    """BurstLink reduction vs panel refresh rate (higher refresh means
+    more PSR-eligible repeat windows for a fixed-FPS video)."""
+    if not refresh_rates:
+        raise ConfigurationError("sweep needs at least one refresh rate")
+    points = []
+    for refresh in refresh_rates:
+        needed = resolution.frame_bytes() * refresh
+        if needed > EdpConfig().max_bandwidth:
+            continue  # mode exceeds the stock link
+        config = skylake_tablet(resolution, refresh)
+        baseline_mw, burstlink_mw = _evaluate(config, fps)
+        points.append(
+            SweepPoint(
+                label=f"{refresh:g} Hz",
+                value=refresh,
+                baseline_mw=baseline_mw,
+                burstlink_mw=burstlink_mw,
+            )
+        )
+    return SweepResult(parameter="refresh_rate", points=points)

@@ -1,0 +1,195 @@
+"""Design-choice ablations.
+
+DESIGN.md calls out several modelling/architecture choices; these sweeps
+quantify them:
+
+* **DC buffer size** — a smaller double buffer means more C7/C7'
+  hand-offs per bypassed frame (more PMU wakes); a bigger one costs die
+  area. How much energy does the size actually move?
+* **Decoder deadline utilization** — BurstLink's latency-tolerant VD
+  stretches decode to a fraction of the window; racing in C7 instead
+  would finish sooner but at the racing power point. Where is the
+  optimum?
+* **DRFB cost-benefit** — the Sec. 4.4 BOM cost of the DRFB against the
+  energy it saves, per resolution: the cents-per-saved-milliwatt curve
+  behind the paper's "not a severe obstacle" argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import (
+    DisplayControllerConfig,
+    Resolution,
+    SystemConfig,
+    VideoDecoderConfig,
+    skylake_tablet,
+)
+from ..core.burstlink import BurstLinkScheme
+from ..core.cost import HardwareCostModel
+from ..errors import ConfigurationError
+from ..pipeline.conventional import ConventionalScheme
+from ..pipeline.sim import FrameWindowSimulator
+from ..power.model import PowerModel
+from ..units import mib
+from ..video.source import AnalyticContentModel
+
+
+def _burstlink_power(config: SystemConfig, fps: float,
+                     frame_count: int = 24) -> float:
+    model = PowerModel()
+    frames = AnalyticContentModel().frames(
+        config.panel.resolution, frame_count
+    )
+    run = FrameWindowSimulator(
+        config.with_drfb(), BurstLinkScheme()
+    ).run(frames, fps)
+    return model.report(run).average_power_mw
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One ablation sample: a parameter value and its resulting power."""
+
+    label: str
+    value: float
+    burstlink_mw: float
+    vd_wakes_per_frame: float = 0.0
+
+
+@dataclass
+class AblationResult:
+    """An ordered ablation sweep."""
+
+    parameter: str
+    points: list[AblationPoint]
+
+    def best(self) -> AblationPoint:
+        """The lowest-power point."""
+        if not self.points:
+            raise ConfigurationError("ablation produced no points")
+        return min(self.points, key=lambda p: p.burstlink_mw)
+
+    def spread_mw(self) -> float:
+        """Power spread across the sweep (how much the choice matters)."""
+        powers = [p.burstlink_mw for p in self.points]
+        return max(powers) - min(powers)
+
+
+def sweep_dc_buffer(
+    resolution: Resolution,
+    buffer_mib: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    fps: float = 60.0,
+) -> AblationResult:
+    """BurstLink power vs DC double-buffer size."""
+    if not buffer_mib:
+        raise ConfigurationError("sweep needs at least one size")
+    points = []
+    frames = AnalyticContentModel().frames(resolution, 24)
+    model = PowerModel()
+    for size in buffer_mib:
+        config = replace(
+            skylake_tablet(resolution),
+            dc=DisplayControllerConfig(
+                buffer_size=mib(size),
+                chunk_size=min(mib(size) / 2, mib(0.5)),
+            ),
+        ).with_drfb()
+        run = FrameWindowSimulator(config, BurstLinkScheme()).run(
+            frames, fps
+        )
+        report = model.report(run)
+        points.append(
+            AblationPoint(
+                label=f"{size:g} MiB",
+                value=size,
+                burstlink_mw=report.average_power_mw,
+                vd_wakes_per_frame=(
+                    run.stats.vd_wakes
+                    / max(1, run.stats.new_frame_windows)
+                ),
+            )
+        )
+    return AblationResult(parameter="dc_buffer", points=points)
+
+
+def sweep_deadline_utilization(
+    resolution: Resolution,
+    utilizations: tuple[float, ...] = (0.1, 0.2, 0.38, 0.6, 0.8),
+    fps: float = 30.0,
+) -> AblationResult:
+    """BurstLink power vs the VD's latency-tolerant stretch target.
+
+    Small values race the decode (short C7, long C9); large ones stretch
+    it (long cheap C7, short C9). The C7-vs-C9 power gap and the
+    excursion costs set the optimum.
+    """
+    if not utilizations:
+        raise ConfigurationError("sweep needs at least one target")
+    points = []
+    for target in utilizations:
+        config = replace(
+            skylake_tablet(resolution),
+            decoder=VideoDecoderConfig(deadline_utilization=target),
+        )
+        points.append(
+            AblationPoint(
+                label=f"{target:.2f}",
+                value=target,
+                burstlink_mw=_burstlink_power(config, fps),
+            )
+        )
+    return AblationResult(
+        parameter="deadline_utilization", points=points
+    )
+
+
+@dataclass(frozen=True)
+class DrfbCostBenefit:
+    """Sec. 4.4 economics at one resolution."""
+
+    resolution: str
+    drfb_usd: float
+    saved_mw: float
+    saved_fraction: float
+
+    @property
+    def cents_per_saved_watt(self) -> float:
+        """The cost-effectiveness figure of merit."""
+        return self.drfb_usd * 100.0 / (self.saved_mw / 1000.0)
+
+
+def drfb_cost_benefit(
+    resolutions: tuple[Resolution, ...],
+    fps: float = 30.0,
+) -> list[DrfbCostBenefit]:
+    """DRFB BOM cost vs BurstLink energy savings per resolution."""
+    if not resolutions:
+        raise ConfigurationError("need at least one resolution")
+    model = PowerModel()
+    cost_model = HardwareCostModel()
+    results = []
+    for resolution in resolutions:
+        config = skylake_tablet(resolution)
+        frames = AnalyticContentModel().frames(resolution, 24)
+        base = model.report(
+            FrameWindowSimulator(config, ConventionalScheme()).run(
+                frames, fps
+            )
+        )
+        burst = model.report(
+            FrameWindowSimulator(
+                config.with_drfb(), BurstLinkScheme()
+            ).run(frames, fps)
+        )
+        saved = base.average_power_mw - burst.average_power_mw
+        results.append(
+            DrfbCostBenefit(
+                resolution=str(resolution),
+                drfb_usd=cost_model.report(config.panel).drfb_bom_usd,
+                saved_mw=saved,
+                saved_fraction=saved / base.average_power_mw,
+            )
+        )
+    return results

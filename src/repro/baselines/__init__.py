@@ -1,0 +1,13 @@
+"""Competing techniques the paper compares BurstLink against (Sec. 6.4):
+frame-buffer compression, Zhang et al.'s race-to-sleep + content caching
++ display caching, and VIP's virtualized IP chains."""
+
+from .fbc import FrameBufferCompressionScheme
+from .zhang import ZhangScheme
+from .vip import VipScheme
+
+__all__ = [
+    "FrameBufferCompressionScheme",
+    "VipScheme",
+    "ZhangScheme",
+]

@@ -1,0 +1,53 @@
+"""Frame-buffer compression (FBC) baseline (paper Sec. 6.4, Fig. 13).
+
+FBC compresses each decoded frame before storing it in the DRAM frame
+buffer, cutting both the VD's write-back and the DC's fetch by the
+compression rate (modern implementations reach ~50%).  The compression
+engine itself costs compute: the paper notes high computational overhead
+and a reserved graphics-memory region, and that several systems let the
+driver disable the feature because the blocks are error-prone.
+
+The scheme derives from the conventional pipeline with the write-back
+and fetch traffic scaled by ``1 - compression_rate`` and a per-frame
+compression-engine cost added to the C0 phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..pipeline.conventional import ConventionalScheme
+from ..units import ms
+
+
+@dataclass
+class FrameBufferCompressionScheme(ConventionalScheme):
+    """The conventional pipeline with FBC enabled."""
+
+    #: Fraction of frame bytes removed by compression (0.5 = 50%).
+    compression_rate: float = 0.5
+    #: Compression-engine time per megabyte of decoded frame.
+    compression_cost_per_mb: float = ms(0.02)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.compression_rate < 1:
+            raise ConfigurationError(
+                f"compression rate must be in (0, 1), got "
+                f"{self.compression_rate}"
+            )
+        if self.compression_cost_per_mb < 0:
+            raise ConfigurationError("compression cost must be >= 0")
+        self.name = f"fbc-{int(round(self.compression_rate * 100))}"
+        survivor = 1.0 - self.compression_rate
+        self.writeback_scale = survivor
+        self.fetch_scale = survivor
+
+    def plan_window(self, ctx):
+        """Plan a window with the per-frame compression cost attached."""
+        if ctx.window.is_new_frame:
+            self.extra_c0_per_frame = (
+                self.compression_cost_per_mb
+                * ctx.frame.decoded_bytes / 2**20
+            )
+        return super().plan_window(ctx)

@@ -1,0 +1,89 @@
+"""Zhang et al. (MICRO'17): race-to-sleep + content caching + display
+caching (paper Sec. 6.4).
+
+Three techniques on top of the conventional pipeline:
+
+1. **race-to-sleep** — batch several encoded frames and decode them
+   back-to-back at boosted VD frequency, lengthening the idle gaps
+   between decode bursts;
+2. **content caching** — cache reconstructed macroblocks inside the VD
+   so fewer decoded bytes are written to DRAM (an extension of
+   short-circuiting);
+3. **display caching** — a DC-side cache that trims the display fetch.
+
+The paper reports the combination cutting DRAM bandwidth by ~34% on
+average but total system energy by only ~6% at 4K — the DRAM round trip
+survives, and the display path stays active across every window.  The
+test suite checks both of those outcomes against this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..pipeline.conventional import ConventionalScheme
+from ..pipeline.sim import WindowContext, WindowResult
+
+
+@dataclass
+class ZhangScheme(ConventionalScheme):
+    """Race-to-sleep + content caching + display caching."""
+
+    #: Frames decoded per batch at boosted frequency.
+    batch_size: int = 4
+    #: Fraction of decoded write-back removed by content caching.
+    content_cache_saving: float = 0.25
+    #: Fraction of display fetch removed by display caching.
+    display_cache_saving: float = 0.28
+    #: VD frequency boost while racing a batch (shortens decode, raises
+    #: its instantaneous power via the faster write bandwidth).
+    boost: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if not 0 <= self.content_cache_saving < 1:
+            raise ConfigurationError("content_cache_saving out of range")
+        if not 0 <= self.display_cache_saving < 1:
+            raise ConfigurationError("display_cache_saving out of range")
+        if self.boost < 1:
+            raise ConfigurationError("boost must be >= 1")
+        self.name = "zhang-rts"
+        self.writeback_scale = 1.0 - self.content_cache_saving
+        self.fetch_scale = 1.0 - self.display_cache_saving
+
+    def plan_window(self, ctx: WindowContext) -> WindowResult:
+        """Batch decode: every ``batch_size``-th new frame decodes the
+        whole batch at boosted frequency; the other new-frame windows
+        skip decode entirely (their frame already sits decoded in the
+        DRAM frame buffer) and only fetch/stream."""
+        if not ctx.window.is_new_frame:
+            return super().plan_window(ctx)
+        display = min(
+            ctx.frame.decoded_bytes, float(ctx.config.panel.frame_bytes)
+        )
+        batch_position = ctx.window.frame_index % self.batch_size
+        if batch_position == 0:
+            # Decode the whole batch now: the decode work is batch_size
+            # frames at boosted rate.  Model it by inflating the frame's
+            # decoded size (decode time and write-back both scale), while
+            # pinning the display volume to a single frame.
+            boosted = replace(
+                ctx.frame,
+                decoded_bytes=(
+                    ctx.frame.decoded_bytes * self.batch_size / self.boost
+                ),
+                encoded_bytes=ctx.frame.encoded_bytes * self.batch_size,
+            )
+            return super().plan_window(
+                replace(ctx, frame=boosted, display_bytes_override=display)
+            )
+        # Mid-batch window: no decode or write-back (the frame already
+        # sits decoded in the DRAM frame buffer) — just fetch and stream.
+        prefetched = replace(
+            ctx.frame, decoded_bytes=1.0, encoded_bytes=1.0
+        )
+        return super().plan_window(
+            replace(ctx, frame=prefetched, display_bytes_override=display)
+        )

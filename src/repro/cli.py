@@ -1,0 +1,430 @@
+"""Command-line interface: regenerate any paper exhibit from a shell.
+
+::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro validate             # the Sec. 5.3 accuracy table
+    python -m repro table2               # Table 2, both halves
+    python -m repro fig09                # the 30 FPS reduction sweep
+    python -m repro timeline burstlink   # a Fig. 7-style text drawing
+    python -m repro battery --resolution 4K --fps 60
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from .analysis import experiments
+from .analysis.battery import compare_battery_life
+from .analysis.report import (
+    format_table,
+    render_cstate_table,
+    render_reductions,
+)
+from .analysis.visualize import (
+    render_residency_bars,
+    render_window_report,
+)
+from .config import PLANAR_RESOLUTIONS
+from .baselines import (
+    FrameBufferCompressionScheme,
+    VipScheme,
+    ZhangScheme,
+)
+from .core import (
+    BurstLinkScheme,
+    FrameBufferBypassScheme,
+    FrameBurstingScheme,
+    WindowedVideoScheme,
+)
+from .errors import ReproError
+from .pipeline import ConventionalScheme, FrameWindowSimulator
+from .power import PowerModel
+from .power.validation import validate_against_paper
+from .video.source import AnalyticContentModel
+
+_RESOLUTIONS = {str(r): r for r in PLANAR_RESOLUTIONS}
+_SCHEMES: dict[str, tuple[Callable, bool]] = {
+    "conventional": (ConventionalScheme, False),
+    "burstlink": (BurstLinkScheme, True),
+    "bursting": (FrameBurstingScheme, True),
+    "bypass": (FrameBufferBypassScheme, False),
+    "windowed": (WindowedVideoScheme, True),
+    "fbc": (
+        lambda: FrameBufferCompressionScheme(compression_rate=0.5),
+        False,
+    ),
+    "zhang": (ZhangScheme, False),
+    "vip": (VipScheme, False),
+}
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_list(_: argparse.Namespace) -> str:
+    """Enumerate the available commands."""
+    rows = [
+        ("validate", "Sec. 5.3 model-validation table (8 anchors)"),
+        ("table2", "Table 2: per-C-state power/residency, both schemes"),
+        ("fig01", "Fig. 1: baseline energy breakdown vs resolution"),
+        ("fig09", "Fig. 9: 30 FPS reduction sweep"),
+        ("fig11", "Fig. 11: VR workloads and per-eye resolutions"),
+        ("fig12", "Fig. 12: 60 FPS reduction sweep"),
+        ("fig13", "Fig. 13: frame-buffer compression comparison"),
+        ("fig14", "Fig. 14: local playback + mobile workloads"),
+        ("sec64", "Sec. 6.4: Zhang et al. and VIP at 4K"),
+        ("timeline", "Fig. 3/6/7-style text timeline for a scheme"),
+        ("battery", "battery-life impact for a streaming session"),
+        ("export", "a simulated run as JSON/CSV for plotting"),
+        ("figures", "the headline figures as SVG files"),
+        ("constants", "the calibrated power library"),
+    ]
+    return format_table(("command", "what it regenerates"), rows)
+
+
+def cmd_validate(_: argparse.Namespace) -> str:
+    """The Sec. 5.3 validation table."""
+    return validate_against_paper().summary()
+
+
+def cmd_table2(_: argparse.Namespace) -> str:
+    """Table 2."""
+    result = experiments.table2_power_comparison()
+    return "\n\n".join(
+        [
+            render_cstate_table(
+                "Baseline (paper AvgP 2162 mW):",
+                result.baseline_rows,
+                result.baseline_avg_mw,
+            ),
+            render_cstate_table(
+                "BurstLink (paper AvgP 1274 mW):",
+                result.burstlink_rows,
+                result.burstlink_avg_mw,
+            ),
+            f"reduction: {result.reduction:.1%}",
+        ]
+    )
+
+
+def cmd_fig01(_: argparse.Namespace) -> str:
+    """Fig. 1."""
+    result = experiments.fig01_energy_breakdown()
+    rows = [
+        (
+            name,
+            f"{dram * 100:.0f}%",
+            f"{display * 100:.0f}%",
+            f"{others * 100:.0f}%",
+            f"{result.dram_fraction(name) * 100:.0f}%",
+        )
+        for name, (dram, display, others) in result.normalised.items()
+    ]
+    return format_table(
+        ("Display", "DRAM", "Panel", "Others", "DRAM share"), rows
+    )
+
+
+def _reduction_sweep(result) -> str:
+    rows = [
+        (
+            name,
+            f"{result.baseline_power_mw[name]:.0f}",
+            f"-{d['burst'] * 100:.1f}%",
+            f"-{d['bypass'] * 100:.1f}%",
+            f"-{d['burstlink'] * 100:.1f}%",
+        )
+        for name, d in result.reductions.items()
+    ]
+    return format_table(
+        ("Display", "Baseline mW", "Burst", "Bypass", "BurstLink"),
+        rows,
+    )
+
+
+def cmd_fig09(_: argparse.Namespace) -> str:
+    """Fig. 9."""
+    return _reduction_sweep(experiments.fig09_planar_reduction_30fps())
+
+
+def cmd_fig12(_: argparse.Namespace) -> str:
+    """Fig. 12."""
+    return _reduction_sweep(experiments.fig12_planar_reduction_60fps())
+
+
+def cmd_fig11(_: argparse.Namespace) -> str:
+    """Fig. 11."""
+    a = experiments.fig11a_vr_workloads()
+    b = experiments.fig11b_vr_resolutions()
+    return "\n\n".join(
+        [
+            render_reductions("VR workloads (Fig. 11a):", a.reductions),
+            render_reductions(
+                "Rhino vs per-eye resolution (Fig. 11b):",
+                b.reductions,
+            ),
+        ]
+    )
+
+
+def cmd_fig13(_: argparse.Namespace) -> str:
+    """Fig. 13."""
+    result = experiments.fig13_fbc_comparison()
+    rows = [
+        (
+            name,
+            f"-{d['fbc-20'] * 100:.1f}%",
+            f"-{d['fbc-30'] * 100:.1f}%",
+            f"-{d['fbc-50'] * 100:.1f}%",
+            f"-{d['burstlink'] * 100:.1f}%",
+        )
+        for name, d in result.reductions.items()
+    ]
+    return format_table(
+        ("Display", "FBC-20", "FBC-30", "FBC-50", "BurstLink"), rows
+    )
+
+
+def cmd_fig14(_: argparse.Namespace) -> str:
+    """Fig. 14."""
+    a = experiments.fig14a_local_playback()
+    b = experiments.fig14b_mobile_workloads()
+    workloads = list(next(iter(b.reductions.values())))
+    rows = [
+        (name,) + tuple(
+            f"-{d[w] * 100:.1f}%" for w in workloads
+        )
+        for name, d in b.reductions.items()
+    ]
+    return "\n\n".join(
+        [
+            render_reductions(
+                "Local playback, Bypass only (Fig. 14a):",
+                a.reductions,
+            ),
+            format_table(("Display",) + tuple(workloads), rows),
+        ]
+    )
+
+
+def cmd_sec64(_: argparse.Namespace) -> str:
+    """Sec. 6.4."""
+    result = experiments.sec64_related_work()
+    rows = [
+        (
+            name,
+            f"-{result.reductions[name] * 100:.1f}%",
+            f"-{result.dram_bw_reduction[name] * 100:.1f}%",
+        )
+        for name in ("zhang", "vip", "burstlink")
+    ]
+    return format_table(
+        ("Technique", "Energy", "DRAM bandwidth"), rows
+    )
+
+
+def cmd_timeline(args: argparse.Namespace) -> str:
+    """A Fig. 3/6/7-style drawing of a scheme's first windows."""
+    factory, needs_drfb = _SCHEMES[args.scheme]
+    resolution = _RESOLUTIONS[args.resolution]
+    config = _config_for(resolution, needs_drfb)
+    frames = AnalyticContentModel().frames(resolution, 6)
+    run = FrameWindowSimulator(config, factory()).run(frames, args.fps)
+    return "\n\n".join(
+        [
+            f"{args.scheme} @ {args.resolution} {args.fps:g}FPS",
+            render_window_report(
+                run.timeline, config.frame_window
+            ).split("\n\n")[0],
+            render_residency_bars(run.timeline),
+        ]
+    )
+
+
+def cmd_export(args: argparse.Namespace) -> str:
+    """Simulate one run and serialize it (JSON run record or CSV
+    segment table) for plotting outside Python."""
+    from .analysis.export import run_to_dict, timeline_to_csv, to_json
+
+    factory, needs_drfb = _SCHEMES[args.scheme]
+    resolution = _RESOLUTIONS[args.resolution]
+    config = _config_for(resolution, needs_drfb)
+    frames = AnalyticContentModel().frames(resolution, args.frames)
+    run = FrameWindowSimulator(config, factory()).run(frames, args.fps)
+    if args.format == "csv":
+        payload = timeline_to_csv(run.timeline)
+    else:
+        payload = to_json(
+            run_to_dict(run, PowerModel().report(run))
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        return f"wrote {args.out} ({len(payload)} bytes)"
+    return payload
+
+
+def cmd_constants(_: argparse.Namespace) -> str:
+    """Dump the calibrated power library (the constants behind every
+    energy number, with the Skylake anchors they were solved from)."""
+    from .power.calibration import SKYLAKE_TABLET_POWER as lib
+
+    rows = [("soc_floor[" + state.label + "]", f"{value:.0f} mW")
+            for state, value in sorted(
+                lib.soc_floor.items(), key=lambda kv: kv[0].depth
+            )]
+    rows += [
+        ("always_on", f"{lib.always_on:.0f} mW"),
+        ("cpu_active", f"{lib.cpu_active:.0f} mW"),
+        ("vd_active / low-power / gated",
+         f"{lib.vd_active:.0f} / {lib.vd_low_power:.0f} / "
+         f"{lib.vd_clock_gated:.0f} mW"),
+        ("gpu_active", f"{lib.gpu_active:.0f} mW"),
+        ("dc_base + slope",
+         f"{lib.dc_base:.0f} mW + {lib.dc_mw_per_gbs:.0f} mW/GBps"),
+        ("edp_base + slope",
+         f"{lib.edp_base:.0f} mW + {lib.edp_mw_per_gbps:.1f} mW/Gbps"),
+        ("drfb_active", f"{lib.drfb_active:.0f} mW"),
+        ("panel base + per-Mpix",
+         f"{lib.panel_base:.0f} mW + "
+         f"{lib.panel_per_megapixel:.0f} mW/Mpix"),
+        ("panel_rx_active", f"{lib.panel_rx_active:.0f} mW"),
+        ("wifi_streaming / storage / idle",
+         f"{lib.wifi_streaming:.0f} / {lib.storage_playback:.0f} / "
+         f"{lib.platform_idle:.0f} mW"),
+        ("transition_extra", f"{lib.transition_extra:.0f} mW"),
+        ("dram read / write slopes",
+         f"{lib.dram.read_mw_per_gbs:.0f} / "
+         f"{lib.dram.write_mw_per_gbs:.0f} mW/GBps"),
+    ]
+    return format_table(("constant", "value"), rows)
+
+
+def cmd_figures(args: argparse.Namespace) -> str:
+    """Regenerate the headline evaluation figures as SVG files."""
+    from .analysis.svg import write_figures
+
+    written = write_figures(args.out)
+    return "\n".join(
+        [f"wrote {path}" for path in written]
+        + [f"{len(written)} figures in {args.out}"]
+    )
+
+
+def cmd_battery(args: argparse.Namespace) -> str:
+    """Battery-life impact of BurstLink for one streaming session."""
+    resolution = _RESOLUTIONS[args.resolution]
+    frames = AnalyticContentModel().frames(resolution, 30)
+    model = PowerModel()
+    base_run = FrameWindowSimulator(
+        _config_for(resolution, False), ConventionalScheme()
+    ).run(frames, args.fps)
+    burst_run = FrameWindowSimulator(
+        _config_for(resolution, True), BurstLinkScheme()
+    ).run(frames, args.fps)
+    comparison = compare_battery_life(
+        model.report(base_run), model.report(burst_run),
+        battery_wh=args.battery_wh,
+    )
+    return (
+        f"{args.resolution} {args.fps:g}FPS streaming on a "
+        f"{args.battery_wh:g} Wh battery: {comparison.summary()}"
+    )
+
+
+def _config_for(resolution, needs_drfb):
+    from .config import skylake_tablet
+
+    config = skylake_tablet(resolution)
+    return config.with_drfb() if needs_drfb else config
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate BurstLink (MICRO'21) paper exhibits.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler in (
+        ("list", cmd_list),
+        ("constants", cmd_constants),
+        ("validate", cmd_validate),
+        ("table2", cmd_table2),
+        ("fig01", cmd_fig01),
+        ("fig09", cmd_fig09),
+        ("fig11", cmd_fig11),
+        ("fig12", cmd_fig12),
+        ("fig13", cmd_fig13),
+        ("fig14", cmd_fig14),
+        ("sec64", cmd_sec64),
+    ):
+        sub = commands.add_parser(name, help=handler.__doc__)
+        sub.set_defaults(handler=handler)
+
+    timeline = commands.add_parser(
+        "timeline", help=cmd_timeline.__doc__
+    )
+    timeline.add_argument(
+        "scheme", choices=sorted(_SCHEMES), help="display scheme"
+    )
+    timeline.add_argument(
+        "--resolution", choices=sorted(_RESOLUTIONS), default="FHD"
+    )
+    timeline.add_argument("--fps", type=float, default=30.0)
+    timeline.set_defaults(handler=cmd_timeline)
+
+    figures = commands.add_parser("figures", help=cmd_figures.__doc__)
+    figures.add_argument(
+        "--out", default="figures", help="output directory"
+    )
+    figures.set_defaults(handler=cmd_figures)
+
+    export = commands.add_parser("export", help=cmd_export.__doc__)
+    export.add_argument(
+        "scheme", choices=sorted(_SCHEMES), help="display scheme"
+    )
+    export.add_argument(
+        "--resolution", choices=sorted(_RESOLUTIONS), default="FHD"
+    )
+    export.add_argument("--fps", type=float, default=30.0)
+    export.add_argument("--frames", type=int, default=30)
+    export.add_argument(
+        "--format", choices=("json", "csv"), default="json"
+    )
+    export.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+    export.set_defaults(handler=cmd_export)
+
+    battery = commands.add_parser("battery", help=cmd_battery.__doc__)
+    battery.add_argument(
+        "--resolution", choices=sorted(_RESOLUTIONS), default="4K"
+    )
+    battery.add_argument("--fps", type=float, default=60.0)
+    battery.add_argument("--battery-wh", type=float, default=45.0)
+    battery.set_defaults(handler=cmd_battery)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        print(args.handler(args))
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    return 0

@@ -1,0 +1,24 @@
+"""BurstLink itself (paper Sec. 4): Frame Buffer Bypass, Frame Bursting,
+the combined BurstLink scheme, windowed-video support via PSR2, the
+conventional-mode fallback policy, and the Sec. 4.4 hardware cost model."""
+
+from .bursting import FrameBurstingScheme
+from .bypass import FrameBufferBypassScheme
+from .burstlink import BurstLinkScheme
+from .capture import BurstCaptureScheme, ConventionalCaptureScheme
+from .windowed import WindowedVideoScheme
+from .fallback import SchemeSelector, select_scheme
+from .cost import HardwareCostModel, CostReport
+
+__all__ = [
+    "BurstCaptureScheme",
+    "BurstLinkScheme",
+    "ConventionalCaptureScheme",
+    "CostReport",
+    "FrameBufferBypassScheme",
+    "FrameBurstingScheme",
+    "HardwareCostModel",
+    "SchemeSelector",
+    "WindowedVideoScheme",
+    "select_scheme",
+]

@@ -1,0 +1,84 @@
+"""The hardware and firmware cost model of paper Sec. 4.4.
+
+BurstLink needs three platform changes, all cheap:
+
+* **DRFB** — doubling the T-con's remote frame buffer.  Cost follows the
+  Microsoft Surface Pro bill-of-materials estimate the paper cites:
+  DRAM at $13.9/GB against a $100.4 FHD panel, so a 24 MB -> 48 MB
+  upgrade adds ~32.5 cents (0.3% of the panel BOM, 0.05% of the device
+  BOM).  Its power overhead, per Samsung's cost-effective RFB driver-IC
+  estimate, is ~58 mW while active.
+* **destination selector** — negligible: both inputs already exist in
+  the VD/DC CSRs.
+* **PMU firmware** — a few tens of Pcode lines (~0.004% of die area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PanelConfig
+from ..errors import ConfigurationError
+from ..units import GIB
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """The Sec. 4.4 cost summary for one panel configuration."""
+
+    drfb_extra_bytes: float
+    drfb_bom_usd: float
+    drfb_panel_bom_fraction: float
+    drfb_device_bom_fraction: float
+    drfb_power_overhead_mw: float
+    firmware_lines_added: int
+    die_area_increase_fraction: float
+
+    def summary(self) -> str:
+        """One-paragraph human-readable cost statement."""
+        return (
+            f"DRFB adds {self.drfb_extra_bytes / 2**20:.0f} MB of panel "
+            f"DRAM (${self.drfb_bom_usd:.3f}, "
+            f"{self.drfb_panel_bom_fraction * 100:.2f}% of the panel BOM, "
+            f"{self.drfb_device_bom_fraction * 100:.3f}% of the device "
+            f"BOM) and {self.drfb_power_overhead_mw:.0f} mW while "
+            f"active; PMU firmware grows by ~{self.firmware_lines_added} "
+            f"lines ({self.die_area_increase_fraction * 100:.4f}% die "
+            f"area)."
+        )
+
+
+@dataclass(frozen=True)
+class HardwareCostModel:
+    """Cost constants from the paper's cited BOM estimates."""
+
+    dram_usd_per_gb: float = 13.9
+    panel_bom_usd: float = 100.4
+    device_bom_usd: float = 650.0
+    drfb_power_overhead_mw: float = 58.0
+    firmware_lines_added: int = 40
+    die_area_increase_fraction: float = 0.00004
+
+    def __post_init__(self) -> None:
+        if min(self.dram_usd_per_gb, self.panel_bom_usd,
+               self.device_bom_usd) <= 0:
+            raise ConfigurationError("BOM costs must be positive")
+        if self.drfb_power_overhead_mw < 0:
+            raise ConfigurationError("power overhead must be >= 0")
+        if self.firmware_lines_added < 0:
+            raise ConfigurationError("firmware lines must be >= 0")
+
+    def report(self, panel: PanelConfig) -> CostReport:
+        """The cost of upgrading ``panel`` from an RFB to a DRFB: one
+        extra frame of T-con DRAM."""
+        extra_bytes = float(panel.frame_bytes)
+        bom = self.dram_usd_per_gb * extra_bytes / GIB
+        return CostReport(
+            drfb_extra_bytes=extra_bytes,
+            drfb_bom_usd=bom,
+            drfb_panel_bom_fraction=bom / self.panel_bom_usd,
+            drfb_device_bom_fraction=bom / self.device_bom_usd,
+            drfb_power_overhead_mw=self.drfb_power_overhead_mw,
+            firmware_lines_added=self.firmware_lines_added,
+            die_area_increase_fraction=self.die_area_increase_fraction,
+        )

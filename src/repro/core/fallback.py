@@ -1,0 +1,85 @@
+"""The scheme-selection / fallback policy of paper Sec. 4.1.
+
+BurstLink dynamically selects the datapath from state conventional
+hardware already tracks in the VD/DC control registers:
+
+* single full-screen video plane, one session -> full BurstLink;
+* a single non-video plane (gaming, productivity: Sec. 6.5) -> Frame
+  Bursting on the graphics plane;
+* a video plane over static GUI planes -> windowed video via PSR2;
+* anything else — multiple live planes, a graphics interrupt announcing
+  a new plane, a PSR2 exit from user input, multiple panels — falls
+  back to the conventional pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pipeline.conventional import ConventionalScheme
+from ..pipeline.sim import DisplayScheme
+from ..soc.registers import PlaneType, RegisterFile
+from .burstlink import BurstLinkScheme
+from .bursting import FrameBurstingScheme
+from .windowed import WindowedVideoScheme
+
+
+def select_scheme(registers: RegisterFile) -> DisplayScheme:
+    """Pick the display scheme the hardware would engage for the given
+    register state (one-shot form of :class:`SchemeSelector`)."""
+    return SchemeSelector().select(registers)
+
+
+@dataclass
+class SchemeSelector:
+    """A reusable selector with scheme instances and a decision log."""
+
+    decisions: list[tuple[str, str]] = field(default_factory=list)
+
+    def select(self, registers: RegisterFile) -> DisplayScheme:
+        """The scheme for the current register state, with the reason
+        recorded in :attr:`decisions`."""
+        scheme, reason = self._decide(registers)
+        self.decisions.append((scheme.name, reason))
+        return scheme
+
+    def _decide(
+        self, registers: RegisterFile
+    ) -> tuple[DisplayScheme, str]:
+        if registers.fallback_required:
+            return (
+                ConventionalScheme(),
+                self._fallback_reason(registers),
+            )
+        active = registers.active_planes()
+        if registers.bypass_eligible:
+            video = active[0]
+            if video.full_screen and len(registers.planes) == 1:
+                return (
+                    BurstLinkScheme(),
+                    "single full-screen video plane, single session",
+                )
+            # A live video plane over static chrome: the windowed path.
+            return (
+                WindowedVideoScheme(),
+                "video plane over static planes (PSR2 selective update)",
+            )
+        if len(active) == 1 and active[0].plane_type is not PlaneType.VIDEO:
+            return (
+                FrameBurstingScheme(),
+                f"single {active[0].plane_type.value} plane",
+            )
+        return (
+            ConventionalScheme(),
+            f"{len(active)} live planes need composition",
+        )
+
+    @staticmethod
+    def _fallback_reason(registers: RegisterFile) -> str:
+        if registers.graphics_interrupt:
+            return "graphics interrupt: a new plane appeared"
+        if registers.psr2_exited:
+            return "PSR2 exited by user input"
+        if registers.panel_count > 1:
+            return f"{registers.panel_count} panels attached"
+        return "fallback required"

@@ -1,0 +1,89 @@
+"""Windowed video via PSR2 selective updates (paper Sec. 4.1, "Windowed
+Video Support").
+
+A video playing inside a browser window proceeds in two stages:
+
+1. **Composition stage** — the GPU renders the page chrome, the DC
+   composes the graphics/background/video planes out of DRAM, and the
+   whole frame streams to the panel conventionally.
+2. **Selective-update stage** — once the host detects that only the
+   video rectangle changes, the panel enters PSR2; the VD keeps decoding
+   and sends only the (scaled) video rectangle, with its frame offsets,
+   straight to the DC, which bursts it to the eDP receiver; the receiver
+   updates just that region of the DRFB.
+
+Planar-only: VR is always full-screen on an HMD (paper footnote 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError, SimulationError
+from ..pipeline.conventional import ConventionalScheme
+from ..pipeline.sim import WindowContext, WindowResult
+from .burstlink import BurstLinkScheme
+
+
+@dataclass
+class WindowedVideoScheme:
+    """Two-stage windowed playback."""
+
+    name: str = "windowed-video"
+    #: Fraction of the panel area the video window covers.
+    video_fraction: float = 0.25
+    #: Refresh windows spent in the composition stage before the host
+    #: detects a static GUI and arms PSR2.
+    composition_windows: int = 12
+    _composition: ConventionalScheme = field(
+        default_factory=ConventionalScheme
+    )
+    _selective: BurstLinkScheme = field(default_factory=BurstLinkScheme)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.video_fraction <= 1:
+            raise ConfigurationError(
+                f"video_fraction must be in (0, 1], got "
+                f"{self.video_fraction}"
+            )
+        if self.composition_windows < 0:
+            raise ConfigurationError("composition_windows must be >= 0")
+
+    def plan_window(self, ctx: WindowContext) -> WindowResult:
+        """Composition stage for the first windows, PSR2 selective
+        updates afterwards."""
+        if ctx.vr is not None:
+            raise SimulationError(
+                "windowed video is a planar-only mode (VR is full-screen)"
+            )
+        if ctx.window.index < self.composition_windows:
+            # Composition: the full panel frame is produced and streamed;
+            # the composed output is panel-sized regardless of the video
+            # rectangle.
+            composed = replace(
+                ctx,
+                frame=replace(
+                    ctx.frame,
+                    decoded_bytes=float(ctx.config.panel.frame_bytes),
+                ),
+            )
+            return self._composition.plan_window(composed)
+        # Selective update: only the video rectangle moves.  The decoded
+        # (scaled) rectangle bypasses DRAM exactly like a full-screen
+        # BurstLink frame, just smaller.
+        rectangle = replace(
+            ctx,
+            frame=replace(
+                ctx.frame,
+                decoded_bytes=(
+                    float(ctx.config.panel.frame_bytes)
+                    * self.video_fraction
+                ),
+                encoded_bytes=(
+                    ctx.frame.encoded_bytes * self.video_fraction
+                ),
+            ),
+        )
+        result = self._selective.plan_window(rectangle)
+        result.used_psr = True
+        return result

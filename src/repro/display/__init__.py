@@ -1,0 +1,38 @@
+"""Display subsystem substrate: refresh timing, the eDP link, the display
+controller with its chunked fetch path, the panel T-con (eDP receiver,
+pixel formatter, remote frame buffers), and the PSR/PSR2 protocol engine
+(paper Secs. 2.3-2.4)."""
+
+from .timing import RefreshTiming, WindowKind, WindowPlan
+from .rfb import DoubleRemoteFrameBuffer, RemoteFrameBuffer
+from .edp import EdpLink, EdpLinkState
+from .pixel_formatter import PixelFormatter
+from .psr import PsrEngine, PsrState, SelectiveUpdate
+from .composition import CompositionPlane, CompositionResult, compose, desktop_stack
+from .controller import DisplayController, FetchPlan
+from .dsc import DscConfig, DscLineCodec, with_dsc
+from .panel import DisplayPanel
+
+__all__ = [
+    "CompositionPlane",
+    "CompositionResult",
+    "DisplayController",
+    "DisplayPanel",
+    "DoubleRemoteFrameBuffer",
+    "DscConfig",
+    "DscLineCodec",
+    "compose",
+    "desktop_stack",
+    "with_dsc",
+    "EdpLink",
+    "EdpLinkState",
+    "FetchPlan",
+    "PixelFormatter",
+    "PsrEngine",
+    "PsrState",
+    "RefreshTiming",
+    "RemoteFrameBuffer",
+    "SelectiveUpdate",
+    "WindowKind",
+    "WindowPlan",
+]

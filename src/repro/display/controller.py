@@ -1,0 +1,154 @@
+"""The display controller (DC) in the processor's IO domain.
+
+The DC owns a small internal double buffer.  In the conventional flow it
+repeatedly (1) DMA-fetches a ~512 KB chunk of the frame from the DRAM
+frame buffer, (2) parks the chunk in its buffer, and (3) streams it to the
+panel at the pixel-update rate (paper Sec. 2.3) — the C2 <-> C8
+oscillation of Fig. 3.  With multiple planes it reads every plane's
+buffer and composes one output chunk.  Under Frame Buffer Bypass the same
+buffer instead receives decoded data from the VD over the interconnect's
+P2P path, and under Frame Bursting it drains at the full eDP rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..config import DisplayControllerConfig
+from ..errors import (
+    BufferOverflowError,
+    BufferUnderflowError,
+    ConfigurationError,
+)
+
+
+@dataclass(frozen=True)
+class FetchPlan:
+    """The chunk schedule for moving one frame from DRAM through the DC.
+
+    ``chunk_count`` fetches of ``chunk_bytes`` each (the last possibly
+    partial); each fetch costs DMA setup plus the DRAM transfer, and the
+    package sits in C2 for that long (DRAM active).
+    """
+
+    frame_bytes: float
+    chunk_bytes: float
+    chunk_count: int
+    setup_latency: float
+    dram_bandwidth: float
+
+    @property
+    def per_chunk_fetch_time(self) -> float:
+        """C2-resident time of one full-chunk fetch."""
+        return self.setup_latency + self.chunk_bytes / self.dram_bandwidth
+
+    @property
+    def total_fetch_time(self) -> float:
+        """Total DRAM-active time to fetch the whole frame."""
+        return (
+            self.chunk_count * self.setup_latency
+            + self.frame_bytes / self.dram_bandwidth
+        )
+
+    @property
+    def total_read_bytes(self) -> float:
+        """Bytes read out of DRAM for this frame."""
+        return self.frame_bytes
+
+
+@dataclass
+class DisplayController:
+    """A functional DC: buffer mechanics, fetch planning, and plane
+    composition accounting."""
+
+    config: DisplayControllerConfig = field(
+        default_factory=DisplayControllerConfig
+    )
+    buffered_bytes: float = 0.0
+    fills: int = 0
+    drains: int = 0
+    composed_planes: int = 0
+
+    # -- internal double-buffer mechanics ------------------------------------
+
+    @property
+    def free_bytes(self) -> float:
+        """Space left in the internal buffer."""
+        return self.config.buffer_size - self.buffered_bytes
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer cannot accept a further chunk."""
+        return self.free_bytes < self.config.chunk_size
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the buffer has nothing left to drain."""
+        return self.buffered_bytes == 0
+
+    def fill(self, size_bytes: float) -> None:
+        """Accept ``size_bytes`` into the buffer (from DMA fetch or the
+        VD's P2P path)."""
+        if size_bytes < 0:
+            raise ConfigurationError("fill size must be >= 0")
+        if self.buffered_bytes + size_bytes > self.config.buffer_size + 1e-9:
+            raise BufferOverflowError(
+                f"DC buffer overflow: {self.buffered_bytes:.0f} + "
+                f"{size_bytes:.0f} > {self.config.buffer_size:.0f} B"
+            )
+        self.buffered_bytes += size_bytes
+        self.fills += 1
+
+    def drain(self, size_bytes: float) -> None:
+        """Send ``size_bytes`` from the buffer to the eDP link."""
+        if size_bytes < 0:
+            raise ConfigurationError("drain size must be >= 0")
+        if size_bytes > self.buffered_bytes + 1e-9:
+            raise BufferUnderflowError(
+                f"DC buffer underflow: draining {size_bytes:.0f} of "
+                f"{self.buffered_bytes:.0f} B"
+            )
+        self.buffered_bytes = max(0.0, self.buffered_bytes - size_bytes)
+        self.drains += 1
+
+    # -- planning ----------------------------------------------------------------
+
+    def fetch_plan(self, frame_bytes: float,
+                   dram_bandwidth: float) -> FetchPlan:
+        """The conventional chunked-fetch schedule for one frame."""
+        if frame_bytes <= 0:
+            raise ConfigurationError("frame size must be positive")
+        if dram_bandwidth <= 0:
+            raise ConfigurationError("DRAM bandwidth must be positive")
+        chunk = self.config.chunk_size
+        return FetchPlan(
+            frame_bytes=frame_bytes,
+            chunk_bytes=chunk,
+            chunk_count=math.ceil(frame_bytes / chunk),
+            setup_latency=self.config.chunk_setup_latency,
+            dram_bandwidth=dram_bandwidth,
+        )
+
+    def bypass_chunk_cycles(self, frame_bytes: float) -> int:
+        """Number of fill/drain hand-offs when the VD streams a frame
+        directly into the DC buffer (Frame Buffer Bypass) — delegates to
+        the config's double-buffer arithmetic."""
+        return self.config.bypass_chunk_cycles(frame_bytes)
+
+    # -- composition ------------------------------------------------------------
+
+    def composition_read_bytes(self, plane_bytes: list[float]) -> float:
+        """DRAM read volume to compose one output frame from the given
+        plane buffers (the DC reads *every* plane; the composite output
+        frame is the size of the largest plane).
+
+        This is why multi-plane display cannot bypass DRAM (Sec. 3,
+        Observation 1): composition needs all the inputs side by side.
+        """
+        if not plane_bytes:
+            raise ConfigurationError("composition needs at least one plane")
+        if any(b <= 0 for b in plane_bytes):
+            raise ConfigurationError("plane sizes must be positive")
+        self.composed_planes += len(plane_bytes)
+        return float(sum(plane_bytes))

@@ -1,0 +1,102 @@
+"""The embedded-DisplayPort (eDP) link between DC and panel.
+
+Conventional systems clock this link at the panel's pixel-update rate —
+e.g. ~11.3 Gbps for a 4K 60 Hz panel — even though eDP 1.4 carries
+25.92 Gbps (paper Sec. 3, Observation 2).  Frame Bursting unlocks the
+full rate.  The link model tracks its power state, validates requested
+rates, and computes transfer durations including wake latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..config import EdpConfig
+from ..errors import ConfigurationError, DataPathError, PowerStateError
+
+
+class EdpLinkState(enum.Enum):
+    """Power states of the link (both TX and RX ends follow together)."""
+
+    #: Transferring pixel data.
+    ACTIVE = "active"
+    #: Powered but idle between transfers (fast to resume).
+    IDLE = "idle"
+    #: Power-gated; resuming costs :attr:`EdpConfig.wake_latency`.
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class EdpTransfer:
+    """One completed link transfer."""
+
+    size_bytes: float
+    rate: float
+    duration: float
+    included_wake: bool
+
+
+@dataclass
+class EdpLink:
+    """A functional eDP link with rate validation and byte accounting."""
+
+    config: EdpConfig = field(default_factory=EdpConfig)
+    state: EdpLinkState = EdpLinkState.OFF
+    bytes_transferred: float = 0.0
+    transfers: list[EdpTransfer] = field(default_factory=list)
+    wake_count: int = 0
+
+    def validate_rate(self, rate: float) -> None:
+        """Check that ``rate`` is positive and within the link maximum."""
+        if rate <= 0:
+            raise ConfigurationError("eDP rate must be positive")
+        if rate > self.config.max_bandwidth * (1 + 1e-9):
+            raise ConfigurationError(
+                f"requested eDP rate {rate:.3g} B/s exceeds link maximum "
+                f"{self.config.max_bandwidth:.3g} B/s"
+            )
+
+    def power_on(self) -> float:
+        """Bring the link out of OFF; returns the wake latency paid."""
+        if self.state is EdpLinkState.OFF:
+            self.state = EdpLinkState.IDLE
+            self.wake_count += 1
+            return self.config.wake_latency
+        return 0.0
+
+    def power_off(self) -> None:
+        """Power-gate the link (legal from IDLE only — gating a link mid
+        transfer would corrupt the frame)."""
+        if self.state is EdpLinkState.ACTIVE:
+            raise PowerStateError("cannot power-gate an active eDP link")
+        self.state = EdpLinkState.OFF
+
+    def transmit(self, size_bytes: float, rate: float) -> EdpTransfer:
+        """Send ``size_bytes`` at ``rate``; wakes the link if needed.
+
+        Returns the completed transfer record (duration includes the wake
+        latency when one was paid).  The link is left IDLE.
+        """
+        if size_bytes < 0:
+            raise DataPathError("transfer size must be >= 0")
+        self.validate_rate(rate)
+        wake = self.power_on()
+        self.state = EdpLinkState.ACTIVE
+        duration = wake + size_bytes / rate
+        self.state = EdpLinkState.IDLE
+        self.bytes_transferred += size_bytes
+        transfer = EdpTransfer(
+            size_bytes=size_bytes,
+            rate=rate,
+            duration=duration,
+            included_wake=wake > 0,
+        )
+        self.transfers.append(transfer)
+        return transfer
+
+    def utilization(self, rate: float) -> float:
+        """Fraction of the link maximum a given rate uses — the paper's
+        Observation 2 quantifies conventional 4K 60 Hz at ~44%."""
+        self.validate_rate(rate)
+        return rate / self.config.max_bandwidth

@@ -1,0 +1,104 @@
+"""The display panel: eDP receiver, pixel formatter, remote buffer(s), and
+LCD interface, assembled behind the T-con (paper Fig. 2 right-hand side,
+and Fig. 5 for the BurstLink panel with its DRFB)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import PanelConfig
+from ..errors import ConfigurationError, DataPathError
+from .pixel_formatter import PixelFormatter
+from .psr import PsrEngine
+from .rfb import DoubleRemoteFrameBuffer, RemoteFrameBuffer
+
+
+@dataclass
+class DisplayPanel:
+    """A functional panel.
+
+    Construction follows the config: a conventional panel gets one RFB, a
+    BurstLink panel (``remote_buffers == 2``) a DRFB.  Frames arrive via
+    :meth:`receive_frame` (the eDP receiver forwarding to the pixel
+    formatter / remote buffer) and leave via :meth:`refresh` (the LCD
+    scan-out).
+    """
+
+    config: PanelConfig = field(default_factory=PanelConfig)
+    formatter: PixelFormatter = field(init=False)
+    remote_buffer: RemoteFrameBuffer | DoubleRemoteFrameBuffer | None = field(
+        init=False
+    )
+    psr: PsrEngine | None = field(init=False)
+    refreshes: int = 0
+    received_frames: int = 0
+
+    def __post_init__(self) -> None:
+        self.formatter = PixelFormatter(self.config)
+        capacity = float(self.config.frame_bytes)
+        if self.config.remote_buffers == 2:
+            self.remote_buffer = DoubleRemoteFrameBuffer(capacity)
+        elif self.config.remote_buffers == 1:
+            self.remote_buffer = RemoteFrameBuffer(capacity)
+        else:
+            self.remote_buffer = None
+        if self.config.supports_psr:
+            if self.remote_buffer is None:  # pragma: no cover - config guard
+                raise ConfigurationError("PSR requires a remote buffer")
+            self.psr = PsrEngine(
+                self.remote_buffer, supports_psr2=self.config.supports_psr2
+            )
+        else:
+            self.psr = None
+
+    # -- frame ingress -------------------------------------------------------
+
+    def receive_frame(self, frame_id: int,
+                      size_bytes: float | None = None) -> None:
+        """A complete frame arrives over the eDP link.
+
+        With a DRFB the frame lands in the back buffer (a burst); with a
+        single RFB it replaces the resident frame (the conventional PSR
+        store); with no remote buffer the data goes straight to the pixel
+        formatter and nothing is retained.
+        """
+        size = float(self.config.frame_bytes) if size_bytes is None else (
+            size_bytes
+        )
+        if size <= 0:
+            raise DataPathError("frame size must be positive")
+        self.received_frames += 1
+        if isinstance(self.remote_buffer, DoubleRemoteFrameBuffer):
+            self.remote_buffer.receive_burst(frame_id, size)
+        elif isinstance(self.remote_buffer, RemoteFrameBuffer):
+            self.remote_buffer.store(frame_id, size)
+
+    def swap_buffers(self) -> None:
+        """Flip the DRFB at a refresh boundary (BurstLink panels only)."""
+        if not isinstance(self.remote_buffer, DoubleRemoteFrameBuffer):
+            raise ConfigurationError(
+                "buffer swap requires a DRFB-equipped panel"
+            )
+        self.remote_buffer.swap()
+
+    # -- scan-out --------------------------------------------------------------
+
+    def refresh(self) -> float:
+        """One LCD refresh: the pixel formatter scans the resident frame;
+        returns the bytes scanned.  Requires a resident frame."""
+        if self.remote_buffer is None:
+            raise DataPathError(
+                "a bufferless panel must be driven by a live stream"
+            )
+        scanned = self.remote_buffer.scan_out()
+        self.refreshes += 1
+        return scanned
+
+    @property
+    def can_self_refresh(self) -> bool:
+        """Whether PSR self-refresh is possible right now."""
+        if self.psr is None or self.remote_buffer is None:
+            return False
+        if isinstance(self.remote_buffer, DoubleRemoteFrameBuffer):
+            return self.remote_buffer.displayable_frame is not None
+        return self.remote_buffer.holds_frame

@@ -1,0 +1,69 @@
+"""The pixel formatter (PF) inside the panel T-con.
+
+The PF pulls frame data from the remote buffer, converts it into the pixel
+array the row/column drivers consume, and feeds the LCD interface at the
+panel's fixed pixel-update rate (paper Sec. 2.4, steps 6-9).  Its rate is
+dictated by resolution x refresh x color depth and *cannot* be raised
+without panel changes — raising it would flicker/distort the image
+(Sec. 3).  BurstLink therefore leaves the PF untouched and decouples it
+from the link via the DRFB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PanelConfig
+from ..errors import ConfigurationError
+
+
+@dataclass
+class PixelFormatter:
+    """The fixed-rate scan-out engine of the panel."""
+
+    panel: PanelConfig
+    frames_formatted: int = 0
+    bytes_formatted: float = 0.0
+
+    @property
+    def pixel_rate(self) -> float:
+        """Pixels per second the PF emits (resolution x refresh)."""
+        return self.panel.resolution.pixels * self.panel.refresh_hz
+
+    @property
+    def byte_rate(self) -> float:
+        """Bytes per second the PF pulls from the remote buffer."""
+        return self.panel.pixel_update_bandwidth
+
+    def scan_duration(self, frame_bytes: float | None = None) -> float:
+        """Time to scan one frame out (a full refresh window for a full
+        frame; proportionally less for partial updates)."""
+        size = self.panel.frame_bytes if frame_bytes is None else frame_bytes
+        if size < 0:
+            raise ConfigurationError("frame size must be >= 0")
+        return size / self.byte_rate
+
+    def format_frame(self, frame: np.ndarray) -> np.ndarray:
+        """Convert a decoded H x W x 3 frame into the panel's pixel order.
+
+        The functional transform is a row-major flatten with the
+        per-channel byte order the column drivers expect (B, G, R — the
+        common LCD interface order).  Shape mismatches are a datapath bug
+        and raise.
+        """
+        expected = (
+            self.panel.resolution.height,
+            self.panel.resolution.width,
+            3,
+        )
+        if frame.shape != expected:
+            raise ConfigurationError(
+                f"frame shape {frame.shape} does not match panel "
+                f"{expected}"
+            )
+        pixels = frame[..., ::-1].reshape(-1, 3)
+        self.frames_formatted += 1
+        self.bytes_formatted += float(pixels.nbytes)
+        return pixels

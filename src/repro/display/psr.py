@@ -1,0 +1,119 @@
+"""Panel Self-Refresh (PSR) and PSR2 selective updates.
+
+PSR (paper Sec. 2.3) lets the panel refresh itself from its remote frame
+buffer while the host powers down DRAM, the display interface, and the DC.
+PSR2 (eDP 1.4) adds *selective updates*: while in PSR the host may rewrite
+sub-rectangles of the resident frame — the mechanism BurstLink's windowed
+video path uses to update just the video rectangle inside an otherwise
+static desktop frame.
+
+This engine models the protocol state machine: entry requires an
+unchanged-image notification from the DC and a resident frame; user input
+or a new plane forces an exit back to live streaming.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import DataPathError, PowerStateError
+from .rfb import DoubleRemoteFrameBuffer, RemoteFrameBuffer
+
+
+class PsrState(enum.Enum):
+    """The PSR protocol states."""
+
+    #: The host streams every refresh; the panel mirrors the link.
+    LIVE = "live"
+    #: The panel self-refreshes from its remote buffer; host may sleep.
+    PSR_ACTIVE = "psr_active"
+    #: PSR with selective updates flowing (PSR2).
+    PSR2_UPDATING = "psr2_updating"
+
+
+@dataclass(frozen=True)
+class SelectiveUpdate:
+    """One PSR2 selective update: a sub-rectangle rewrite."""
+
+    offset_bytes: float
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.offset_bytes < 0 or self.size_bytes <= 0:
+            raise DataPathError(
+                "selective update needs offset >= 0 and size > 0"
+            )
+
+
+@dataclass
+class PsrEngine:
+    """The PSR/PSR2 state machine attached to a remote buffer."""
+
+    buffer: RemoteFrameBuffer | DoubleRemoteFrameBuffer
+    supports_psr2: bool = True
+    state: PsrState = PsrState.LIVE
+    self_refresh_count: int = 0
+    selective_updates: list[SelectiveUpdate] = field(default_factory=list)
+    exits: int = 0
+
+    @property
+    def _resident(self) -> bool:
+        if isinstance(self.buffer, DoubleRemoteFrameBuffer):
+            return self.buffer.displayable_frame is not None
+        return self.buffer.holds_frame
+
+    def enter_psr(self) -> None:
+        """The DC notified the panel of an unchanged image; enter PSR.
+
+        Requires a resident frame — self-refreshing an empty buffer would
+        scan garbage.
+        """
+        if not self._resident:
+            raise PowerStateError(
+                "cannot enter PSR without a resident frame"
+            )
+        if self.state is PsrState.LIVE:
+            self.state = PsrState.PSR_ACTIVE
+
+    def self_refresh(self) -> float:
+        """One panel-driven refresh from the resident frame; returns the
+        bytes scanned."""
+        if self.state is PsrState.LIVE:
+            raise PowerStateError("self-refresh requires PSR to be active")
+        self.self_refresh_count += 1
+        return self.buffer.scan_out()
+
+    def selective_update(self, update: SelectiveUpdate) -> None:
+        """Apply a PSR2 selective update while self-refreshing."""
+        if not self.supports_psr2:
+            raise PowerStateError("panel does not support PSR2")
+        if self.state is PsrState.LIVE:
+            raise PowerStateError(
+                "selective updates require PSR to be active"
+            )
+        end = update.offset_bytes + update.size_bytes
+        if isinstance(self.buffer, DoubleRemoteFrameBuffer):
+            capacity = self.buffer.capacity_per_buffer
+        else:
+            capacity = self.buffer.capacity
+        if end > capacity:
+            raise DataPathError(
+                f"selective update [{update.offset_bytes:.0f}, {end:.0f}) "
+                f"exceeds buffer capacity {capacity:.0f}"
+            )
+        self.buffer.selective_update(update.size_bytes)
+        self.state = PsrState.PSR2_UPDATING
+        self.selective_updates.append(update)
+
+    def exit_psr(self) -> None:
+        """Leave PSR (user input, new plane, or a full-frame stream
+        resuming)."""
+        if self.state is not PsrState.LIVE:
+            self.state = PsrState.LIVE
+            self.exits += 1
+
+    @property
+    def updated_bytes(self) -> float:
+        """Total bytes rewritten by selective updates."""
+        return sum(u.size_bytes for u in self.selective_updates)

@@ -1,0 +1,160 @@
+"""Remote frame buffers inside the panel T-con.
+
+A PSR panel carries one remote frame buffer (RFB) sized for a single
+frame: the pixel formatter self-refreshes from it while the host sleeps
+(paper Sec. 2.3).  BurstLink extends the T-con with a *double* remote
+frame buffer (DRFB, Sec. 4.1): the host bursts a new frame into the back
+buffer while the pixel formatter scans the front buffer out, and the two
+swap at the next refresh boundary.  The DRFB is what decouples the frame
+transfer rate from the panel's pixel-update rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import (
+    BufferOverflowError,
+    BufferUnderflowError,
+    ConfigurationError,
+    DataPathError,
+)
+
+
+@dataclass
+class RemoteFrameBuffer:
+    """A single-frame remote buffer (the conventional PSR RFB)."""
+
+    capacity: float
+    frame_id: int | None = None
+    stored_bytes: float = 0.0
+    #: Byte counters, for the panel-side power/traffic accounting.
+    bytes_written: float = 0.0
+    bytes_scanned: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError("RFB capacity must be positive")
+
+    @property
+    def holds_frame(self) -> bool:
+        """Whether a complete frame is resident (self-refresh possible)."""
+        return self.frame_id is not None
+
+    def store(self, frame_id: int, size_bytes: float) -> None:
+        """Store a complete frame, replacing any previous content."""
+        if size_bytes <= 0:
+            raise DataPathError("frame size must be positive")
+        if size_bytes > self.capacity:
+            raise BufferOverflowError(
+                f"frame of {size_bytes:.0f} B exceeds RFB capacity "
+                f"{self.capacity:.0f} B"
+            )
+        self.frame_id = frame_id
+        self.stored_bytes = size_bytes
+        self.bytes_written += size_bytes
+
+    def selective_update(self, size_bytes: float) -> None:
+        """Overwrite ``size_bytes`` of the resident frame in place (the
+        PSR2 path).  Requires a resident frame."""
+        if not self.holds_frame:
+            raise BufferUnderflowError(
+                "selective update requires a resident frame"
+            )
+        if size_bytes < 0 or size_bytes > self.stored_bytes:
+            raise DataPathError(
+                f"selective update of {size_bytes:.0f} B outside the "
+                f"resident frame ({self.stored_bytes:.0f} B)"
+            )
+        self.bytes_written += size_bytes
+
+    def scan_out(self) -> float:
+        """One full self-refresh scan by the pixel formatter; returns the
+        bytes read."""
+        if not self.holds_frame:
+            raise BufferUnderflowError("no frame resident to scan out")
+        self.bytes_scanned += self.stored_bytes
+        return self.stored_bytes
+
+
+@dataclass
+class DoubleRemoteFrameBuffer:
+    """The BurstLink DRFB: two single-frame buffers with front/back roles.
+
+    The *front* buffer feeds the pixel formatter; the *back* buffer
+    receives the next burst.  :meth:`swap` flips the roles — legal only at
+    a refresh boundary, and only when the back buffer holds a complete
+    frame.
+    """
+
+    capacity_per_buffer: float
+    front: RemoteFrameBuffer = field(init=False)
+    back: RemoteFrameBuffer = field(init=False)
+    swaps: int = 0
+    #: Whether the back buffer holds a frame newer than the front one
+    #: (a stale frame left over from a previous swap must not be
+    #: promoted again).
+    _back_fresh: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.front = RemoteFrameBuffer(self.capacity_per_buffer)
+        self.back = RemoteFrameBuffer(self.capacity_per_buffer)
+
+    @property
+    def total_capacity(self) -> float:
+        """Combined capacity of both buffers (the 48 MB of Sec. 4.4 for a
+        24 MB 4K frame)."""
+        return 2 * self.capacity_per_buffer
+
+    @property
+    def displayable_frame(self) -> int | None:
+        """Frame id the pixel formatter is currently scanning from."""
+        return self.front.frame_id
+
+    @property
+    def pending_frame(self) -> int | None:
+        """Frame id waiting (fresh) in the back buffer, if any."""
+        return self.back.frame_id if self._back_fresh else None
+
+    def receive_burst(self, frame_id: int, size_bytes: float) -> None:
+        """A full-frame burst lands in the back buffer.
+
+        The front buffer is untouched — the pixel formatter keeps scanning
+        it at its own rate, which is the decoupling BurstLink relies on.
+        """
+        self.back.store(frame_id, size_bytes)
+        self._back_fresh = True
+
+    def selective_update(self, size_bytes: float) -> None:
+        """PSR2 selective update applied to the *front* buffer (windowed
+        video: only the video rectangle changes in an otherwise static
+        frame)."""
+        self.front.selective_update(size_bytes)
+
+    def swap(self) -> None:
+        """Flip front/back at a refresh boundary.
+
+        Only a *fresh* pending frame may be promoted: the stale frame
+        left behind by the previous swap never re-displays.
+        """
+        if not (self.back.holds_frame and self._back_fresh):
+            raise BufferUnderflowError(
+                "cannot swap: back buffer holds no fresh pending frame"
+            )
+        self.front, self.back = self.back, self.front
+        self._back_fresh = False
+        self.swaps += 1
+
+    def scan_out(self) -> float:
+        """One pixel-formatter scan of the front buffer."""
+        return self.front.scan_out()
+
+    @property
+    def bytes_written(self) -> float:
+        """Total bytes burst into either buffer."""
+        return self.front.bytes_written + self.back.bytes_written
+
+    @property
+    def bytes_scanned(self) -> float:
+        """Total bytes scanned out of either buffer."""
+        return self.front.bytes_scanned + self.back.bytes_scanned

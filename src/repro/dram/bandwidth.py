@@ -1,0 +1,120 @@
+"""DRAM traffic metering.
+
+The analytical power model needs, per frame window and per package
+C-state, the read/write bandwidth DRAM sustained (Sec. 5.2's operating
+power term).  Pipelines log traffic samples here; the meter aggregates
+them into totals, averages, and per-interval bandwidths.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..errors import DataPathError
+
+
+@dataclass(frozen=True)
+class TrafficSample:
+    """One logged transfer: ``size_bytes`` moved during [start, end)."""
+
+    start: float
+    end: float
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise DataPathError(
+                f"sample ends ({self.end}) before it starts ({self.start})"
+            )
+        if self.read_bytes < 0 or self.write_bytes < 0:
+            raise DataPathError("sample byte counts must be >= 0")
+
+    @property
+    def duration(self) -> float:
+        """Length of the sample interval in seconds."""
+        return self.end - self.start
+
+    def overlap(self, start: float, end: float) -> float:
+        """Length of this sample's overlap with [start, end)."""
+        return max(0.0, min(self.end, end) - max(self.start, start))
+
+
+@dataclass
+class TrafficMeter:
+    """Accumulates :class:`TrafficSample` records and answers bandwidth
+    queries over arbitrary intervals (traffic inside a sample is assumed
+    uniformly spread across it)."""
+
+    samples: list[TrafficSample] = field(default_factory=list)
+    _starts: list[float] = field(default_factory=list, repr=False)
+
+    def log(self, sample: TrafficSample) -> None:
+        """Append one sample (samples are kept sorted by start time)."""
+        index = bisect.bisect(self._starts, sample.start)
+        self._starts.insert(index, sample.start)
+        self.samples.insert(index, sample)
+
+    def log_transfer(self, start: float, end: float, *,
+                     read_bytes: float = 0.0, write_bytes: float = 0.0,
+                     label: str = "") -> None:
+        """Convenience wrapper building and logging a sample."""
+        self.log(
+            TrafficSample(start, end, read_bytes, write_bytes, label)
+        )
+
+    # -- totals ------------------------------------------------------------------
+
+    @property
+    def total_read_bytes(self) -> float:
+        """All bytes read."""
+        return sum(s.read_bytes for s in self.samples)
+
+    @property
+    def total_write_bytes(self) -> float:
+        """All bytes written."""
+        return sum(s.write_bytes for s in self.samples)
+
+    @property
+    def total_bytes(self) -> float:
+        """All bytes moved in either direction."""
+        return self.total_read_bytes + self.total_write_bytes
+
+    # -- interval queries ----------------------------------------------------------
+
+    def bytes_in(self, start: float, end: float) -> tuple[float, float]:
+        """(read, write) bytes attributable to [start, end), prorating
+        samples that straddle the boundary."""
+        if end < start:
+            raise DataPathError("query interval is reversed")
+        read = write = 0.0
+        for sample in self.samples:
+            if sample.start >= end:
+                break
+            if sample.duration == 0:
+                # Instantaneous sample: attribute fully if inside.
+                if start <= sample.start < end:
+                    read += sample.read_bytes
+                    write += sample.write_bytes
+                continue
+            fraction = sample.overlap(start, end) / sample.duration
+            read += sample.read_bytes * fraction
+            write += sample.write_bytes * fraction
+        return read, write
+
+    def average_bandwidth(self, start: float, end: float) -> tuple[
+        float, float
+    ]:
+        """(read, write) average bandwidth in bytes/s over [start, end)."""
+        duration = end - start
+        if duration <= 0:
+            raise DataPathError("query interval must have positive length")
+        read, write = self.bytes_in(start, end)
+        return read / duration, write / duration
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self.samples.clear()
+        self._starts.clear()

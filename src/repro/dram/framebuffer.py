@@ -1,0 +1,173 @@
+"""Frame-buffer regions inside host DRAM.
+
+Conventional video processing stages all of its data through DRAM (paper
+Fig. 2): the network/storage path buffers *encoded* frames, the video
+decoder writes *decoded* frames into a double-buffered frame-buffer
+region, and the display controller reads them back out.  Each display
+plane owns its own frame buffer; the DC composes across them.
+
+This manager allocates those regions, enforces capacity, and turns every
+access into read/write byte counts — the quantity the DRAM operating-power
+model charges for, and the quantity Frame Buffer Bypass eliminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import (
+    BufferOverflowError,
+    BufferUnderflowError,
+    ConfigurationError,
+    DataPathError,
+)
+
+
+@dataclass
+class FrameBufferRegion:
+    """One allocated region (e.g. the video plane's double frame buffer).
+
+    ``slots`` is the number of frames the region holds: 2 for a classic
+    double buffer, 1 for single-buffered planes, larger for the encoded
+    stream's jitter buffer.
+    """
+
+    name: str
+    slot_bytes: float
+    slots: int = 2
+    _occupied: list[bool] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.slot_bytes <= 0:
+            raise ConfigurationError(
+                f"region {self.name!r}: slot size must be positive"
+            )
+        if self.slots <= 0:
+            raise ConfigurationError(
+                f"region {self.name!r}: slot count must be positive"
+            )
+        self._occupied = [False] * self.slots
+
+    @property
+    def capacity(self) -> float:
+        """Total bytes reserved for this region."""
+        return self.slot_bytes * self.slots
+
+    @property
+    def occupied_slots(self) -> int:
+        """Number of slots currently holding a frame."""
+        return sum(self._occupied)
+
+    @property
+    def free_slots(self) -> int:
+        """Number of empty slots."""
+        return self.slots - self.occupied_slots
+
+    def acquire_slot(self) -> int:
+        """Claim a free slot for an incoming frame; returns its index."""
+        for index, used in enumerate(self._occupied):
+            if not used:
+                self._occupied[index] = True
+                return index
+        raise BufferOverflowError(
+            f"region {self.name!r}: all {self.slots} slots are occupied"
+        )
+
+    def release_slot(self, index: int) -> None:
+        """Release a previously acquired slot."""
+        if not 0 <= index < self.slots:
+            raise DataPathError(
+                f"region {self.name!r}: slot index {index} out of range"
+            )
+        if not self._occupied[index]:
+            raise BufferUnderflowError(
+                f"region {self.name!r}: slot {index} is already free"
+            )
+        self._occupied[index] = False
+
+
+@dataclass
+class FrameBufferManager:
+    """Allocates frame-buffer regions within a DRAM capacity budget and
+    accounts every byte written to / read from them."""
+
+    dram_capacity: float
+    regions: dict[str, FrameBufferRegion] = field(default_factory=dict)
+    write_bytes: float = 0.0
+    read_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.dram_capacity <= 0:
+            raise ConfigurationError("DRAM capacity must be positive")
+
+    # -- allocation ------------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> float:
+        """Bytes currently reserved across all regions."""
+        return sum(r.capacity for r in self.regions.values())
+
+    def allocate(self, name: str, slot_bytes: float,
+                 slots: int = 2) -> FrameBufferRegion:
+        """Reserve a new region; raises if the name collides or the DRAM
+        budget would be exceeded."""
+        if name in self.regions:
+            raise ConfigurationError(f"region {name!r} already allocated")
+        region = FrameBufferRegion(name, slot_bytes, slots)
+        if self.allocated_bytes + region.capacity > self.dram_capacity:
+            raise BufferOverflowError(
+                f"allocating {name!r} ({region.capacity:.0f} B) exceeds "
+                f"DRAM capacity {self.dram_capacity:.0f} B"
+            )
+        self.regions[name] = region
+        return region
+
+    def free(self, name: str) -> None:
+        """Release a region entirely."""
+        if name not in self.regions:
+            raise ConfigurationError(f"region {name!r} was never allocated")
+        del self.regions[name]
+
+    def region(self, name: str) -> FrameBufferRegion:
+        """Look up a region by name."""
+        try:
+            return self.regions[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"no region named {name!r}") from exc
+
+    # -- traffic ---------------------------------------------------------------
+
+    def write(self, name: str, size_bytes: float) -> None:
+        """Record ``size_bytes`` written into region ``name`` (one frame
+        store, a partial macroblock flush, ...)."""
+        region = self.region(name)
+        if size_bytes < 0:
+            raise DataPathError("write size must be >= 0")
+        if size_bytes > region.slot_bytes:
+            raise BufferOverflowError(
+                f"write of {size_bytes:.0f} B exceeds {name!r} slot size "
+                f"{region.slot_bytes:.0f} B"
+            )
+        self.write_bytes += size_bytes
+
+    def read(self, name: str, size_bytes: float) -> None:
+        """Record ``size_bytes`` read out of region ``name``."""
+        region = self.region(name)
+        if size_bytes < 0:
+            raise DataPathError("read size must be >= 0")
+        if size_bytes > region.capacity:
+            raise BufferUnderflowError(
+                f"read of {size_bytes:.0f} B exceeds {name!r} capacity "
+                f"{region.capacity:.0f} B"
+            )
+        self.read_bytes += size_bytes
+
+    @property
+    def total_traffic(self) -> float:
+        """All bytes moved to/from the managed regions."""
+        return self.read_bytes + self.write_bytes
+
+    def reset_traffic(self) -> None:
+        """Clear the byte counters (allocations are kept)."""
+        self.read_bytes = 0.0
+        self.write_bytes = 0.0

@@ -1,0 +1,37 @@
+"""DRAM power states and their coupling to package C-states.
+
+The paper's Sec. 5.2 models DRAM background power over three states —
+CKE-high (active), CKE-low (fast power-down), and self-refresh — and notes
+that on the evaluated processor the DRAM state is *correlated to the
+package C-state*: active in C0/C2, self-refresh everywhere deeper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..soc.cstates import PackageCState
+
+
+class DramPowerState(enum.Enum):
+    """The three DRAM background-power states of Sec. 5.2."""
+
+    #: CKE high: clocked, serving or ready to serve requests.
+    ACTIVE = "cke_high"
+    #: CKE low: fast power-down between bursts of traffic.
+    FAST_POWER_DOWN = "cke_low"
+    #: Self-refresh: retention only; exiting costs microseconds.
+    SELF_REFRESH = "self_refresh"
+
+    @property
+    def can_serve_requests(self) -> bool:
+        """Whether reads/writes can be issued without a state change."""
+        return self is DramPowerState.ACTIVE
+
+
+def dram_state_for_package(state: PackageCState) -> DramPowerState:
+    """The DRAM state implied by a package C-state (Table 1: DRAM is
+    active only in C0 and C2, in self-refresh in every deeper state)."""
+    if state in (PackageCState.C0, PackageCState.C2):
+        return DramPowerState.ACTIVE
+    return DramPowerState.SELF_REFRESH

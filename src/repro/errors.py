@@ -1,0 +1,58 @@
+"""Exception hierarchy for the BurstLink reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch the whole family with one ``except`` clause.  Subclasses
+mark *which layer* of the system misbehaved, mirroring the package layout
+(SoC model, DRAM, display subsystem, video pipeline, power model).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A system/display/workload configuration is inconsistent or
+    out of the modeled range (e.g. a refresh rate of zero, an eDP link
+    slower than the panel's pixel-update rate)."""
+
+
+class PowerStateError(ReproError):
+    """An illegal power-state transition or an unknown package C-state."""
+
+
+class DataPathError(ReproError):
+    """A datapath invariant was violated: writing into a full buffer,
+    reading a frame that was never produced, DMA into an unmapped region."""
+
+
+class BufferOverflowError(DataPathError):
+    """More bytes were pushed into a fixed-capacity buffer than it holds."""
+
+
+class BufferUnderflowError(DataPathError):
+    """More bytes were drained from a buffer than it currently holds."""
+
+
+class CodecError(ReproError):
+    """The functional video codec was asked to decode a malformed or
+    truncated bitstream, or to encode an unsupported frame."""
+
+
+class DeadlineMissError(ReproError):
+    """A frame could not be decoded/fetched/transferred within its refresh
+    window.  Raised only when a pipeline is configured with
+    ``strict_deadlines=True``; otherwise the miss is recorded on the run
+    statistics instead."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event frame-window simulator reached an inconsistent
+    state (e.g. overlapping exclusive activities, time moving backwards)."""
+
+
+class CalibrationError(ReproError):
+    """A calibrated power library fails its internal consistency checks
+    (e.g. component powers no longer sum to the anchored package power)."""

@@ -1,0 +1,183 @@
+"""The timeline builder: sequential phase scheduling with C-state
+transition accounting.
+
+Pipeline schemes describe a window as a sequence of *phases* ("3 ms of
+orchestration in C0", "72 us fetching a chunk in C2", ...).  The builder
+turns phases into segments and inserts the entry/exit excursions between
+differing states — the ``P_en * Lat_en + P_ex * Lat_ex`` terms of the
+paper's analytical power model (Sec. 5.2) — conserving total time by
+carving each excursion out of the head of the incoming phase.
+
+Excursion conventions (DESIGN.md, modelling decision 4):
+
+* moving deeper (A -> B, B deeper) costs B's entry latency; moving
+  shallower costs A's exit latency;
+* the excursion segment is *attributed to the shallower* of the two
+  states, matching how hardware residency counters behave (the deep
+  state's counter only runs once the state is actually reached).
+
+The builder also implements the PMU's demotion heuristic
+(:meth:`TimelineBuilder.idle`): an idle period only enters a deep state
+if the round-trip excursion cost stays below a bounded fraction of the
+period — the reason a short idle gap parks in C8 while BurstLink's long
+post-burst gap is worth taking all the way to C9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..soc.cstates import PackageCState, transition_cost
+from .timeline import PanelMode, Segment, Timeline
+
+#: An idle period refuses a state whose round-trip excursion would eat
+#: more than this fraction of it.
+DEFAULT_MAX_EXCURSION_FRACTION = 0.2
+
+
+def _shallower(a: PackageCState, b: PackageCState) -> PackageCState:
+    return a if a.depth <= b.depth else b
+
+
+def excursion_latency(current: PackageCState,
+                      target: PackageCState) -> float:
+    """Latency of switching ``current`` -> ``target`` (zero if equal)."""
+    if current is target:
+        return 0.0
+    if target.depth > current.depth:
+        return transition_cost(target).entry_latency
+    return transition_cost(current).exit_latency
+
+
+@dataclass
+class TimelineBuilder:
+    """Builds one contiguous timeline phase by phase."""
+
+    start: float = 0.0
+    initial_state: PackageCState = PackageCState.C0
+    timeline: Timeline = field(default_factory=Timeline)
+    #: Count of phases whose duration was entirely consumed by the
+    #: excursion into them (a sign the schedule is too fine-grained for
+    #: the transition latencies involved).
+    squeezed_phases: int = 0
+
+    def __post_init__(self) -> None:
+        self._now = self.start
+        self._state = self.initial_state
+
+    @property
+    def now(self) -> float:
+        """Current end of the built timeline."""
+        return self._now
+
+    @property
+    def state(self) -> PackageCState:
+        """C-state the builder is currently in."""
+        return self._state
+
+    def add(self, duration: float, state: PackageCState,
+            label: str = "", **attrs: object) -> None:
+        """Append a phase of ``duration`` seconds in ``state``.
+
+        If the builder is currently in a different state, the excursion
+        latency is carved out of ``duration`` and emitted as a transition
+        segment attributed to the shallower state.  ``attrs`` are passed
+        through to :class:`Segment` (bandwidths, activity flags, ...).
+        """
+        if duration < 0:
+            if duration > -1e-9:
+                duration = 0.0  # float dust from budget arithmetic
+            else:
+                raise SimulationError(
+                    f"phase {label!r} has negative duration {duration}"
+                )
+        if duration == 0:
+            return
+        requested = duration
+        latency = excursion_latency(self._state, state)
+        if latency > 0:
+            excursion = min(latency, duration)
+            if excursion >= duration:
+                self.squeezed_phases += 1
+            panel = attrs.get("panel_mode", PanelMode.SELF_REFRESH)
+            self.timeline.append(
+                Segment(
+                    start=self._now,
+                    end=self._now + excursion,
+                    state=_shallower(self._state, state),
+                    label=f"{self._state.label}->{state.label}",
+                    transition=True,
+                    panel_mode=panel,  # type: ignore[arg-type]
+                )
+            )
+            self._now += excursion
+            duration -= excursion
+        self._state = state
+        if duration > 0:
+            # The excursion carved time out of the phase; the traffic the
+            # caller described still moves, so rates scale up to conserve
+            # total bytes over the shortened segment.
+            if duration < requested:
+                scale = requested / duration
+                for key in ("dram_read_bw", "dram_write_bw", "edp_rate"):
+                    if key in attrs:
+                        attrs[key] = attrs[key] * scale  # type: ignore
+            self.timeline.append(
+                Segment(
+                    start=self._now,
+                    end=self._now + duration,
+                    state=state,
+                    label=label,
+                    **attrs,  # type: ignore[arg-type]
+                )
+            )
+            self._now += duration
+
+    def idle(
+        self,
+        duration: float,
+        candidates: list[PackageCState],
+        label: str = "idle",
+        max_excursion_fraction: float = DEFAULT_MAX_EXCURSION_FRACTION,
+        **attrs: object,
+    ) -> PackageCState:
+        """Fill an idle period with the deepest *worthwhile* state.
+
+        ``candidates`` lists the states the platform permits right now,
+        any order.  The deepest one whose round-trip excursion cost is at
+        most ``max_excursion_fraction`` of ``duration`` wins; if none
+        qualifies, the shallowest candidate is used unconditionally.
+        Returns the chosen state.
+        """
+        if not candidates:
+            raise SimulationError("idle() needs at least one candidate")
+        if duration < 0:
+            if duration > -1e-9:
+                duration = 0.0  # float dust from budget arithmetic
+            else:
+                raise SimulationError("idle duration must be >= 0")
+        ordered = sorted(candidates, key=lambda s: s.depth)
+        chosen = ordered[0]
+        for state in ordered:
+            cost = excursion_latency(self._state, state) + transition_cost(
+                state
+            ).exit_latency
+            if cost <= duration * max_excursion_fraction:
+                chosen = state
+        self.add(duration, chosen, label=label, **attrs)
+        return chosen
+
+    def fill_to(self, time: float, state: PackageCState,
+                label: str = "fill", **attrs: object) -> None:
+        """Pad with ``state`` until the absolute time ``time`` (no-op if
+        already there; raises if ``time`` is in the past)."""
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot fill to {time}: builder is already at {self._now}"
+            )
+        self.add(max(0.0, time - self._now), state, label=label, **attrs)
+
+    def build(self) -> Timeline:
+        """The finished timeline."""
+        return self.timeline

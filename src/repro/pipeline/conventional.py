@@ -1,0 +1,263 @@
+"""The conventional (PSR-baseline) display scheme.
+
+This is the paper's baseline (Sec. 2.5, Fig. 3): in a new-frame window the
+CPU orchestrates and the VD races the decode in package C0 (the GPU's
+projective transform joins for VR), after which the display controller
+oscillates between C2 (fetching a frame-buffer chunk from DRAM) and C8
+(draining its buffer to the panel at the pixel-update rate).  A repeat
+window of a sub-refresh-rate video self-refreshes from the panel RFB with
+the host parked in C8 (or C9 under the idealised Fig. 3(a) variant —
+``SystemConfig.baseline_c9_in_psr``).
+
+Every decoded frame travels through the DRAM frame buffer: the VD writes
+it, the DC reads it back — the data movement BurstLink exists to remove.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..soc.cstates import PackageCState
+from .builder import TimelineBuilder, excursion_latency
+from .sim import WindowContext, WindowResult
+from .timeline import PanelMode, VdMode
+
+
+def effective_fetch_bandwidth(config: SystemConfig) -> float:
+    """The DC's sustained DRAM fetch bandwidth for this panel mode.
+
+    The memory controller provisions display fetch with headroom over
+    the panel's consumption rate (a starved display underruns visibly),
+    so the effective bandwidth scales with the pixel-update rate at high
+    resolutions while never dropping below the configured sustained
+    floor.
+    """
+    return max(
+        config.dram.sustained_fetch_bandwidth,
+        4.0 * config.panel.pixel_update_bandwidth,
+    )
+
+
+@dataclass
+class ConventionalScheme:
+    """The baseline video display pipeline.
+
+    The three trailing knobs exist for derived baselines (frame-buffer
+    compression, caching schemes): they scale the decoded-frame
+    write-back and the display-fetch traffic, and add per-frame C0 work
+    (e.g. the compression engine's cost).  The stock baseline leaves
+    them neutral.
+    """
+
+    name: str = "conventional"
+    #: Scale on the decoded-frame DRAM write-back (1.0 = full frame).
+    writeback_scale: float = 1.0
+    #: Scale on the DC's display-fetch traffic (1.0 = full frame).
+    fetch_scale: float = 1.0
+    #: Extra C0 time per new frame (compression/caching engines).
+    extra_c0_per_frame: float = 0.0
+
+    # ------------------------------------------------------------------
+
+    def plan_window(self, ctx: WindowContext) -> WindowResult:
+        """Plan one refresh window of the conventional pipeline."""
+        if ctx.window.is_new_frame:
+            return self._plan_new_frame(ctx)
+        return self._plan_repeat(ctx)
+
+    # ------------------------------------------------------------------
+
+    def _plan_repeat(self, ctx: WindowContext) -> WindowResult:
+        """A PSR repeat window: the driver still does its per-window
+        vblank/flip work, then the panel self-refreshes from its RFB."""
+        builder = TimelineBuilder(
+            start=ctx.window.start, initial_state=ctx.initial_state
+        )
+        orchestration = min(
+            ctx.config.orchestration.baseline_per_frame,
+            ctx.window.duration,
+        )
+        if orchestration > 0:
+            builder.add(
+                orchestration,
+                PackageCState.C0,
+                label="driver vblank work",
+                cpu_active=True,
+                panel_mode=PanelMode.SELF_REFRESH,
+            )
+        candidates = [PackageCState.C8]
+        if ctx.config.baseline_c9_in_psr:
+            candidates.append(PackageCState.C9)
+        builder.idle(
+            ctx.window.end - builder.now,
+            candidates,
+            label="psr",
+            panel_mode=PanelMode.SELF_REFRESH,
+        )
+        return WindowResult(timeline=builder.build(), used_psr=True)
+
+    # ------------------------------------------------------------------
+
+    def _plan_new_frame(self, ctx: WindowContext) -> WindowResult:
+        """A new-frame window: C0 decode, then the C2/C8 fetch-drain
+        oscillation."""
+        cfg = ctx.config
+        window = ctx.window.duration
+        display_bytes = ctx.display_bytes
+        pixel_rate = cfg.panel.pixel_update_bandwidth
+
+        # -- phase durations ------------------------------------------------
+        orchestration = cfg.orchestration.baseline_per_frame
+        decode = cfg.decoder.decode_time(
+            ctx.frame.decoded_bytes, window, race=True
+        )
+        projection = ctx.vr.projection_s if ctx.vr is not None else 0.0
+        active = (
+            orchestration + decode + projection + self.extra_c0_per_frame
+        )
+        missed = False
+        if active > window:
+            active = window
+            missed = True
+
+        # -- C0 traffic ---------------------------------------------------------
+        # Network DMA writes the encoded frame; the VD reads it back and
+        # writes the decoded frame into the DRAM frame buffer.  For VR the
+        # GPU additionally reads the decoded source and writes the
+        # projected frame.  The DC's fetch of the displayed frame overlaps
+        # C0 for free (DRAM is awake anyway); the overlapped share scales
+        # with C0's fraction of the window.
+        writes = (
+            ctx.frame.encoded_bytes
+            + ctx.frame.decoded_bytes * self.writeback_scale
+        )
+        reads = ctx.frame.encoded_bytes
+        if ctx.vr is not None:
+            reads += ctx.vr.source_bytes
+            writes += ctx.vr.projected_bytes * self.writeback_scale
+        overlap_fraction = active / window
+        reads += display_bytes * self.fetch_scale * overlap_fraction
+
+        builder = TimelineBuilder(
+            start=ctx.window.start, initial_state=ctx.initial_state
+        )
+        builder.add(
+            active,
+            PackageCState.C0,
+            label="orchestrate+decode",
+            dram_read_bw=reads / active,
+            dram_write_bw=writes / active,
+            cpu_active=True,
+            vd_mode=VdMode.ACTIVE,
+            gpu_active=ctx.vr is not None,
+            dc_active=True,
+            edp_rate=pixel_rate,
+            panel_mode=PanelMode.LIVE,
+        )
+
+        # -- the C2/C8 fetch-drain oscillation --------------------------------
+        remaining = window - active
+        if remaining <= 0:
+            return WindowResult(
+                timeline=builder.build(), deadline_missed=True
+            )
+        fetch_bytes = (
+            display_bytes * self.fetch_scale * (1.0 - overlap_fraction)
+        )
+        missed |= not self._emit_fetch_cycles(
+            builder, ctx, fetch_bytes, remaining, pixel_rate
+        )
+        builder.fill_to(
+            ctx.window.end,
+            PackageCState.C8,
+            label="drain",
+            dc_active=True,
+            edp_rate=pixel_rate,
+            panel_mode=PanelMode.LIVE,
+        )
+        return WindowResult(
+            timeline=builder.build(), deadline_missed=missed
+        )
+
+    # ------------------------------------------------------------------
+
+    def _emit_fetch_cycles(
+        self,
+        builder: TimelineBuilder,
+        ctx: WindowContext,
+        fetch_bytes: float,
+        remaining: float,
+        pixel_rate: float,
+    ) -> bool:
+        """Emit the C2 fetch / C8 drain cycles covering ``fetch_bytes``
+        within ``remaining`` seconds.  Returns False when even a single
+        maximal fetch cannot meet the deadline (the window is then pinned
+        in C2 fetching for its whole remainder)."""
+        cfg = ctx.config
+        dram_bw = effective_fetch_bandwidth(cfg)
+        setup = cfg.dc.chunk_setup_latency
+        if fetch_bytes <= 0:
+            return True
+
+        def cycle_cost(cycles: int) -> float:
+            work = cycles * setup + fetch_bytes / dram_bw
+            # First excursion comes from the builder's current state; the
+            # later cycles oscillate C8 <-> C2.
+            excursions = (
+                excursion_latency(builder.state, PackageCState.C2)
+                + (cycles - 1) * excursion_latency(
+                    PackageCState.C8, PackageCState.C2
+                )
+                + cycles * excursion_latency(
+                    PackageCState.C2, PackageCState.C8
+                )
+            )
+            return work + excursions
+
+        cycles = max(1, min(
+            math.ceil(fetch_bytes / cfg.dc.chunk_size),
+            cfg.dc.max_fetch_cycles_per_window,
+        ))
+        while cycles > 1 and cycle_cost(cycles) > remaining:
+            cycles -= 1
+        if cycle_cost(cycles) > remaining:
+            # Deadline miss: the system fetches flat-out for the rest of
+            # the window and still cannot finish.
+            builder.add(
+                remaining,
+                PackageCState.C2,
+                label="fetch (saturated)",
+                dram_read_bw=dram_bw,
+                dc_active=True,
+                edp_rate=pixel_rate,
+                panel_mode=PanelMode.LIVE,
+            )
+            return False
+
+        per_cycle_bytes = fetch_bytes / cycles
+        fetch_work = setup + per_cycle_bytes / dram_bw
+        drain_total = remaining - cycle_cost(cycles)
+        drain = drain_total / cycles
+        for _ in range(cycles):
+            into_c2 = excursion_latency(builder.state, PackageCState.C2)
+            builder.add(
+                fetch_work + into_c2,
+                PackageCState.C2,
+                label="fetch chunk",
+                dram_read_bw=per_cycle_bytes / fetch_work,
+                dc_active=True,
+                edp_rate=pixel_rate,
+                panel_mode=PanelMode.LIVE,
+            )
+            into_c8 = excursion_latency(PackageCState.C2, PackageCState.C8)
+            builder.add(
+                drain + into_c8,
+                PackageCState.C8,
+                label="drain",
+                dc_active=True,
+                edp_rate=pixel_rate,
+                panel_mode=PanelMode.LIVE,
+            )
+        return True

@@ -1,0 +1,232 @@
+"""The frame-window simulator.
+
+A :class:`DisplayScheme` plans one refresh window at a time: given the
+window kind (new frame vs repeat), the frame's sizes, and any VR
+projection work, it produces that window's package C-state timeline with
+full datapath annotations.  The simulator walks the refresh cadence,
+validates every window, and stitches the results into a run-level
+timeline plus statistics — the input to the analytical power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..config import SystemConfig
+from ..display.timing import RefreshTiming, WindowPlan
+from ..errors import DeadlineMissError, SimulationError
+from ..soc.cstates import PackageCState
+from ..video.source import FrameDescriptor
+from .timeline import Timeline
+
+
+@dataclass(frozen=True)
+class VrWork:
+    """Per-frame VR projection work (paper Sec. 2.4, "Projection").
+
+    The decoded 360-degree source frame (``source_bytes``) is larger than
+    the panel frame; the GPU spends ``projection_s`` mapping the viewport
+    onto the ``projected_bytes`` panel frame.
+    """
+
+    source_bytes: float
+    projection_s: float
+    projected_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.source_bytes <= 0 or self.projected_bytes <= 0:
+            raise SimulationError("VR frame sizes must be positive")
+        if self.projection_s < 0:
+            raise SimulationError("VR projection time must be >= 0")
+
+
+@dataclass(frozen=True)
+class WindowContext:
+    """Everything a scheme needs to plan one refresh window."""
+
+    config: SystemConfig
+    window: WindowPlan
+    #: The frame presented in this window (decoded/encoded sizes).
+    frame: FrameDescriptor
+    #: VR projection work, or None for planar video.
+    vr: VrWork | None = None
+    #: C-state the system is in when the window opens.
+    initial_state: PackageCState = PackageCState.C0
+    #: Override for the bytes shipped to the panel (used by schemes that
+    #: decouple decode volume from display volume, e.g. batch decoding).
+    display_bytes_override: float | None = None
+
+    @property
+    def display_bytes(self) -> float:
+        """Bytes the DC must deliver to the panel this window: the
+        projected frame for VR, the decoded frame for planar (capped at
+        the panel's own frame size — a smaller video is upscaled by the
+        DC at no extra DRAM cost in this model)."""
+        if self.display_bytes_override is not None:
+            return self.display_bytes_override
+        if self.vr is not None:
+            return self.vr.projected_bytes
+        return min(
+            self.frame.decoded_bytes, float(self.config.panel.frame_bytes)
+        )
+
+
+@dataclass
+class WindowResult:
+    """One planned window."""
+
+    timeline: Timeline
+    deadline_missed: bool = False
+    vd_wakes: int = 0
+    used_psr: bool = False
+    bypassed_dram: bool = False
+    burst: bool = False
+
+
+class DisplayScheme(Protocol):
+    """The strategy interface every display scheme implements."""
+
+    name: str
+
+    def plan_window(self, ctx: WindowContext) -> WindowResult:
+        """Plan one refresh window; the returned timeline must span
+        exactly ``ctx.window.start`` to ``ctx.window.end``."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics over a simulated run."""
+
+    windows: int = 0
+    new_frame_windows: int = 0
+    repeat_windows: int = 0
+    deadline_misses: int = 0
+    vd_wakes: int = 0
+    psr_windows: int = 0
+    bypassed_windows: int = 0
+    burst_windows: int = 0
+
+    def record(self, plan: WindowPlan, result: WindowResult) -> None:
+        """Fold one window into the totals."""
+        self.windows += 1
+        if plan.is_new_frame:
+            self.new_frame_windows += 1
+        else:
+            self.repeat_windows += 1
+        self.deadline_misses += int(result.deadline_missed)
+        self.vd_wakes += result.vd_wakes
+        self.psr_windows += int(result.used_psr)
+        self.bypassed_windows += int(result.bypassed_dram)
+        self.burst_windows += int(result.burst)
+
+
+@dataclass
+class RunResult:
+    """A complete simulated run: timeline, stats, and identity."""
+
+    scheme: str
+    config: SystemConfig
+    timeline: Timeline
+    stats: RunStats
+    video_fps: float
+
+    @property
+    def duration(self) -> float:
+        """Simulated wall-clock seconds."""
+        return self.timeline.duration
+
+    @property
+    def effective_fps(self) -> float:
+        """Frames presented *on time* per second: new-frame windows
+        minus deadline misses, over the run duration — the jank-aware
+        quality-of-service figure."""
+        if self.duration <= 0:
+            raise SimulationError("run covers no time")
+        on_time = max(
+            0, self.stats.new_frame_windows - self.stats.deadline_misses
+        )
+        return on_time / self.duration
+
+    def residency_fractions(self) -> dict[PackageCState, float]:
+        """Package C-state residency over the whole run."""
+        return self.timeline.residency_fractions()
+
+
+@dataclass
+class FrameWindowSimulator:
+    """Walks the refresh cadence and applies a scheme window by window."""
+
+    config: SystemConfig
+    scheme: DisplayScheme
+    _tolerance: float = field(default=1e-9, repr=False)
+
+    def run(
+        self,
+        frames: list[FrameDescriptor],
+        video_fps: float,
+        vr_work: list[VrWork] | None = None,
+        max_windows: int | None = None,
+    ) -> RunResult:
+        """Simulate displaying ``frames`` at ``video_fps``.
+
+        ``vr_work`` (parallel to ``frames``) marks a VR run.  The run
+        covers every window needed to present all frames, or
+        ``max_windows`` if given.
+        """
+        if not frames:
+            raise SimulationError("cannot simulate an empty frame list")
+        if vr_work is not None and len(vr_work) != len(frames):
+            raise SimulationError(
+                "vr_work must parallel frames "
+                f"({len(vr_work)} vs {len(frames)})"
+            )
+        timing = RefreshTiming(self.config.panel.refresh_hz, video_fps)
+        window_count = (
+            max_windows
+            if max_windows is not None
+            else int(round(len(frames) * timing.windows_per_frame))
+        )
+        stats = RunStats()
+        timelines: list[Timeline] = []
+        state = PackageCState.C0
+        for plan in timing.windows(window_count):
+            frame_index = min(plan.frame_index, len(frames) - 1)
+            ctx = WindowContext(
+                config=self.config,
+                window=plan,
+                frame=frames[frame_index],
+                vr=vr_work[frame_index] if vr_work is not None else None,
+                initial_state=state,
+            )
+            result = self.scheme.plan_window(ctx)
+            self._validate_window(plan, result)
+            if result.deadline_missed and self.config.strict_deadlines:
+                raise DeadlineMissError(
+                    f"{self.scheme.name}: window {plan.index} missed its "
+                    f"deadline"
+                )
+            stats.record(plan, result)
+            timelines.append(result.timeline)
+            state = result.timeline.segments[-1].state
+        return RunResult(
+            scheme=self.scheme.name,
+            config=self.config,
+            timeline=Timeline.concatenate(timelines),
+            stats=stats,
+            video_fps=video_fps,
+        )
+
+    def _validate_window(self, plan: WindowPlan,
+                         result: WindowResult) -> None:
+        timeline = result.timeline
+        if not timeline.segments:
+            raise SimulationError(
+                f"{self.scheme.name}: window {plan.index} is empty"
+            )
+        if abs(timeline.duration - plan.duration) > 1e-7:
+            raise SimulationError(
+                f"{self.scheme.name}: window {plan.index} covers "
+                f"{timeline.duration:.6f}s, expected {plan.duration:.6f}s"
+            )

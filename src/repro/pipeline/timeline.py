@@ -1,0 +1,265 @@
+"""Package C-state timelines.
+
+A :class:`Timeline` is a contiguous sequence of :class:`Segment` records:
+each carries the package C-state the system occupied, what the datapath
+was doing (DRAM bandwidths, eDP rate, which IPs were working), and whether
+the segment is a state *transition* (entry/exit excursion).  Residency
+accounting over timelines is the quantity the paper reads from VTune
+(Sec. 5.3) and reports in Table 2 and Figs. 3/4/6/7.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from ..errors import SimulationError
+from ..soc.cstates import PackageCState
+
+#: Tolerance for floating-point contiguity checks (seconds).
+_EPSILON = 1e-12
+
+
+class VdMode(enum.Enum):
+    """What the video decoder is doing during a segment."""
+
+    OFF = "off"
+    #: Racing at the maximum DVFS point (conventional; package C0).
+    ACTIVE = "active"
+    #: Decoding at the latency-tolerant point inside package C7.
+    LOW_POWER = "low_power"
+    #: Clock-gated while the DC drains (the C7' half of the oscillation).
+    HALTED = "halted"
+
+
+class PanelMode(enum.Enum):
+    """What the panel is doing during a segment."""
+
+    #: Scanning pixels arriving live over the eDP link.
+    LIVE = "live"
+    #: Self-refreshing from its remote buffer (PSR).
+    SELF_REFRESH = "self_refresh"
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One homogeneous stretch of a run."""
+
+    start: float
+    end: float
+    state: PackageCState
+    label: str = ""
+    #: True for C-state entry/exit excursions (charged at transition
+    #: power; attributed to the shallower of the two states).
+    transition: bool = False
+    # -- datapath activity ---------------------------------------------------
+    dram_read_bw: float = 0.0
+    dram_write_bw: float = 0.0
+    #: Payload rate on the eDP link (bytes/s); zero when the link idles.
+    edp_rate: float = 0.0
+    cpu_active: bool = False
+    gpu_active: bool = False
+    vd_mode: VdMode = VdMode.OFF
+    dc_active: bool = False
+    panel_mode: PanelMode = PanelMode.SELF_REFRESH
+    #: The DRFB is being written (its +58 mW overhead applies).
+    drfb_active: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end < self.start - _EPSILON:
+            raise SimulationError(
+                f"segment ends ({self.end}) before it starts ({self.start})"
+            )
+        if self.dram_read_bw < 0 or self.dram_write_bw < 0:
+            raise SimulationError("segment bandwidths must be >= 0")
+        if self.edp_rate < 0:
+            raise SimulationError("segment eDP rate must be >= 0")
+        if (
+            (self.dram_read_bw > 0 or self.dram_write_bw > 0)
+            and self.state.dram_in_self_refresh
+        ):
+            raise SimulationError(
+                f"segment {self.label!r} moves DRAM traffic in "
+                f"{self.state}, where DRAM is in self-refresh"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the segment in seconds."""
+        return self.end - self.start
+
+    @property
+    def dram_read_bytes(self) -> float:
+        """Bytes read from DRAM during this segment."""
+        return self.dram_read_bw * self.duration
+
+    @property
+    def dram_write_bytes(self) -> float:
+        """Bytes written to DRAM during this segment."""
+        return self.dram_write_bw * self.duration
+
+    @property
+    def edp_bytes(self) -> float:
+        """Bytes moved over the eDP link during this segment."""
+        return self.edp_rate * self.duration
+
+    def shifted(self, offset: float) -> "Segment":
+        """This segment translated in time by ``offset``."""
+        return replace(
+            self, start=self.start + offset, end=self.end + offset
+        )
+
+
+@dataclass
+class Timeline:
+    """A contiguous, ordered sequence of segments."""
+
+    segments: list[Segment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        for earlier, later in zip(self.segments, self.segments[1:]):
+            if abs(later.start - earlier.end) > 1e-9:
+                raise SimulationError(
+                    f"timeline gap/overlap between {earlier.label!r} "
+                    f"(ends {earlier.end}) and {later.label!r} "
+                    f"(starts {later.start})"
+                )
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def start(self) -> float:
+        """Start time (0.0 for an empty timeline)."""
+        return self.segments[0].start if self.segments else 0.0
+
+    @property
+    def end(self) -> float:
+        """End time (0.0 for an empty timeline)."""
+        return self.segments[-1].end if self.segments else 0.0
+
+    @property
+    def duration(self) -> float:
+        """Total covered time."""
+        return self.end - self.start
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def append(self, segment: Segment) -> None:
+        """Append a segment; it must start where the timeline ends."""
+        if self.segments and abs(
+            segment.start - self.segments[-1].end
+        ) > 1e-9:
+            raise SimulationError(
+                f"appended segment starts at {segment.start}, timeline "
+                f"ends at {self.segments[-1].end}"
+            )
+        self.segments.append(segment)
+
+    def extend(self, other: "Timeline") -> None:
+        """Append another timeline, shifting it to start where this one
+        ends."""
+        offset = self.end - other.start
+        for segment in other.segments:
+            self.append(segment.shifted(offset))
+
+    @classmethod
+    def concatenate(cls, timelines: Iterable["Timeline"]) -> "Timeline":
+        """Join timelines back to back (each shifted to follow the
+        previous)."""
+        result = cls()
+        for timeline in timelines:
+            result.extend(timeline)
+        return result
+
+    # -- residency accounting ---------------------------------------------------
+
+    def residencies(
+        self, fold_prime: bool = True
+    ) -> dict[PackageCState, float]:
+        """Seconds spent per package C-state (transitions attributed to
+        the state recorded on their segment).  ``fold_prime`` merges C7'
+        into C7, matching how Table 2 reports."""
+        seconds: dict[PackageCState, float] = {}
+        for segment in self.segments:
+            state = (
+                segment.state.reporting_state if fold_prime
+                else segment.state
+            )
+            seconds[state] = seconds.get(state, 0.0) + segment.duration
+        return seconds
+
+    def residency_fractions(
+        self, fold_prime: bool = True
+    ) -> dict[PackageCState, float]:
+        """Fraction of total time per package C-state."""
+        total = self.duration
+        if total <= 0:
+            raise SimulationError(
+                "residency fractions need a non-empty timeline"
+            )
+        return {
+            state: seconds / total
+            for state, seconds in self.residencies(fold_prime).items()
+        }
+
+    def transition_time(self) -> float:
+        """Total time spent inside entry/exit excursions."""
+        return sum(s.duration for s in self.segments if s.transition)
+
+    def transition_count(self) -> int:
+        """Number of entry/exit excursions."""
+        return sum(1 for s in self.segments if s.transition)
+
+    # -- traffic ---------------------------------------------------------------
+
+    @property
+    def dram_read_bytes(self) -> float:
+        """Total bytes read from DRAM."""
+        return sum(s.dram_read_bytes for s in self.segments)
+
+    @property
+    def dram_write_bytes(self) -> float:
+        """Total bytes written to DRAM."""
+        return sum(s.dram_write_bytes for s in self.segments)
+
+    @property
+    def dram_total_bytes(self) -> float:
+        """Total DRAM traffic both directions."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def edp_bytes(self) -> float:
+        """Total bytes moved over the eDP link."""
+        return sum(s.edp_bytes for s in self.segments)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def pattern(self, collapse: bool = True) -> str:
+        """A compact state pattern string like ``"C0 C2 C8 C2 C8"``
+        (transitions skipped; ``collapse`` merges adjacent repeats)."""
+        states = [
+            s.state.label for s in self.segments if not s.transition
+        ]
+        if collapse:
+            collapsed: list[str] = []
+            for state in states:
+                if not collapsed or collapsed[-1] != state:
+                    collapsed.append(state)
+            states = collapsed
+        return " ".join(states)
+
+    def dominant_state(self) -> PackageCState:
+        """The state with the largest residency."""
+        residencies = self.residencies()
+        if not residencies:
+            raise SimulationError("empty timeline has no dominant state")
+        return max(residencies, key=lambda s: residencies[s])

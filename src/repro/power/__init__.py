@@ -1,0 +1,26 @@
+"""The analytical power model of paper Sec. 5.2, its Skylake-anchored
+calibration (Sec. 5.3), component-level energy breakdown, and the model
+validation harness."""
+
+from .calibration import ComponentPowerLibrary, SKYLAKE_TABLET_POWER
+from .model import (
+    CStateSummary,
+    EnergyReport,
+    PlatformExtras,
+    PowerModel,
+)
+from .breakdown import SystemBreakdown, breakdown_report
+from .validation import ValidationResult, validate_against_paper
+
+__all__ = [
+    "CStateSummary",
+    "ComponentPowerLibrary",
+    "EnergyReport",
+    "PlatformExtras",
+    "PowerModel",
+    "SKYLAKE_TABLET_POWER",
+    "SystemBreakdown",
+    "ValidationResult",
+    "breakdown_report",
+    "validate_against_paper",
+]

@@ -1,0 +1,87 @@
+"""Component-level system energy breakdown (paper Fig. 1 and Fig. 10).
+
+The paper groups system energy into three buckets:
+
+* **DRAM** — main-memory background and traffic energy (the whole
+  measured V_DDQ/VDD/DDRIO path);
+* **Display** — everything inside the panel: LCD + backlight + T-con,
+  the eDP receiver, and the DRFB when present; and
+* **Others** — the processor (CPU, VD, GPU, DC, uncore floors, eDP
+  transmitter), WiFi, and storage.
+
+The eDP link power is split evenly between its TX (processor) and RX
+(panel) ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .model import EnergyReport
+
+
+@dataclass(frozen=True)
+class SystemBreakdown:
+    """The Fig. 1 / Fig. 10 three-way split, in millijoules."""
+
+    dram_mj: float
+    display_mj: float
+    others_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        """Total system energy."""
+        return self.dram_mj + self.display_mj + self.others_mj
+
+    @property
+    def dram_fraction(self) -> float:
+        """DRAM share of system energy."""
+        return self.dram_mj / self.total_mj
+
+    @property
+    def display_fraction(self) -> float:
+        """Display share of system energy."""
+        return self.display_mj / self.total_mj
+
+    @property
+    def others_fraction(self) -> float:
+        """Everything-else share of system energy."""
+        return self.others_mj / self.total_mj
+
+    def normalised_to(self, reference: "SystemBreakdown") -> tuple[
+        float, float, float
+    ]:
+        """(dram, display, others) each normalised to ``reference``'s
+        *total* — the Fig. 1 presentation (bars normalised to the FHD
+        total)."""
+        if reference.total_mj <= 0:
+            raise SimulationError("reference breakdown has zero energy")
+        return (
+            self.dram_mj / reference.total_mj,
+            self.display_mj / reference.total_mj,
+            self.others_mj / reference.total_mj,
+        )
+
+
+def breakdown_report(report: EnergyReport) -> SystemBreakdown:
+    """Fold an :class:`EnergyReport`'s component map into the paper's
+    three buckets."""
+    components = report.by_component_mj
+    edp = components["edp"]
+    dram = components["dram_background"] + components["dram_traffic"]
+    display = components["panel"] + components["drfb"] + edp / 2.0
+    others = (
+        components["soc_floor"]
+        + components["always_on"]
+        + components["cpu"]
+        + components["vd"]
+        + components["gpu"]
+        + components["dc"]
+        + components["platform"]
+        + components["transition"]
+        + edp / 2.0
+    )
+    return SystemBreakdown(
+        dram_mj=dram, display_mj=display, others_mj=others
+    )

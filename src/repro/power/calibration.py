@@ -1,0 +1,190 @@
+"""Skylake-anchored component power library.
+
+The paper validates its analytical model against a physically instrumented
+Skylake tablet (Sec. 5.3): per-package-C-state power (Table 2), the
+measured energy breakdown while streaming (Fig. 1), and the system power
+trace of Fig. 4.  We have no power analyzer, so this module carries the
+*decomposition* of those published package-level measurements into
+per-component contributions (the paper's own Sec. 5.3 "Power Breakdown
+into System Components" step), which is what lets one calibrated library
+extrapolate across resolutions, refresh rates, eDP rates, and schemes.
+
+Anchors (tests in ``tests/power/`` assert all of these):
+
+* Table 2 baseline: C0 5940 / C2 5445 / C7 1385 / C8 1285 / C9 1090 mW,
+  average 2162 mW at FHD 30 FPS on a 60 Hz panel;
+* Table 2 BurstLink: average 1274 mW under the same workload;
+* Fig. 4: ~2831 mW mean while streaming FHD 60 FPS;
+* Fig. 1: DRAM contributes >30% of system energy at 4K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import PanelConfig
+from ..dram.power import DramPowerModel
+from ..dram.states import DramPowerState
+from ..errors import CalibrationError
+from ..soc.cstates import PackageCState
+from ..units import to_gbps
+
+#: States whose SoC floor must be monotonically non-increasing with depth.
+_FLOOR_ORDER = (
+    PackageCState.C0,
+    PackageCState.C2,
+    PackageCState.C3,
+    PackageCState.C6,
+    PackageCState.C7,
+    PackageCState.C7_PRIME,
+    PackageCState.C8,
+    PackageCState.C9,
+    PackageCState.C10,
+)
+
+
+@dataclass(frozen=True)
+class ComponentPowerLibrary:
+    """Every power constant of the platform, in milliwatts.
+
+    The *SoC floor* of a package C-state covers everything the state
+    implies that is not modeled separately: awake cores/ring at C0, the
+    awake uncore/system-agent at C2, progressively gated fabric below.
+    IP adders stack on top for components doing work, and the DRAM model
+    contributes background + traffic-proportional power.
+    """
+
+    #: SoC floor per package C-state.
+    soc_floor: dict[PackageCState, float] = field(
+        default_factory=lambda: {
+            PackageCState.C0: 1900.0,
+            PackageCState.C2: 1450.0,
+            PackageCState.C3: 700.0,
+            PackageCState.C6: 350.0,
+            PackageCState.C7: 190.0,
+            PackageCState.C7_PRIME: 185.0,
+            PackageCState.C8: 180.0,
+            PackageCState.C9: 47.0,
+            PackageCState.C10: 5.0,
+        }
+    )
+    #: Always-on platform rail (PMIC, RTC, AO logic) present in every state.
+    always_on: float = 25.0
+    #: CPU cores running orchestration code (above the C0 floor).
+    cpu_active: float = 450.0
+    #: Video decoder racing at its maximum DVFS point.
+    vd_active: float = 428.0
+    #: Video decoder at the latency-tolerant low-power point (package C7).
+    vd_low_power: float = 80.0
+    #: Video decoder clock-gated but not power-gated (the C7' half of the
+    #: Frame Buffer Bypass oscillation) — leakage and retained state only.
+    vd_clock_gated: float = 25.0
+    #: GPU running projective transformation.
+    gpu_active: float = 1600.0
+    #: Display controller: fixed cost while powered...
+    dc_base: float = 35.0
+    #: ...plus a throughput-proportional datapath cost, mW per GB/s of
+    #: pixel data moved (composition, scaling, and FIFO switching all
+    #: scale with the stream rate).
+    dc_mw_per_gbs: float = 80.0
+    #: eDP link electrical cost: fixed part while transferring...
+    edp_base: float = 40.0
+    #: ...plus a rate-proportional part (TX+RX combined), mW per Gbps.
+    edp_mw_per_gbps: float = 3.2
+    #: Extra power while the DRFB is being written (Sec. 4.4: Samsung's
+    #: cost-effective RFB estimate puts doubling the RFB at ~58 mW).
+    drfb_active: float = 58.0
+    #: Panel power model: base plus per-megapixel and refresh scaling.
+    panel_base: float = 640.0
+    panel_per_megapixel: float = 68.0
+    #: Multiplier slope above 60 Hz (120 Hz panels measurably hurt
+    #: battery life — the paper cites a 3-hour hit on a 120 Hz phone).
+    panel_refresh_slope_per_hz: float = 0.004
+    #: Extra panel-side power while receiving a live eDP stream.
+    panel_rx_active: float = 45.0
+    #: Average WiFi power while a streaming session is up.
+    wifi_streaming: float = 170.0
+    #: Average storage power during local playback.
+    storage_playback: float = 60.0
+    #: Idle platform devices (WiFi beaconing + eMMC sleep).
+    platform_idle: float = 18.0
+    #: Extra power burned during C-state entry/exit excursions (voltage
+    #: ramps, cache flush bursts) on top of the shallow state's floor.
+    transition_extra: float = 1874.0
+    #: The DRAM background + operating model (Sec. 5.2).
+    dram: DramPowerModel = field(default_factory=DramPowerModel)
+
+    def __post_init__(self) -> None:
+        for state in _FLOOR_ORDER:
+            if state not in self.soc_floor:
+                raise CalibrationError(f"missing SoC floor for {state}")
+        floors = [self.soc_floor[s] for s in _FLOOR_ORDER]
+        if any(b > a + 1e-9 for a, b in zip(floors, floors[1:])):
+            raise CalibrationError(
+                "SoC floors must not increase with C-state depth"
+            )
+        numeric = [
+            self.always_on, self.cpu_active, self.vd_active,
+            self.vd_low_power, self.vd_clock_gated,
+            self.gpu_active, self.dc_base, self.dc_mw_per_gbs,
+            self.edp_base, self.edp_mw_per_gbps, self.drfb_active,
+            self.panel_base, self.panel_per_megapixel,
+            self.panel_refresh_slope_per_hz, self.panel_rx_active,
+            self.wifi_streaming, self.storage_playback,
+            self.platform_idle, self.transition_extra,
+        ]
+        if any(v < 0 for v in numeric):
+            raise CalibrationError("power constants must be >= 0")
+
+    # -- derived component powers ----------------------------------------------
+
+    def floor(self, state: PackageCState) -> float:
+        """SoC floor of ``state``."""
+        return self.soc_floor[state]
+
+    def panel_power(self, panel: PanelConfig, displaying: bool = True,
+                    receiving: bool = False) -> float:
+        """Panel power for a given panel mode.
+
+        The panel burns its scan/backlight power whenever it displays
+        (live or self-refreshing — the LCD and PF never stop), plus the
+        receiver cost while a live eDP stream arrives.
+        """
+        if not displaying:
+            return 0.0
+        megapixels = panel.resolution.pixels / 1e6
+        refresh_factor = 1.0 + self.panel_refresh_slope_per_hz * max(
+            0.0, panel.refresh_hz - 60.0
+        )
+        power = (
+            self.panel_base + self.panel_per_megapixel * megapixels
+        ) * refresh_factor
+        if receiving:
+            power += self.panel_rx_active
+        return power
+
+    def dc_power(self, rate_bytes_per_s: float) -> float:
+        """Display controller power while moving ``rate_bytes_per_s`` of
+        pixel data (the fixed cost applies whenever the DC is powered)."""
+        if rate_bytes_per_s < 0:
+            raise CalibrationError("DC rate must be >= 0")
+        return self.dc_base + self.dc_mw_per_gbs * rate_bytes_per_s / 1e9
+
+    def edp_power(self, rate_bytes_per_s: float) -> float:
+        """TX+RX link power at a given payload rate (zero when idle —
+        the link power-gates between transfers)."""
+        if rate_bytes_per_s <= 0:
+            return 0.0
+        return self.edp_base + self.edp_mw_per_gbps * to_gbps(
+            rate_bytes_per_s
+        )
+
+    def dram_background(self, state: PackageCState) -> float:
+        """DRAM background power implied by a package C-state."""
+        if state in (PackageCState.C0, PackageCState.C2):
+            return self.dram.background_power(DramPowerState.ACTIVE)
+        return self.dram.background_power(DramPowerState.SELF_REFRESH)
+
+
+#: The calibrated library for the evaluated Skylake reference tablet.
+SKYLAKE_TABLET_POWER = ComponentPowerLibrary()

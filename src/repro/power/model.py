@@ -1,0 +1,245 @@
+"""The analytical power model (paper Sec. 5.2).
+
+The paper computes average system power as::
+
+    P_avg = sum_i  P_Ci * R_Ci  +  P_en_Ci * Lat_en_Ci  +  P_ex_Ci * Lat_ex_Ci
+
+i.e. per-C-state power weighted by residency, plus the energy of state
+entry/exit excursions.  This module evaluates exactly that — but
+bottom-up: every timeline segment's power is composed from the calibrated
+component library (SoC floor + active IPs + eDP rate + panel + DRAM
+background/operating + platform devices), and the per-state powers
+``P_Ci`` of a Table 2-style report emerge as energy-weighted averages.
+Excursion segments carry the library's ``transition_extra`` on top of the
+shallower state's floor — the ``P_en/P_ex`` terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PanelConfig
+from ..errors import SimulationError
+from ..pipeline.sim import RunResult
+from ..pipeline.timeline import PanelMode, Segment, Timeline, VdMode
+from ..soc.cstates import PackageCState
+from .calibration import SKYLAKE_TABLET_POWER, ComponentPowerLibrary
+
+#: Component keys an :class:`EnergyReport` decomposes energy into.
+COMPONENT_KEYS = (
+    "soc_floor",
+    "always_on",
+    "cpu",
+    "vd",
+    "gpu",
+    "dc",
+    "edp",
+    "panel",
+    "drfb",
+    "dram_background",
+    "dram_traffic",
+    "platform",
+    "transition",
+)
+
+
+@dataclass(frozen=True)
+class PlatformExtras:
+    """Workload-dependent platform device activity."""
+
+    #: A network streaming session is up (WiFi active on average).
+    streaming: bool = True
+    #: Frames come from local storage instead (eMMC active on average).
+    local_playback: bool = False
+
+    def power(self, library: ComponentPowerLibrary) -> float:
+        """Average platform-device power for this workload shape."""
+        power = library.platform_idle
+        if self.streaming:
+            power += library.wifi_streaming
+        if self.local_playback:
+            power += library.storage_playback
+        return power
+
+
+@dataclass(frozen=True)
+class CStateSummary:
+    """Per-C-state roll-up, one Table 2 row."""
+
+    state: PackageCState
+    residency_s: float
+    residency_fraction: float
+    average_power_mw: float
+    energy_mj: float
+
+
+@dataclass
+class EnergyReport:
+    """Energy accounting for one simulated run."""
+
+    scheme: str
+    duration_s: float
+    total_energy_mj: float
+    by_component_mj: dict[str, float]
+    by_state: dict[PackageCState, CStateSummary]
+    transition_energy_mj: float
+    dram_read_bytes: float
+    dram_write_bytes: float
+
+    @property
+    def average_power_mw(self) -> float:
+        """Run-average system power (the paper's ``AvgP``)."""
+        if self.duration_s <= 0:
+            raise SimulationError("report covers no time")
+        return self.total_energy_mj / self.duration_s
+
+    @property
+    def dram_energy_mj(self) -> float:
+        """DRAM energy (background + traffic)."""
+        return (
+            self.by_component_mj["dram_background"]
+            + self.by_component_mj["dram_traffic"]
+        )
+
+    def energy_per_frame_window(self, window_s: float) -> float:
+        """Average energy (mJ) per refresh window of length ``window_s``."""
+        if window_s <= 0:
+            raise SimulationError("window length must be positive")
+        return self.total_energy_mj * window_s / self.duration_s
+
+    def table2_rows(self) -> list[CStateSummary]:
+        """Rows sorted shallow-to-deep, Table 2 style."""
+        return sorted(
+            self.by_state.values(), key=lambda row: row.state.depth
+        )
+
+
+class PowerModel:
+    """Evaluates the analytical model over simulated timelines."""
+
+    def __init__(
+        self,
+        library: ComponentPowerLibrary = SKYLAKE_TABLET_POWER,
+        extras: PlatformExtras | None = None,
+    ) -> None:
+        self.library = library
+        self.extras = extras if extras is not None else PlatformExtras()
+
+    # -- per-segment composition -------------------------------------------------
+
+    def segment_component_powers(
+        self, segment: Segment, panel: PanelConfig
+    ) -> dict[str, float]:
+        """Instantaneous power per component during ``segment`` (mW)."""
+        lib = self.library
+        powers = dict.fromkeys(COMPONENT_KEYS, 0.0)
+        powers["soc_floor"] = lib.floor(segment.state)
+        powers["always_on"] = lib.always_on
+        if segment.transition:
+            powers["transition"] = lib.transition_extra
+        if segment.cpu_active:
+            powers["cpu"] = lib.cpu_active
+        if segment.vd_mode is VdMode.ACTIVE:
+            powers["vd"] = lib.vd_active
+        elif segment.vd_mode is VdMode.LOW_POWER:
+            powers["vd"] = lib.vd_low_power
+        elif segment.vd_mode is VdMode.HALTED:
+            powers["vd"] = lib.vd_clock_gated
+        if segment.gpu_active:
+            powers["gpu"] = lib.gpu_active
+        if segment.dc_active:
+            powers["dc"] = lib.dc_power(segment.edp_rate)
+        powers["edp"] = lib.edp_power(segment.edp_rate)
+        powers["panel"] = lib.panel_power(
+            panel,
+            displaying=segment.panel_mode is not PanelMode.OFF,
+            receiving=segment.edp_rate > 0,
+        )
+        if segment.drfb_active:
+            powers["drfb"] = lib.drfb_active
+        powers["dram_background"] = lib.dram_background(segment.state)
+        powers["dram_traffic"] = lib.dram.operating_power(
+            segment.dram_read_bw, segment.dram_write_bw
+        )
+        powers["platform"] = self.extras.power(lib)
+        return powers
+
+    def segment_power(self, segment: Segment, panel: PanelConfig) -> float:
+        """Total instantaneous power during ``segment`` (mW)."""
+        return sum(self.segment_component_powers(segment, panel).values())
+
+    # -- run-level evaluation ------------------------------------------------------
+
+    def report(self, run: RunResult) -> EnergyReport:
+        """Evaluate the model over a simulated run."""
+        return self.report_timeline(
+            run.timeline, run.config.panel, scheme=run.scheme
+        )
+
+    def report_timeline(
+        self,
+        timeline: Timeline,
+        panel: PanelConfig,
+        scheme: str = "",
+    ) -> EnergyReport:
+        """Evaluate the model over a bare timeline."""
+        if not timeline.segments:
+            raise SimulationError("cannot evaluate an empty timeline")
+        by_component = dict.fromkeys(COMPONENT_KEYS, 0.0)
+        state_energy: dict[PackageCState, float] = {}
+        state_seconds: dict[PackageCState, float] = {}
+        transition_energy = 0.0
+        for segment in timeline:
+            powers = self.segment_component_powers(segment, panel)
+            duration = segment.duration
+            segment_energy = 0.0
+            for key, power in powers.items():
+                energy = power * duration
+                by_component[key] += energy
+                segment_energy += energy
+            state = segment.state.reporting_state
+            state_energy[state] = (
+                state_energy.get(state, 0.0) + segment_energy
+            )
+            state_seconds[state] = (
+                state_seconds.get(state, 0.0) + duration
+            )
+            if segment.transition:
+                transition_energy += segment_energy
+        total = sum(by_component.values())
+        duration = timeline.duration
+        by_state = {
+            state: CStateSummary(
+                state=state,
+                residency_s=seconds,
+                residency_fraction=seconds / duration,
+                average_power_mw=(
+                    state_energy[state] / seconds if seconds > 0 else 0.0
+                ),
+                energy_mj=state_energy[state],
+            )
+            for state, seconds in state_seconds.items()
+        }
+        return EnergyReport(
+            scheme=scheme,
+            duration_s=duration,
+            total_energy_mj=total,
+            by_component_mj=by_component,
+            by_state=by_state,
+            transition_energy_mj=transition_energy,
+            dram_read_bytes=timeline.dram_read_bytes,
+            dram_write_bytes=timeline.dram_write_bytes,
+        )
+
+    # -- the closed-form check ------------------------------------------------------
+
+    def closed_form_average_power(self, report: EnergyReport) -> float:
+        """Recompute ``AvgP`` from the report's own per-state rows — the
+        paper's ``sum P_Ci * R_Ci`` (excursion energy is already folded
+        into the per-state averages by attribution).  Must equal
+        :attr:`EnergyReport.average_power_mw` up to rounding; the model
+        validation tests assert it."""
+        return sum(
+            row.average_power_mw * row.residency_fraction
+            for row in report.by_state.values()
+        )

@@ -1,0 +1,45 @@
+"""Mobile SoC substrate: package C-states, component power states, the
+power-management unit (PMU), control/status registers, and the IO
+interconnect with its DMA/P2P engines (paper Sec. 2.1-2.2)."""
+
+from .cstates import (
+    CSTATE_TRANSITIONS,
+    PackageCState,
+    TransitionCost,
+    deepest_allowed,
+)
+from .components import Component, ComponentPowerState, ComponentSet
+from .dvfs import DvfsLadder, OperatingPoint, skylake_vd_ladder
+from .registers import RegisterFile, PlaneType, PlaneDescriptor
+from .interconnect import (
+    DmaEngine,
+    Interconnect,
+    P2PEngine,
+    Port,
+    TransferRecord,
+)
+from .pmu import Pmu, PmuFirmware, PlatformState
+
+__all__ = [
+    "CSTATE_TRANSITIONS",
+    "Component",
+    "ComponentPowerState",
+    "ComponentSet",
+    "DmaEngine",
+    "DvfsLadder",
+    "OperatingPoint",
+    "skylake_vd_ladder",
+    "Interconnect",
+    "P2PEngine",
+    "PackageCState",
+    "PlaneDescriptor",
+    "PlaneType",
+    "PlatformState",
+    "Pmu",
+    "PmuFirmware",
+    "Port",
+    "RegisterFile",
+    "TransferRecord",
+    "TransitionCost",
+    "deepest_allowed",
+]

@@ -1,0 +1,211 @@
+"""System components and their power states.
+
+The PMU resolves the package C-state from the power state of every
+component (paper Sec. 2.2): a single active core pins the package at C0,
+an active display controller caps it at C8, and so on.  This module names
+the components the BurstLink datapath touches and the per-component power
+states they move through.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import PowerStateError
+from .cstates import PackageCState
+
+
+class Component(enum.Enum):
+    """System components tracked by the simulator.
+
+    The first group lives on the processor die, the second on the platform,
+    the third inside the display panel's T-con.
+    """
+
+    # Processor die
+    CPU = "cpu"
+    GPU = "gpu"
+    VIDEO_DECODER = "vd"
+    DISPLAY_CONTROLLER = "dc"
+    EDP_TX = "edp_tx"
+    MEMORY_CONTROLLER = "mc"
+    UNCORE = "uncore"
+    # Platform
+    DRAM = "dram"
+    WIFI = "wifi"
+    STORAGE = "emmc"
+    # Display panel (T-con side)
+    EDP_RX = "edp_rx"
+    PIXEL_FORMATTER = "pf"
+    REMOTE_FRAME_BUFFER = "rfb"
+    LCD = "lcd"
+
+    @property
+    def on_processor_die(self) -> bool:
+        """Whether this component sits on the SoC die (and therefore
+        participates in package C-state resolution)."""
+        return self in _PROCESSOR_DIE
+
+    @property
+    def on_panel(self) -> bool:
+        """Whether this component sits inside the display panel."""
+        return self in _PANEL_SIDE
+
+
+_PROCESSOR_DIE = frozenset(
+    {
+        Component.CPU,
+        Component.GPU,
+        Component.VIDEO_DECODER,
+        Component.DISPLAY_CONTROLLER,
+        Component.EDP_TX,
+        Component.MEMORY_CONTROLLER,
+        Component.UNCORE,
+    }
+)
+
+_PANEL_SIDE = frozenset(
+    {
+        Component.EDP_RX,
+        Component.PIXEL_FORMATTER,
+        Component.REMOTE_FRAME_BUFFER,
+        Component.LCD,
+    }
+)
+
+
+class ComponentPowerState(enum.Enum):
+    """Per-component power states, from running to fully gated.
+
+    ``SELF_REFRESH`` applies only to DRAM; ``LOW_POWER_ACTIVE`` models an
+    IP doing useful work at a reduced frequency/voltage point (the
+    BurstLink video decoder decoding inside package C7)."""
+
+    ACTIVE = "active"
+    LOW_POWER_ACTIVE = "low_power_active"
+    CLOCK_GATED = "clock_gated"
+    SELF_REFRESH = "self_refresh"
+    POWER_GATED = "power_gated"
+
+    @property
+    def is_doing_work(self) -> bool:
+        """Whether the component is executing/transferring in this state."""
+        return self in (
+            ComponentPowerState.ACTIVE,
+            ComponentPowerState.LOW_POWER_ACTIVE,
+        )
+
+    @property
+    def is_off(self) -> bool:
+        """Whether the component consumes only leakage-level power."""
+        return self is ComponentPowerState.POWER_GATED
+
+
+#: Deepest package C-state each component's state permits.  The PMU takes
+#: the minimum over all components (paper Table 1 conditions).  A
+#: component missing from the active map is assumed POWER_GATED and allows
+#: the deepest state.
+_DEEPEST_ALLOWED: dict[
+    tuple[Component, ComponentPowerState], PackageCState
+] = {
+    # Any active CPU core or GPU pins the package at C0 (Table 1 row C0).
+    (Component.CPU, ComponentPowerState.ACTIVE): PackageCState.C0,
+    (Component.GPU, ComponentPowerState.ACTIVE): PackageCState.C0,
+    # The video decoder shares the graphics voltage rail: decoding at the
+    # full DVFS point keeps graphics out of RC6, forcing package C0.  The
+    # BurstLink decoder's low-power point is what Table 1 row C6/C7 means
+    # by "some IPs can be active (VD, DC)".
+    (Component.VIDEO_DECODER, ComponentPowerState.ACTIVE): PackageCState.C0,
+    (Component.VIDEO_DECODER, ComponentPowerState.LOW_POWER_ACTIVE):
+        PackageCState.C7,
+    (Component.VIDEO_DECODER, ComponentPowerState.CLOCK_GATED):
+        PackageCState.C7_PRIME,
+    # Active DRAM (CKE high) is compatible with C0-C2 only.
+    (Component.DRAM, ComponentPowerState.ACTIVE): PackageCState.C2,
+    (Component.DRAM, ComponentPowerState.SELF_REFRESH): PackageCState.C10,
+    # The memory controller follows DRAM.
+    (Component.MEMORY_CONTROLLER, ComponentPowerState.ACTIVE):
+        PackageCState.C2,
+    # The DC and display IO may stay on through C8 (Table 1 row C8:
+    # "Only DC and Display IO are ON").
+    (Component.DISPLAY_CONTROLLER, ComponentPowerState.ACTIVE):
+        PackageCState.C8,
+    (Component.EDP_TX, ComponentPowerState.ACTIVE): PackageCState.C8,
+    # Uncore/fabric traffic caps at C2 (clock gating begins at C3).
+    (Component.UNCORE, ComponentPowerState.ACTIVE): PackageCState.C2,
+    # WiFi and storage are platform devices; their DMA keeps DRAM awake
+    # but the package itself can reach C2 while they stream.
+    (Component.WIFI, ComponentPowerState.ACTIVE): PackageCState.C2,
+    (Component.STORAGE, ComponentPowerState.ACTIVE): PackageCState.C2,
+}
+
+
+def deepest_package_state(
+    component: Component, state: ComponentPowerState
+) -> PackageCState:
+    """Deepest package C-state permitted while ``component`` is in
+    ``state``.  Gated components allow the deepest modeled state."""
+    if state.is_off:
+        return PackageCState.C10
+    key = (component, state)
+    if key in _DEEPEST_ALLOWED:
+        return _DEEPEST_ALLOWED[key]
+    if state is ComponentPowerState.CLOCK_GATED:
+        # A clock-gated IP retains state but draws little; it does not
+        # block deep package states (the panel-side components never do).
+        return PackageCState.C10
+    if not component.on_processor_die:
+        # Panel-side components do not participate in package resolution.
+        return PackageCState.C10
+    raise PowerStateError(
+        f"no package C-state rule for {component.name} in {state.name}"
+    )
+
+
+@dataclass
+class ComponentSet:
+    """A mutable map of component -> power state with PMU-style resolution.
+
+    Components default to POWER_GATED; the pipeline builders raise
+    components to ACTIVE/LOW_POWER_ACTIVE for the intervals they work.
+    """
+
+    _states: dict[Component, ComponentPowerState] = field(
+        default_factory=dict
+    )
+
+    def set(self, component: Component, state: ComponentPowerState) -> None:
+        """Set ``component`` to ``state`` (POWER_GATED clears the entry)."""
+        if state.is_off:
+            self._states.pop(component, None)
+        else:
+            self._states[component] = state
+
+    def get(self, component: Component) -> ComponentPowerState:
+        """Current state of ``component`` (POWER_GATED if never raised)."""
+        return self._states.get(component, ComponentPowerState.POWER_GATED)
+
+    def working_components(self) -> frozenset[Component]:
+        """Components currently doing work (active or low-power active)."""
+        return frozenset(
+            c for c, s in self._states.items() if s.is_doing_work
+        )
+
+    def resolve_package_state(self) -> PackageCState:
+        """The deepest package C-state every component tolerates — the
+        PMU's resolution rule (Sec. 2.2)."""
+        deepest = PackageCState.C10
+        for component, state in self._states.items():
+            allowed = deepest_package_state(component, state)
+            if allowed.depth < deepest.depth:
+                deepest = allowed
+        return deepest
+
+    def __iter__(self) -> Iterator[tuple[Component, ComponentPowerState]]:
+        return iter(self._states.items())
+
+    def copy(self) -> "ComponentSet":
+        """An independent copy of the current map."""
+        return ComponentSet(dict(self._states))

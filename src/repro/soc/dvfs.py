@@ -1,0 +1,173 @@
+"""Discrete DVFS ladders for the fixed-function IPs.
+
+The paper's energy story leans on frequency/voltage behaviour twice: the
+conventional decoder *races* at its top point (and Zhang et al.'s
+race-to-sleep boosts it further), while BurstLink's decoder drops to a
+latency-tolerant low point because the DRFB decouples it from the panel
+(Sec. 4.1).  This module makes those operating points explicit: a
+ladder of (frequency, voltage) points with the standard ``C·V²·f``
+dynamic-power law, plus the two selection policies the schemes embody —
+race-to-idle and deadline-stretch — so the energy trade can be examined
+directly (``benchmarks/bench_design_ablations.py`` sweeps the stretch
+target; the unit tests check the crossover algebra).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS point of an IP."""
+
+    name: str
+    frequency_hz: float
+    voltage_v: float
+    #: Leakage at this voltage, mW.
+    leakage_mw: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0 or self.voltage_v <= 0:
+            raise ConfigurationError(
+                f"point {self.name!r}: frequency and voltage must be "
+                "positive"
+            )
+        if self.leakage_mw < 0:
+            raise ConfigurationError("leakage must be >= 0")
+
+
+@dataclass(frozen=True)
+class DvfsLadder:
+    """An IP's ladder of operating points (ascending frequency).
+
+    ``ceff_nf`` is the effective switched capacitance in nanofarads;
+    dynamic power follows ``C_eff * V^2 * f``.
+    """
+
+    points: tuple[OperatingPoint, ...]
+    ceff_nf: float
+    #: IP work per clock at 1 GHz reference, bytes processed per cycle.
+    bytes_per_cycle: float
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ConfigurationError("a ladder needs >= 2 points")
+        frequencies = [p.frequency_hz for p in self.points]
+        if frequencies != sorted(frequencies):
+            raise ConfigurationError(
+                "ladder points must ascend in frequency"
+            )
+        if self.ceff_nf <= 0 or self.bytes_per_cycle <= 0:
+            raise ConfigurationError(
+                "ceff and bytes_per_cycle must be positive"
+            )
+
+    # -- physics ----------------------------------------------------------------
+
+    def dynamic_power_mw(self, point: OperatingPoint) -> float:
+        """``C_eff * V^2 * f`` in mW."""
+        return (
+            self.ceff_nf * 1e-9
+            * point.voltage_v ** 2
+            * point.frequency_hz
+            * 1e3
+        )
+
+    def power_mw(self, point: OperatingPoint) -> float:
+        """Total (dynamic + leakage) power at ``point``."""
+        return self.dynamic_power_mw(point) + point.leakage_mw
+
+    def throughput(self, point: OperatingPoint) -> float:
+        """Bytes per second processed at ``point``."""
+        return self.bytes_per_cycle * point.frequency_hz
+
+    def work_time(self, point: OperatingPoint,
+                  work_bytes: float) -> float:
+        """Seconds to process ``work_bytes`` at ``point``."""
+        if work_bytes < 0:
+            raise ConfigurationError("work must be >= 0")
+        return work_bytes / self.throughput(point)
+
+    def work_energy_mj(self, point: OperatingPoint,
+                       work_bytes: float) -> float:
+        """Active energy of processing ``work_bytes`` at ``point``."""
+        return self.power_mw(point) * self.work_time(point, work_bytes)
+
+    # -- the two policies ---------------------------------------------------------
+
+    @property
+    def top(self) -> OperatingPoint:
+        """The racing point (highest frequency)."""
+        return self.points[-1]
+
+    def race_to_idle(self, work_bytes: float) -> OperatingPoint:
+        """The conventional policy: always the top point."""
+        del work_bytes  # racing ignores the work size
+        return self.top
+
+    def deadline_stretch(self, work_bytes: float,
+                         deadline_s: float) -> OperatingPoint:
+        """BurstLink's policy: the *slowest* point that still meets the
+        deadline (falls back to the top point when nothing does)."""
+        if deadline_s <= 0:
+            raise ConfigurationError("deadline must be positive")
+        for point in self.points:
+            if self.work_time(point, work_bytes) <= deadline_s:
+                return point
+        return self.top
+
+    def energy_optimal(
+        self,
+        work_bytes: float,
+        deadline_s: float,
+        platform_active_mw: float,
+        platform_idle_mw: float = 0.0,
+    ) -> OperatingPoint:
+        """The point minimising IP + platform energy over the deadline
+        — the quantity the race-vs-stretch debate is actually about.
+
+        While the IP works, the *platform* burns ``platform_active_mw``
+        on top of the IP (awake fabric, DRAM, voltage rails — the
+        package C0 floor); once it finishes, everything drops to
+        ``platform_idle_mw`` (the deep-state floor).  A large
+        active-idle gap makes racing win (the conventional decoder, the
+        race-to-sleep argument); BurstLink shrinks the gap by moving
+        decode into cheap C7, which is what re-opens the door to
+        stretching.
+        """
+        if platform_active_mw < 0 or platform_idle_mw < 0:
+            raise ConfigurationError("platform powers must be >= 0")
+        feasible = [
+            point for point in self.points
+            if self.work_time(point, work_bytes) <= deadline_s
+        ] or [self.top]
+
+        def total_energy(point: OperatingPoint) -> float:
+            active = self.work_time(point, work_bytes)
+            return (
+                self.work_energy_mj(point, work_bytes)
+                + platform_active_mw * active
+                + platform_idle_mw * max(0.0, deadline_s - active)
+            )
+
+        return min(feasible, key=total_energy)
+
+
+def skylake_vd_ladder() -> DvfsLadder:
+    """A representative fixed-function decoder ladder: four points from
+    the latency-tolerant low state to the racing state the conventional
+    pipeline uses (throughput at the top point matches the configured
+    12 GB/s decoder maximum)."""
+    return DvfsLadder(
+        points=(
+            OperatingPoint("LP", 200e6, 0.62, leakage_mw=8.0),
+            OperatingPoint("MID", 450e6, 0.72, leakage_mw=14.0),
+            OperatingPoint("HIGH", 800e6, 0.85, leakage_mw=24.0),
+            OperatingPoint("TURBO", 1200e6, 1.00, leakage_mw=40.0),
+        ),
+        ceff_nf=0.45,
+        bytes_per_cycle=10.0,
+    )

@@ -1,0 +1,207 @@
+"""IO interconnect with DMA and peer-to-peer (P2P) engines.
+
+Mobile SoCs connect their IO IPs (video decoder, display controller, image
+signal processor, ...) through an on-chip fabric such as Intel's IOSF or
+ARM's AMBA (paper Sec. 2.1).  Each IP carries a DMA engine for main-memory
+access and a P2P engine for direct IP-to-IP transfers — the mechanism
+Frame Buffer Bypass rides on.
+
+This module is a *functional* fabric: ports move real byte counts, the
+fabric routes and accounts them, and the traffic log is what the DRAM
+bandwidth model and the tests consume.  Transfer latency is computed from
+the fabric/port bandwidths so pipeline builders can also use it for
+timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, DataPathError
+from ..units import gb_per_s
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed fabric transfer, for traffic accounting."""
+
+    source: str
+    destination: str
+    size_bytes: float
+    via_dram: bool
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0 or self.duration < 0:
+            raise DataPathError("transfer size and duration must be >= 0")
+
+
+class Port:
+    """A fabric endpoint owned by one IP.
+
+    Ports are created through :meth:`Interconnect.attach`; each has a
+    maximum ingress/egress bandwidth (the IP's interface width).
+    """
+
+    def __init__(self, name: str, fabric: "Interconnect",
+                 bandwidth: float) -> None:
+        if bandwidth <= 0:
+            raise ConfigurationError(
+                f"port {name!r} bandwidth must be positive"
+            )
+        self.name = name
+        self._fabric = fabric
+        self.bandwidth = bandwidth
+
+    def __repr__(self) -> str:
+        return f"Port({self.name!r})"
+
+
+@dataclass
+class DmaEngine:
+    """An IP-side DMA engine: moves data between the IP and main memory.
+
+    The engine's control registers (``enabled``, ``target``) stand in for
+    the descriptor rings a real driver programs.
+    """
+
+    port: Port
+    enabled: bool = True
+
+    def to_memory(self, size_bytes: float) -> TransferRecord:
+        """DMA-write ``size_bytes`` from the IP into DRAM."""
+        self._check()
+        return self.port._fabric.transfer(
+            self.port, self.port._fabric.memory_port, size_bytes
+        )
+
+    def from_memory(self, size_bytes: float) -> TransferRecord:
+        """DMA-read ``size_bytes`` from DRAM into the IP."""
+        self._check()
+        return self.port._fabric.transfer(
+            self.port._fabric.memory_port, self.port, size_bytes
+        )
+
+    def _check(self) -> None:
+        if not self.enabled:
+            raise DataPathError(
+                f"DMA engine of {self.port.name!r} is disabled"
+            )
+
+
+@dataclass
+class P2PEngine:
+    """An IP-side peer-to-peer engine: moves data directly to another IP
+    without touching DRAM — the Frame Buffer Bypass datapath."""
+
+    port: Port
+    enabled: bool = True
+
+    def send(self, destination: Port, size_bytes: float) -> TransferRecord:
+        """Send ``size_bytes`` directly to ``destination``'s IP."""
+        if not self.enabled:
+            raise DataPathError(
+                f"P2P engine of {self.port.name!r} is disabled"
+            )
+        return self.port._fabric.transfer(
+            self.port, destination, size_bytes
+        )
+
+
+class Interconnect:
+    """The on-chip IO fabric.
+
+    One distinguished *memory port* represents the path through the memory
+    controller into DRAM; transfers touching it are flagged ``via_dram``
+    and show up in :attr:`dram_read_bytes` / :attr:`dram_write_bytes`,
+    which is exactly the traffic the DRAM operating-power model charges
+    for (Sec. 5.2).
+    """
+
+    def __init__(self, fabric_bandwidth: float = gb_per_s(25.0)) -> None:
+        if fabric_bandwidth <= 0:
+            raise ConfigurationError("fabric bandwidth must be positive")
+        self.fabric_bandwidth = fabric_bandwidth
+        self._ports: dict[str, Port] = {}
+        self.transfers: list[TransferRecord] = []
+        self.memory_port = self.attach("memory", gb_per_s(29.8))
+
+    # -- topology -----------------------------------------------------------
+
+    def attach(self, name: str, bandwidth: float) -> Port:
+        """Attach a new IP port named ``name``."""
+        if name in self._ports:
+            raise ConfigurationError(f"port {name!r} already attached")
+        port = Port(name, self, bandwidth)
+        self._ports[name] = port
+        return port
+
+    def port(self, name: str) -> Port:
+        """Look up an attached port by name."""
+        try:
+            return self._ports[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"no port named {name!r}") from exc
+
+    # -- data movement --------------------------------------------------------
+
+    def transfer(self, source: Port, destination: Port,
+                 size_bytes: float) -> TransferRecord:
+        """Move ``size_bytes`` from ``source`` to ``destination``.
+
+        The transfer rate is the minimum of the two port bandwidths and
+        the fabric bandwidth; the completed record is appended to the
+        traffic log and returned.
+        """
+        if size_bytes < 0:
+            raise DataPathError(f"cannot transfer {size_bytes} bytes")
+        if source is destination:
+            raise DataPathError(
+                f"source and destination are the same port: {source.name!r}"
+            )
+        for port in (source, destination):
+            if self._ports.get(port.name) is not port:
+                raise DataPathError(
+                    f"port {port.name!r} is not attached to this fabric"
+                )
+        rate = min(
+            source.bandwidth, destination.bandwidth, self.fabric_bandwidth
+        )
+        record = TransferRecord(
+            source=source.name,
+            destination=destination.name,
+            size_bytes=size_bytes,
+            via_dram=self.memory_port in (source, destination),
+            duration=size_bytes / rate,
+        )
+        self.transfers.append(record)
+        return record
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def dram_read_bytes(self) -> float:
+        """Total bytes read out of DRAM over this fabric."""
+        return sum(
+            t.size_bytes for t in self.transfers
+            if t.source == self.memory_port.name
+        )
+
+    @property
+    def dram_write_bytes(self) -> float:
+        """Total bytes written into DRAM over this fabric."""
+        return sum(
+            t.size_bytes for t in self.transfers
+            if t.destination == self.memory_port.name
+        )
+
+    @property
+    def p2p_bytes(self) -> float:
+        """Total bytes moved IP-to-IP without touching DRAM."""
+        return sum(
+            t.size_bytes for t in self.transfers if not t.via_dram
+        )
+
+    def reset_accounting(self) -> None:
+        """Clear the traffic log (topology is kept)."""
+        self.transfers.clear()

@@ -1,0 +1,180 @@
+"""Control/status registers (CSRs) of the video decoder and display
+controller.
+
+BurstLink's destination selector is driven by two data elements that
+conventional hardware already tracks (paper Sec. 4.4):
+
+* the VD's ``single_video`` flag — the number of concurrently running
+  video applications, maintained because every application injects its
+  requests through the driver API; and
+* the DC's ``video_plane_only`` signal — derived from the plane
+  descriptors each application registers with the DC (the SR02/GRX-style
+  registers in Intel's DC).
+
+This module models that register file functionally: pipelines register
+planes and video sessions, and the bypass eligibility signals fall out.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+class PlaneType(enum.Enum):
+    """Display plane categories (Sec. 3, Observation 1)."""
+
+    BACKGROUND = "background"
+    VIDEO = "video"
+    GRAPHICS = "graphics"
+    CURSOR = "cursor"
+
+
+@dataclass(frozen=True)
+class PlaneDescriptor:
+    """One plane registered with the display controller.
+
+    ``static`` marks planes whose content is not changing (a background
+    wallpaper, a parked cursor); the windowed-video path relies on the DC
+    seeing every non-video plane as static before engaging PSR2 selective
+    updates.
+    """
+
+    plane_type: PlaneType
+    name: str = ""
+    static: bool = False
+    full_screen: bool = False
+
+    def __post_init__(self) -> None:
+        if self.plane_type is PlaneType.VIDEO and self.static:
+            raise ConfigurationError("a video plane cannot be static")
+
+
+@dataclass
+class RegisterFile:
+    """The CSR state shared by the VD, DC, and destination selector."""
+
+    planes: list[PlaneDescriptor] = field(default_factory=list)
+    video_sessions: int = 0
+    #: Asserted by the DC when a graphics interrupt signals that a new
+    #: non-video plane appeared (Sec. 4.1's fallback trigger 1).
+    graphics_interrupt: bool = False
+    #: Asserted when PSR2 was exited by user input (fallback trigger 2).
+    psr2_exited: bool = False
+    #: Number of attached display panels (fallback trigger 3).
+    panel_count: int = 1
+
+    # -- plane management --------------------------------------------------
+
+    def register_plane(self, plane: PlaneDescriptor) -> None:
+        """Register ``plane`` with the DC (an application mapped a
+        window/overlay)."""
+        self.planes.append(plane)
+
+    def remove_plane(self, plane: PlaneDescriptor) -> None:
+        """Remove a previously registered plane."""
+        try:
+            self.planes.remove(plane)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"plane {plane!r} was never registered"
+            ) from exc
+
+    def active_planes(self) -> list[PlaneDescriptor]:
+        """Planes the DC must compose (non-static ones)."""
+        return [p for p in self.planes if not p.static]
+
+    # -- video session tracking --------------------------------------------
+
+    def open_video_session(self) -> None:
+        """A video application opened a decode session with the VD."""
+        self.video_sessions += 1
+
+    def close_video_session(self) -> None:
+        """A video application closed its decode session."""
+        if self.video_sessions <= 0:
+            raise ConfigurationError("no video session is open")
+        self.video_sessions -= 1
+
+    # -- derived signals -----------------------------------------------------
+
+    @property
+    def single_video(self) -> bool:
+        """The VD flag: exactly one video application is running."""
+        return self.video_sessions == 1
+
+    @property
+    def video_plane_only(self) -> bool:
+        """The DC signal: the only non-static plane is a single video
+        plane, so nothing must be merged before display."""
+        active = self.active_planes()
+        return (
+            len(active) == 1 and active[0].plane_type is PlaneType.VIDEO
+        )
+
+    @property
+    def bypass_eligible(self) -> bool:
+        """Whether the Frame Buffer Bypass conditions of Sec. 4.1 hold:
+        ``video_plane_only`` asserted by the DC *and* ``single_video`` set
+        in the VD, with none of the fallback triggers raised."""
+        return (
+            self.single_video
+            and self.video_plane_only
+            and not self.fallback_required
+        )
+
+    @property
+    def fallback_required(self) -> bool:
+        """Whether any Sec. 4.1 fallback condition forces the conventional
+        path: a graphics interrupt (new plane), a PSR2 exit from user
+        input, or multiple panels."""
+        return (
+            self.graphics_interrupt
+            or self.psr2_exited
+            or self.panel_count > 1
+        )
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def full_screen_video(cls) -> "RegisterFile":
+        """Registers as seen during full-screen single-app video playback:
+        one video plane, one session — the bypass-eligible common case."""
+        regs = cls()
+        regs.register_plane(
+            PlaneDescriptor(PlaneType.VIDEO, "video", full_screen=True)
+        )
+        regs.open_video_session()
+        return regs
+
+    @classmethod
+    def windowed_video(cls) -> "RegisterFile":
+        """Registers during windowed playback: a video plane plus static
+        GUI/background planes (stage two of the windowed flow, after the
+        GPU-rendered chrome stops changing)."""
+        regs = cls()
+        regs.register_plane(
+            PlaneDescriptor(PlaneType.BACKGROUND, "wallpaper", static=True)
+        )
+        regs.register_plane(
+            PlaneDescriptor(PlaneType.GRAPHICS, "browser", static=True)
+        )
+        regs.register_plane(PlaneDescriptor(PlaneType.VIDEO, "video"))
+        regs.open_video_session()
+        return regs
+
+    @classmethod
+    def multi_plane_desktop(cls) -> "RegisterFile":
+        """Registers during interactive desktop use: multiple live planes,
+        which forces the conventional composition path."""
+        regs = cls()
+        regs.register_plane(
+            PlaneDescriptor(PlaneType.BACKGROUND, "wallpaper", static=True)
+        )
+        regs.register_plane(PlaneDescriptor(PlaneType.GRAPHICS, "app"))
+        regs.register_plane(PlaneDescriptor(PlaneType.CURSOR, "cursor"))
+        regs.register_plane(PlaneDescriptor(PlaneType.VIDEO, "video"))
+        regs.open_video_session()
+        return regs

@@ -1,0 +1,38 @@
+"""Video pipeline substrate: frame and macroblock types, a functional
+macroblock-based codec, the video decoder IP with BurstLink's destination
+selector, the GPU with VR projective transformation, and the network/
+storage stream source (paper Sec. 2.4)."""
+
+from .frames import (
+    DecodedFrame,
+    EncodedFrame,
+    FrameType,
+    GopStructure,
+    MACROBLOCK_SIZE,
+)
+from .codec import Codec, CodecConfig
+from .decoder import Destination, VideoDecoderIP
+from .gpu import GpuIP, Viewport
+from .metrics import SequenceQuality, psnr, sequence_quality, ssim
+from .source import AnalyticContentModel, ContentClass, StreamSource
+
+__all__ = [
+    "AnalyticContentModel",
+    "Codec",
+    "CodecConfig",
+    "ContentClass",
+    "DecodedFrame",
+    "Destination",
+    "EncodedFrame",
+    "FrameType",
+    "GopStructure",
+    "GpuIP",
+    "SequenceQuality",
+    "psnr",
+    "sequence_quality",
+    "ssim",
+    "MACROBLOCK_SIZE",
+    "StreamSource",
+    "VideoDecoderIP",
+    "Viewport",
+]

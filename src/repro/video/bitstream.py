@@ -1,0 +1,119 @@
+"""Bit-level writer/reader with Exp-Golomb entropy coding.
+
+The functional codec entropy-codes quantized coefficients and motion
+vectors with unsigned/signed Exp-Golomb codes — the universal codes
+H.264/HEVC use for their side information — over a plain MSB-first bit
+stream.
+"""
+
+from __future__ import annotations
+
+from ..errors import CodecError
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and yields a padded byte string."""
+
+    def __init__(self) -> None:
+        self._chunks = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value`` (big-endian within the
+        field)."""
+        if width < 0:
+            raise CodecError(f"bit width must be >= 0, got {width}")
+        if value < 0 or (width < 64 and value >> width):
+            raise CodecError(
+                f"value {value} does not fit in {width} bits"
+            )
+        self._accumulator = (self._accumulator << width) | value
+        self._bit_count += width
+        while self._bit_count >= 8:
+            self._bit_count -= 8
+            self._chunks.append(
+                (self._accumulator >> self._bit_count) & 0xFF
+            )
+        self._accumulator &= (1 << self._bit_count) - 1
+
+    def write_ue(self, value: int) -> None:
+        """Unsigned Exp-Golomb: ``value`` >= 0 as zeros-prefix + binary."""
+        if value < 0:
+            raise CodecError(f"ue(v) needs v >= 0, got {value}")
+        code = value + 1
+        width = code.bit_length()
+        self.write_bits(0, width - 1)
+        self.write_bits(code, width)
+
+    def write_se(self, value: int) -> None:
+        """Signed Exp-Golomb via the standard zigzag integer mapping."""
+        mapped = 2 * value - 1 if value > 0 else -2 * value
+        self.write_ue(mapped)
+
+    def getvalue(self) -> bytes:
+        """The stream so far, zero-padded to a byte boundary."""
+        data = bytearray(self._chunks)
+        if self._bit_count:
+            data.append(
+                (self._accumulator << (8 - self._bit_count)) & 0xFF
+            )
+        return bytes(data)
+
+    @property
+    def bit_length(self) -> int:
+        """Bits written so far (before padding)."""
+        return len(self._chunks) * 8 + self._bit_count
+
+
+class BitReader:
+    """Reads an MSB-first bit stream produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # bit cursor
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left in the stream (including any padding)."""
+        return len(self._data) * 8 - self._position
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise CodecError(f"bit width must be >= 0, got {width}")
+        if width > self.bits_remaining:
+            raise CodecError(
+                f"bitstream truncated: need {width} bits, have "
+                f"{self.bits_remaining}"
+            )
+        value = 0
+        remaining = width
+        while remaining:
+            byte_index, bit_offset = divmod(self._position, 8)
+            take = min(8 - bit_offset, remaining)
+            byte = self._data[byte_index]
+            shifted = (byte >> (8 - bit_offset - take)) & ((1 << take) - 1)
+            value = (value << take) | shifted
+            self._position += take
+            remaining -= take
+        return value
+
+    def read_ue(self) -> int:
+        """Read an unsigned Exp-Golomb code."""
+        zeros = 0
+        while self.read_bits(1) == 0:
+            zeros += 1
+            if zeros > 64:
+                raise CodecError("malformed Exp-Golomb prefix")
+        if zeros == 0:
+            return 0
+        suffix = self.read_bits(zeros)
+        return (1 << zeros) - 1 + suffix
+
+    def read_se(self) -> int:
+        """Read a signed Exp-Golomb code."""
+        mapped = self.read_ue()
+        if mapped % 2:
+            return (mapped + 1) // 2
+        return -(mapped // 2)

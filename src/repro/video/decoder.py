@@ -1,0 +1,137 @@
+"""The video decoder (VD) IP model.
+
+Wraps the functional codec with the IP-level behaviour the paper relies
+on: the *destination selector* of Sec. 4.4 (decoded output routed to the
+DRAM frame buffer or directly to the display controller over the P2P
+path), the ``single_video`` CSR condition, decode timing under the
+race/latency-tolerant DVFS policies, and byte accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import VideoDecoderConfig
+from ..errors import DataPathError
+from ..soc.registers import RegisterFile
+from .codec import Codec
+from .frames import DecodedFrame, EncodedFrame
+
+
+class Destination(enum.Enum):
+    """Where the destination selector routes decoded frames (Fig. 5)."""
+
+    #: Conventional path: the DRAM frame buffer (Fig. 2 step 3).
+    DRAM_FRAME_BUFFER = "dram"
+    #: Frame Buffer Bypass: directly to the DC buffer over P2P (Fig. 5
+    #: step 2).
+    DISPLAY_CONTROLLER = "dc"
+
+
+@dataclass
+class DecodeRecord:
+    """Accounting for one decoded frame."""
+
+    index: int
+    encoded_bytes: float
+    decoded_bytes: float
+    destination: Destination
+    duration: float
+
+
+@dataclass
+class VideoDecoderIP:
+    """The VD: functional decode plus destination selection and timing."""
+
+    config: VideoDecoderConfig = field(default_factory=VideoDecoderConfig)
+    codec: Codec = field(default_factory=Codec)
+    registers: RegisterFile | None = None
+    records: list[DecodeRecord] = field(default_factory=list)
+    halted: bool = False
+
+    # -- destination selection ------------------------------------------------
+
+    def select_destination(self) -> Destination:
+        """The Sec. 4.4 destination selector: bypass to the DC only when
+        the CSRs assert both ``single_video`` and ``video_plane_only``
+        (and no fallback condition holds); otherwise the DRAM frame
+        buffer."""
+        if self.registers is not None and self.registers.bypass_eligible:
+            return Destination.DISPLAY_CONTROLLER
+        return Destination.DRAM_FRAME_BUFFER
+
+    # -- timing -----------------------------------------------------------------
+
+    def decode_time(self, frame_bytes: float, frame_period: float,
+                    race: bool) -> float:
+        """Decode duration under the race (conventional) or
+        latency-tolerant (BurstLink) DVFS policy — see
+        :class:`~repro.config.VideoDecoderConfig`."""
+        return self.config.decode_time(frame_bytes, frame_period, race)
+
+    def halt(self) -> None:
+        """Clock-gate the VD (DC buffer full — the C7 -> C7' edge)."""
+        self.halted = True
+
+    def wake(self) -> float:
+        """Resume decoding after the PMU wakeup; returns the wake
+        latency paid (zero when the VD was not halted)."""
+        if not self.halted:
+            return 0.0
+        self.halted = False
+        return self.config.wake_latency
+
+    # -- functional decode ---------------------------------------------------------
+
+    def decode(
+        self,
+        encoded: EncodedFrame,
+        past: np.ndarray | None = None,
+        future: np.ndarray | None = None,
+        frame_period: float = 1.0 / 60.0,
+        race: bool = True,
+    ) -> DecodedFrame:
+        """Decode a real bitstream frame, recording destination and
+        timing.  A halted decoder cannot decode — the pipeline must wake
+        it first."""
+        if self.halted:
+            raise DataPathError("the video decoder is halted (clock-gated)")
+        frame = self.codec.decode_frame(encoded, past=past, future=future)
+        self.records.append(
+            DecodeRecord(
+                index=encoded.index,
+                encoded_bytes=encoded.size_bytes,
+                decoded_bytes=frame.size_bytes,
+                destination=self.select_destination(),
+                duration=self.decode_time(
+                    frame.size_bytes, frame_period, race
+                ),
+            )
+        )
+        return frame
+
+    # -- aggregate accounting ---------------------------------------------------------
+
+    @property
+    def frames_decoded(self) -> int:
+        """Total frames decoded through this IP."""
+        return len(self.records)
+
+    @property
+    def bytes_to_dram(self) -> float:
+        """Decoded bytes routed to the DRAM frame buffer."""
+        return sum(
+            r.decoded_bytes for r in self.records
+            if r.destination is Destination.DRAM_FRAME_BUFFER
+        )
+
+    @property
+    def bytes_to_dc(self) -> float:
+        """Decoded bytes routed directly to the DC (bypass path)."""
+        return sum(
+            r.decoded_bytes for r in self.records
+            if r.destination is Destination.DISPLAY_CONTROLLER
+        )

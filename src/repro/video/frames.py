@@ -1,0 +1,161 @@
+"""Frame and macroblock types for the functional video pipeline.
+
+An encoded frame is a byte stream of entropy-coded macroblocks; a decoded
+frame is an H x W x 3 ``uint8`` array.  Frame types follow the paper's
+Sec. 2.4: I-type macroblocks reconstruct from the same frame, P-type from
+the previous reference, B-type from previous and later references via
+motion vectors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CodecError, ConfigurationError
+
+#: Macroblock edge length in pixels (the codec works in 16x16 blocks, the
+#: most common granularity per the paper's Sec. 2.4).
+MACROBLOCK_SIZE = 16
+
+
+class FrameType(enum.Enum):
+    """Frame coding types."""
+
+    I = "I"  # noqa: E741 - the codec-standard name
+    P = "P"
+    B = "B"
+
+    @property
+    def needs_past_reference(self) -> bool:
+        """Whether decoding needs an earlier reconstructed frame."""
+        return self in (FrameType.P, FrameType.B)
+
+    @property
+    def needs_future_reference(self) -> bool:
+        """Whether decoding needs a later reconstructed frame."""
+        return self is FrameType.B
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """One entropy-coded frame as produced by :class:`~repro.video.Codec`
+    (or synthesised by the analytic content model for resolutions too
+    large to run the functional codec on)."""
+
+    index: int
+    frame_type: FrameType
+    width: int
+    height: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError("encoded frame dimensions must be > 0")
+        if self.index < 0:
+            raise ConfigurationError("frame index must be >= 0")
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size — what network buffering and the VD's DRAM reads
+        cost."""
+        return len(self.payload)
+
+    @property
+    def decoded_bytes(self) -> int:
+        """Size of the decoded frame this expands to (24 bpp)."""
+        return self.width * self.height * 3
+
+    @property
+    def compression_ratio(self) -> float:
+        """decoded / encoded size."""
+        if self.size_bytes == 0:
+            raise CodecError("encoded frame has an empty payload")
+        return self.decoded_bytes / self.size_bytes
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """One reconstructed frame."""
+
+    index: int
+    frame_type: FrameType
+    pixels: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.pixels.ndim != 3 or self.pixels.shape[2] != 3:
+            raise CodecError(
+                f"decoded frame must be HxWx3, got shape {self.pixels.shape}"
+            )
+        if self.pixels.dtype != np.uint8:
+            raise CodecError(
+                f"decoded frame must be uint8, got {self.pixels.dtype}"
+            )
+
+    @property
+    def width(self) -> int:
+        """Frame width in pixels."""
+        return int(self.pixels.shape[1])
+
+    @property
+    def height(self) -> int:
+        """Frame height in pixels."""
+        return int(self.pixels.shape[0])
+
+    @property
+    def size_bytes(self) -> int:
+        """Raw size of the frame (what a frame-buffer slot must hold)."""
+        return int(self.pixels.nbytes)
+
+    def psnr(self, reference: "DecodedFrame") -> float:
+        """Peak signal-to-noise ratio against ``reference`` in dB
+        (infinite for identical frames)."""
+        if self.pixels.shape != reference.pixels.shape:
+            raise CodecError("PSNR requires equal-shaped frames")
+        diff = self.pixels.astype(np.float64) - reference.pixels.astype(
+            np.float64
+        )
+        mse = float(np.mean(diff * diff))
+        if mse == 0:
+            return float("inf")
+        return 10.0 * np.log10(255.0 ** 2 / mse)
+
+
+@dataclass(frozen=True)
+class GopStructure:
+    """A group-of-pictures pattern, e.g. ``IPPP`` or ``IBBP``.
+
+    ``frame_type(i)`` is the coding type of frame ``i`` in display order;
+    the pattern repeats every ``len(pattern)`` frames with an I frame at
+    each repeat.
+    """
+
+    pattern: str = "IPPP"
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise ConfigurationError("GOP pattern cannot be empty")
+        if self.pattern[0] != "I":
+            raise ConfigurationError("GOP pattern must start with an I frame")
+        invalid = set(self.pattern) - {"I", "P", "B"}
+        if invalid:
+            raise ConfigurationError(
+                f"GOP pattern has invalid frame types: {sorted(invalid)}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Frames per GOP."""
+        return len(self.pattern)
+
+    def frame_type(self, index: int) -> FrameType:
+        """Coding type of frame ``index`` (display order)."""
+        if index < 0:
+            raise ConfigurationError("frame index must be >= 0")
+        return FrameType(self.pattern[index % self.length])
+
+    def type_counts(self) -> dict[FrameType, int]:
+        """How many of each type one GOP contains."""
+        return {t: self.pattern.count(t.value) for t in FrameType}

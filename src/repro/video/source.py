@@ -1,0 +1,224 @@
+"""Stream sources: the network/storage side of video processing.
+
+For streaming, the WiFi NIC DMA-writes encoded frames into a DRAM jitter
+buffer; for playback, the storage controller does (paper Sec. 2.4,
+"Buffering").  The buffer absorbs network bandwidth fluctuation.
+
+Two content paths feed the pipeline:
+
+* the **functional codec** produces real byte streams for small frames
+  (tests, examples); and
+* the **analytic content model** synthesises per-frame encoded sizes for
+  full-resolution workloads, using bits-per-pixel rates representative of
+  H.264/HEVC streaming ladders, with I/P/B size ratios and log-normal
+  frame-to-frame variation.  The energy results depend only on sizes and
+  timing, so this preserves the quantities that matter (DESIGN.md,
+  substitution table).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import Resolution
+from ..errors import BufferUnderflowError, ConfigurationError
+from .frames import FrameType, GopStructure
+
+
+class ContentClass(enum.Enum):
+    """Content families with representative compressed bit rates.
+
+    The value is the average encoded bits per pixel at streaming quality
+    (e.g. NATURAL at 4K30 gives ~0.08 bpp = ~20 Mbps, a typical 4K
+    streaming ladder rung).
+    """
+
+    #: Camera-captured natural video (film, sports).
+    NATURAL = 0.080
+    #: Animation/synthetic content (flat regions compress further).
+    ANIMATION = 0.045
+    #: Screen content / productivity capture.
+    SCREEN = 0.030
+    #: High-motion content (action, 360-degree VR source video).
+    HIGH_MOTION = 0.120
+
+    @property
+    def bits_per_pixel(self) -> float:
+        """Average encoded bits per displayed pixel."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class FrameDescriptor:
+    """A lightweight stand-in for an encoded frame: everything the energy
+    pipeline needs (sizes and type) without a payload."""
+
+    index: int
+    frame_type: FrameType
+    encoded_bytes: float
+    decoded_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.encoded_bytes <= 0 or self.decoded_bytes <= 0:
+            raise ConfigurationError("frame sizes must be positive")
+
+
+#: Relative encoded-size weights of I, P, and B frames (I frames are the
+#: big intra-coded anchors; B frames compress best).
+_TYPE_WEIGHTS = {FrameType.I: 4.0, FrameType.P: 1.3, FrameType.B: 0.7}
+
+
+@dataclass(frozen=True)
+class AnalyticContentModel:
+    """Synthesises representative encoded frame sizes for a content class."""
+
+    content: ContentClass = ContentClass.NATURAL
+    gop: GopStructure = field(default_factory=GopStructure)
+    #: Log-normal sigma of frame-to-frame size variation.
+    variability: float = 0.18
+
+    def __post_init__(self) -> None:
+        if self.variability < 0:
+            raise ConfigurationError("variability must be >= 0")
+
+    def _normalised_weights(self) -> dict[FrameType, float]:
+        """Per-type size multipliers scaled so the GOP average equals the
+        content class's bits-per-pixel budget."""
+        counts = self.gop.type_counts()
+        total = sum(
+            _TYPE_WEIGHTS[t] * n for t, n in counts.items() if n
+        )
+        frames = self.gop.length
+        scale = frames / total
+        return {t: _TYPE_WEIGHTS[t] * scale for t in FrameType}
+
+    def frames(self, resolution: Resolution, count: int,
+               seed: int = 0) -> list[FrameDescriptor]:
+        """``count`` frame descriptors for a stream at ``resolution``."""
+        if count < 0:
+            raise ConfigurationError("frame count must be >= 0")
+        rng = np.random.default_rng(seed)
+        weights = self._normalised_weights()
+        mean_bytes = (
+            self.content.bits_per_pixel * resolution.pixels / 8.0
+        )
+        decoded = float(resolution.frame_bytes())
+        descriptors = []
+        for index in range(count):
+            frame_type = self.gop.frame_type(index)
+            noise = (
+                float(rng.lognormal(mean=0.0, sigma=self.variability))
+                if self.variability else 1.0
+            )
+            size = max(64.0, mean_bytes * weights[frame_type] * noise)
+            descriptors.append(
+                FrameDescriptor(
+                    index=index,
+                    frame_type=frame_type,
+                    encoded_bytes=size,
+                    decoded_bytes=decoded,
+                )
+            )
+        return descriptors
+
+    def average_encoded_bytes(self, resolution: Resolution) -> float:
+        """Long-run mean encoded frame size at ``resolution``."""
+        return self.content.bits_per_pixel * resolution.pixels / 8.0
+
+
+@dataclass
+class StreamSource:
+    """The DRAM jitter buffer between the network/storage producer and the
+    video decoder.
+
+    ``deliver_until(t)`` advances the (fluctuating) arrival process;
+    ``pop_frame(t)`` hands the next frame to the VD.  Underruns model a
+    stall (rebuffering) and are counted.
+    """
+
+    frames: list[FrameDescriptor]
+    #: Average delivery bandwidth of the network/storage path, bytes/s.
+    bandwidth: float
+    #: Peak-to-mean fluctuation of the delivery rate (0 = constant).
+    fluctuation: float = 0.25
+    #: Frames buffered before playback starts.
+    prebuffer_frames: int = 4
+    seed: int = 0
+    delivered: int = field(default=0, init=False)
+    consumed: int = field(default=0, init=False)
+    underruns: int = field(default=0, init=False)
+    buffered_bytes: float = field(default=0.0, init=False)
+    _arrival_times: list[float] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError("source bandwidth must be positive")
+        if not 0 <= self.fluctuation < 1:
+            raise ConfigurationError("fluctuation must be in [0, 1)")
+        if self.prebuffer_frames < 0:
+            raise ConfigurationError("prebuffer_frames must be >= 0")
+        self._compute_arrivals()
+
+    def _compute_arrivals(self) -> None:
+        """Precompute each frame's arrival completion time under the
+        fluctuating delivery rate (deterministic given the seed)."""
+        rng = np.random.default_rng(self.seed)
+        clock = 0.0
+        for descriptor in self.frames:
+            rate = self.bandwidth * (
+                1.0 + self.fluctuation * float(rng.uniform(-1.0, 1.0))
+            )
+            clock += descriptor.encoded_bytes / rate
+            self._arrival_times.append(clock)
+
+    @property
+    def startup_delay(self) -> float:
+        """Time until the prebuffer target is met and playback may start."""
+        if not self.frames:
+            return 0.0
+        target = min(self.prebuffer_frames, len(self.frames))
+        if target == 0:
+            return 0.0
+        return self._arrival_times[target - 1]
+
+    def deliver_until(self, now: float) -> float:
+        """Advance arrivals to time ``now``; returns the bytes newly
+        DMA-written into the jitter buffer (DRAM write traffic)."""
+        written = 0.0
+        while (
+            self.delivered < len(self.frames)
+            and self._arrival_times[self.delivered] <= now
+        ):
+            size = self.frames[self.delivered].encoded_bytes
+            self.buffered_bytes += size
+            written += size
+            self.delivered += 1
+        return written
+
+    def pop_frame(self, now: float) -> FrameDescriptor:
+        """The VD takes the next frame out of the jitter buffer.
+
+        An underrun (frame not yet delivered) is counted and the frame is
+        handed over anyway at its arrival time semantics — the pipeline
+        layer decides whether to stall or drop.
+        """
+        if self.consumed >= len(self.frames):
+            raise BufferUnderflowError("the stream is exhausted")
+        self.deliver_until(now)
+        descriptor = self.frames[self.consumed]
+        if self._arrival_times[self.consumed] > now:
+            self.underruns += 1
+        else:
+            self.buffered_bytes = max(
+                0.0, self.buffered_bytes - descriptor.encoded_bytes
+            )
+        self.consumed += 1
+        return descriptor
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every frame has been consumed."""
+        return self.consumed >= len(self.frames)

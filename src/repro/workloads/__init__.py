@@ -1,0 +1,41 @@
+"""Workload definitions and runners for every evaluation scenario in the
+paper: planar streaming and local playback (Figs. 1/9/10/12/13/14a), the
+five 360-degree VR streams (Fig. 11), the Fig. 14b mobile workloads, and
+the Fig. 4 web-browsing phase."""
+
+from .capture import CaptureWorkload, capture_run
+from .standby import standby_power_mw, standby_timeline
+from .scenario import Phase, Scenario, ScenarioResult, streaming_session
+from .traces import HeadTrace, HeadTraceParams, generate_head_trace
+from .video import (
+    PlanarVideoWorkload,
+    local_playback_run,
+    planar_streaming_run,
+)
+from .vr import VR_WORKLOADS, VrWorkload, vr_streaming_run
+from .mobile import MOBILE_WORKLOADS, MobileWorkload, mobile_workload_run
+from .browsing import browsing_timeline
+
+__all__ = [
+    "CaptureWorkload",
+    "HeadTrace",
+    "Phase",
+    "Scenario",
+    "ScenarioResult",
+    "capture_run",
+    "standby_power_mw",
+    "standby_timeline",
+    "streaming_session",
+    "HeadTraceParams",
+    "MOBILE_WORKLOADS",
+    "MobileWorkload",
+    "PlanarVideoWorkload",
+    "VR_WORKLOADS",
+    "VrWorkload",
+    "browsing_timeline",
+    "generate_head_trace",
+    "local_playback_run",
+    "mobile_workload_run",
+    "planar_streaming_run",
+    "vr_streaming_run",
+]

@@ -1,0 +1,60 @@
+"""Camera-capture workloads for the Sec. 4.5 generalization.
+
+Pairs the capture schemes (:mod:`repro.core.capture`) with a session
+builder: a sensor resolution, a recording frame rate, and the encoder's
+compression ratio define the per-frame raw/encoded sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import Resolution, skylake_tablet
+from ..errors import ConfigurationError
+from ..pipeline.sim import DisplayScheme, FrameWindowSimulator, RunResult
+from ..video.frames import FrameType
+from ..video.source import FrameDescriptor
+
+
+@dataclass(frozen=True)
+class CaptureWorkload:
+    """One recording session."""
+
+    sensor: Resolution
+    fps: float = 30.0
+    refresh_hz: float = 60.0
+    #: Raw-to-encoded compression of the recording encoder.
+    encode_ratio: float = 30.0
+    frame_count: int = 24
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0 or self.refresh_hz <= 0:
+            raise ConfigurationError("rates must be positive")
+        if self.encode_ratio <= 1:
+            raise ConfigurationError("encode_ratio must exceed 1")
+        if self.frame_count <= 0:
+            raise ConfigurationError("frame_count must be positive")
+
+    def frames(self) -> list[FrameDescriptor]:
+        """Per-frame raw/encoded sizes for the session."""
+        raw = float(self.sensor.frame_bytes())
+        return [
+            FrameDescriptor(
+                index=index,
+                frame_type=FrameType.I,
+                encoded_bytes=raw / self.encode_ratio,
+                decoded_bytes=raw,
+            )
+            for index in range(self.frame_count)
+        ]
+
+
+def capture_run(workload: CaptureWorkload, scheme: DisplayScheme,
+                with_drfb: bool = False) -> RunResult:
+    """Simulate a recording session (sensor -> encoder -> storage, with
+    the viewfinder preview on the panel) under ``scheme``."""
+    config = skylake_tablet(workload.sensor, workload.refresh_hz)
+    if with_drfb:
+        config = config.with_drfb()
+    simulator = FrameWindowSimulator(config, scheme)
+    return simulator.run(workload.frames(), workload.fps)

@@ -1,0 +1,100 @@
+"""The Fig. 14b mobile workloads: video conferencing, video capture,
+casual gaming, and MobileMark-style office productivity.
+
+These applications render through a *single graphics plane* (paper
+Sec. 6.5): a producer (GPU renderer, camera ISP, conferencing stack)
+writes each frame into the DRAM frame buffer and the DC ships it to the
+panel.  When the DC detects the single plane it can arm Frame Bursting:
+the frame moves to the DRFB in one burst and the DC/eDP power-gate for
+the rest of the window.
+
+The abstraction reuses the video pipeline's producer slot: the per-frame
+"decode" models the producer's frame generation (render/ISP time scales
+with frame bytes exactly like decode does), and the frame-rate cadence
+models each workload's update rate — MobileMark-style productivity
+updates a few windows per second, gaming updates every window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import Resolution, skylake_tablet
+from ..errors import ConfigurationError
+from ..pipeline.sim import DisplayScheme, FrameWindowSimulator, RunResult
+from ..video.frames import FrameType
+from ..video.source import FrameDescriptor
+
+
+@dataclass(frozen=True)
+class MobileWorkload:
+    """A frame-based mobile application."""
+
+    name: str
+    #: Frame updates per second the application produces.
+    update_fps: float
+    #: Producer bytes written per frame as a fraction of the panel frame
+    #: (a conferencing window repaints fully; productivity repaints less,
+    #: but the DC still ships full frames).
+    produced_fraction: float = 1.0
+    #: The workload keeps a network session up (conferencing).
+    streaming: bool = False
+    #: The workload records to storage (capture).
+    recording: bool = False
+
+    def __post_init__(self) -> None:
+        if self.update_fps <= 0:
+            raise ConfigurationError("update_fps must be positive")
+        if not 0 < self.produced_fraction <= 1:
+            raise ConfigurationError(
+                "produced_fraction must be in (0, 1]"
+            )
+
+
+#: The four Fig. 14b workloads.
+MOBILE_WORKLOADS: dict[str, MobileWorkload] = {
+    "video-conferencing": MobileWorkload(
+        name="video-conferencing", update_fps=30.0, streaming=True
+    ),
+    "video-capture": MobileWorkload(
+        name="video-capture", update_fps=30.0, recording=True
+    ),
+    "casual-gaming": MobileWorkload(
+        name="casual-gaming", update_fps=60.0
+    ),
+    "mobilemark": MobileWorkload(
+        name="mobilemark", update_fps=10.0, produced_fraction=0.6
+    ),
+}
+
+
+def mobile_workload_run(
+    workload: MobileWorkload,
+    scheme: DisplayScheme,
+    resolution: Resolution,
+    refresh_hz: float = 60.0,
+    frame_count: int = 60,
+    with_drfb: bool = False,
+) -> RunResult:
+    """Simulate a mobile workload under ``scheme``.
+
+    Each produced frame is a graphics-plane frame of the panel's size;
+    the "encoded" side models the application's input data (camera
+    stream, network payload) at a tenth of the produced bytes.
+    """
+    config = skylake_tablet(resolution, refresh_hz)
+    if with_drfb:
+        config = config.with_drfb()
+    panel_bytes = float(config.panel.frame_bytes)
+    produced = panel_bytes * workload.produced_fraction
+    frames = [
+        FrameDescriptor(
+            index=i,
+            frame_type=FrameType.I,
+            encoded_bytes=max(64.0, produced * 0.1),
+            decoded_bytes=produced,
+        )
+        for i in range(frame_count)
+    ]
+    simulator = FrameWindowSimulator(config, scheme)
+    return simulator.run(frames, min(workload.update_fps, refresh_hz))

@@ -1,0 +1,95 @@
+"""Connected standby: the screen-off regime.
+
+Table 1's deepest state, C10, only exists when the panel is *off* — the
+regime the paper's companion work on connected-standby energy targets.
+This generator rounds out the C-state coverage: the device sleeps in C10
+with the display dark, waking briefly on a period (push notifications,
+timers) to service network traffic in C0/C2 before dropping back.
+
+Useful as the "other half" of a battery story: a tablet's day is
+standby punctuated by sessions, and the standby floor bounds how much a
+display-path optimisation like BurstLink can matter overall.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..errors import ConfigurationError
+from ..pipeline.builder import TimelineBuilder
+from ..pipeline.timeline import PanelMode, Timeline
+from ..soc.cstates import PackageCState
+from ..units import mib
+
+
+def standby_timeline(
+    config: SystemConfig,
+    duration_s: float = 60.0,
+    wake_interval_s: float = 10.0,
+    wake_work_s: float = 0.030,
+    wake_traffic_bytes: float = mib(0.25),
+) -> Timeline:
+    """A connected-standby timeline: C10 with periodic wake bursts.
+
+    Each wake runs ``wake_work_s`` of CPU+network work (DRAM awake, the
+    panel stays off), then the platform drops back to C10 — paying the
+    deep state's long exit latency on every wake, which is exactly why
+    real firmware batches wake sources.
+    """
+    if duration_s <= 0:
+        raise ConfigurationError("duration must be positive")
+    if wake_interval_s <= 0:
+        raise ConfigurationError("wake interval must be positive")
+    if wake_work_s < 0 or wake_work_s >= wake_interval_s:
+        raise ConfigurationError(
+            "wake work must be shorter than the interval"
+        )
+    if wake_traffic_bytes < 0:
+        raise ConfigurationError("wake traffic must be >= 0")
+
+    builder = TimelineBuilder(initial_state=PackageCState.C10)
+    elapsed = 0.0
+    while elapsed < duration_s - 1e-12:
+        sleep = min(wake_interval_s - wake_work_s,
+                    duration_s - elapsed)
+        builder.add(
+            sleep,
+            PackageCState.C10,
+            label="standby",
+            panel_mode=PanelMode.OFF,
+        )
+        elapsed += sleep
+        if elapsed >= duration_s - 1e-12:
+            break
+        work = min(wake_work_s, duration_s - elapsed)
+        if work > 0:
+            builder.add(
+                work,
+                PackageCState.C0,
+                label="standby wake",
+                cpu_active=True,
+                dram_read_bw=wake_traffic_bytes / work,
+                dram_write_bw=wake_traffic_bytes / work,
+                panel_mode=PanelMode.OFF,
+            )
+            elapsed += work
+    return builder.build()
+
+
+def standby_power_mw(
+    config: SystemConfig,
+    wake_interval_s: float = 10.0,
+    duration_s: float = 60.0,
+) -> float:
+    """Average standby power for a given wake cadence (a convenience
+    wrapper around the timeline + power model)."""
+    from ..power.model import PlatformExtras, PowerModel
+
+    model = PowerModel(
+        extras=PlatformExtras(streaming=False, local_playback=False)
+    )
+    timeline = standby_timeline(
+        config, duration_s=duration_s, wake_interval_s=wake_interval_s
+    )
+    return model.report_timeline(
+        timeline, config.panel, scheme="standby"
+    ).average_power_mw

@@ -1,0 +1,95 @@
+"""Planar video workloads: streaming (Figs. 1, 9, 10, 12, 13) and local
+high-resolution playback (Fig. 14a)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import (
+    EdpConfig,
+    PanelConfig,
+    Resolution,
+    SystemConfig,
+    skylake_tablet,
+)
+from ..errors import ConfigurationError
+from ..pipeline.sim import DisplayScheme, FrameWindowSimulator, RunResult
+from ..units import gbps
+from ..video.frames import GopStructure
+from ..video.source import AnalyticContentModel, ContentClass
+
+#: A faster panel link (two eDP 1.4a-class interfaces / DSC-assisted) for
+#: the Fig. 14a high-refresh modes that exceed a single 25.92 Gbps link.
+EDP_HIGH_REFRESH = EdpConfig(
+    name="eDP 1.4a +DSC", max_bandwidth=gbps(51.84)
+)
+
+
+@dataclass(frozen=True)
+class PlanarVideoWorkload:
+    """A planar video session: content, rate, and display mode."""
+
+    resolution: Resolution
+    fps: float = 30.0
+    refresh_hz: float = 60.0
+    content: ContentClass = ContentClass.NATURAL
+    gop: GopStructure = field(default_factory=GopStructure)
+    frame_count: int = 60
+    seed: int = 0
+    #: Frames come from local storage instead of the network.
+    local: bool = False
+
+    def __post_init__(self) -> None:
+        if self.frame_count <= 0:
+            raise ConfigurationError("frame_count must be positive")
+        if self.fps <= 0 or self.refresh_hz <= 0:
+            raise ConfigurationError("rates must be positive")
+
+    def system_config(self) -> SystemConfig:
+        """The platform for this workload (a faster link is substituted
+        automatically when the mode exceeds a single eDP 1.4 link)."""
+        needed = self.resolution.frame_bytes() * self.refresh_hz
+        if needed > EdpConfig().max_bandwidth:
+            return SystemConfig(
+                panel=PanelConfig(
+                    resolution=self.resolution,
+                    refresh_hz=self.refresh_hz,
+                ),
+                edp=EDP_HIGH_REFRESH,
+            )
+        return skylake_tablet(self.resolution, self.refresh_hz)
+
+    def frames(self):
+        """The frame descriptors of this session."""
+        model = AnalyticContentModel(content=self.content, gop=self.gop)
+        return model.frames(
+            self.resolution, self.frame_count, seed=self.seed
+        )
+
+
+def planar_streaming_run(
+    workload: PlanarVideoWorkload,
+    scheme: DisplayScheme,
+    with_drfb: bool = False,
+) -> RunResult:
+    """Simulate a planar streaming session under ``scheme``."""
+    config = workload.system_config()
+    if with_drfb:
+        config = config.with_drfb()
+    simulator = FrameWindowSimulator(config, scheme)
+    return simulator.run(workload.frames(), workload.fps)
+
+
+def local_playback_run(
+    workload: PlanarVideoWorkload,
+    scheme: DisplayScheme,
+    with_drfb: bool = False,
+) -> RunResult:
+    """Simulate local playback (Fig. 14a): same pipeline, frames sourced
+    from storage (the energy model swaps WiFi for eMMC via
+    :class:`~repro.power.PlatformExtras` at reporting time)."""
+    if not workload.local:
+        raise ConfigurationError(
+            "local_playback_run expects a workload with local=True"
+        )
+    return planar_streaming_run(workload, scheme, with_drfb=with_drfb)

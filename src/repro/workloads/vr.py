@@ -1,0 +1,228 @@
+"""The five 360-degree VR streaming workloads of Fig. 11.
+
+Each workload pairs a 360-degree source stream (decoded to a full
+equirectangular sphere) with a synthetic head trace whose angular-velocity
+statistics set the GPU's reprojection cost.  The baseline is the paper's
+"optimized state-of-the-art VR streaming scheme" (viewport-only
+projective transformation on the GPU, Leng et al. / Zhao et al. style),
+which is exactly what :class:`~repro.pipeline.ConventionalScheme` does
+with :class:`~repro.pipeline.sim.VrWork` attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import (
+    Resolution,
+    SystemConfig,
+    VR_EYE_RESOLUTIONS,
+    vr_headset,
+)
+from ..errors import ConfigurationError
+from ..pipeline.sim import (
+    DisplayScheme,
+    FrameWindowSimulator,
+    RunResult,
+    VrWork,
+)
+from ..video.frames import GopStructure
+from ..video.source import AnalyticContentModel, ContentClass
+from .traces import HeadTrace, HeadTraceParams, generate_head_trace
+
+
+@dataclass(frozen=True)
+class VrWorkload:
+    """One 360-degree streaming workload."""
+
+    name: str
+    #: Resolution of the decoded equirectangular source sphere at the
+    #: reference (largest) per-eye mode.  Streaming ladders pair panel
+    #: and source quality: :func:`source_resolution_for` scales the
+    #: sphere with the per-eye mode actually displayed.
+    source_resolution: Resolution
+    content: ContentClass
+    head: HeadTraceParams
+    #: Extra GPU cost factor for scene complexity (sampling-incoherent
+    #: content such as a rollercoaster's motion costs more per pixel).
+    compute_intensity: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.compute_intensity <= 0:
+            raise ConfigurationError("compute_intensity must be positive")
+
+
+def source_resolution_for(per_eye: Resolution) -> Resolution:
+    """The 2:1 equirectangular source sphere streamed for a per-eye
+    display mode: three eye-widths across (the sphere must out-resolve
+    the ~90-degree viewport it feeds)."""
+    width = 3 * per_eye.width
+    # Keep dimensions macroblock-aligned for the functional codec path.
+    width -= width % 16
+    return Resolution(width, width // 2, name=f"360-{per_eye}")
+
+
+#: Equirectangular 4K source sphere (3840x1920), the common 360 format.
+_SPHERE_4K = Resolution(3840, 1920, "360-4K")
+
+#: The five Corbillon et al. workloads, parameterised along the
+#: compute/memory-dominance axis Fig. 11a exposes: calm scenes (Elephant,
+#: Timelapse) are memory-dominant and benefit most; the high-motion
+#: Rollercoaster is compute(GPU)-dominant and benefits least.
+VR_WORKLOADS: dict[str, VrWorkload] = {
+    "Elephant": VrWorkload(
+        name="Elephant",
+        source_resolution=_SPHERE_4K,
+        content=ContentClass.NATURAL,
+        head=HeadTraceParams(yaw_speed_mean=9.0, yaw_speed_std=6.0),
+        compute_intensity=0.9,
+        seed=11,
+    ),
+    "Paris": VrWorkload(
+        name="Paris",
+        source_resolution=_SPHERE_4K,
+        content=ContentClass.NATURAL,
+        head=HeadTraceParams(yaw_speed_mean=18.0, yaw_speed_std=12.0),
+        compute_intensity=1.1,
+        seed=22,
+    ),
+    "Rollercoaster": VrWorkload(
+        name="Rollercoaster",
+        source_resolution=_SPHERE_4K,
+        content=ContentClass.HIGH_MOTION,
+        head=HeadTraceParams(yaw_speed_mean=42.0, yaw_speed_std=30.0),
+        compute_intensity=1.55,
+        seed=33,
+    ),
+    "Timelapse": VrWorkload(
+        name="Timelapse",
+        source_resolution=_SPHERE_4K,
+        content=ContentClass.ANIMATION,
+        head=HeadTraceParams(yaw_speed_mean=12.0, yaw_speed_std=8.0),
+        compute_intensity=1.0,
+        seed=44,
+    ),
+    "Rhino": VrWorkload(
+        name="Rhino",
+        source_resolution=_SPHERE_4K,
+        content=ContentClass.NATURAL,
+        head=HeadTraceParams(yaw_speed_mean=14.0, yaw_speed_std=10.0),
+        compute_intensity=1.05,
+        seed=55,
+    ),
+}
+
+
+@dataclass
+class VrRunSetup:
+    """Everything assembled for a VR simulation."""
+
+    config: SystemConfig
+    frames: list
+    vr_work: list[VrWork]
+    trace: HeadTrace
+
+
+def viewport_fraction(fov_deg: float, head_speed_deg_s: float,
+                      prefetch_per_deg_s: float = 0.004) -> float:
+    """Fraction of the sphere a viewport-adaptive (tiled) client fetches.
+
+    The viewport's solid-angle share of the sphere, inflated by a
+    prefetch margin that grows with head speed (fast heads need wider
+    tile rings to avoid missing-tile stalls) — the Rubiks/two-tier
+    streaming model of the paper's related work.
+    """
+    if not 0 < fov_deg < 180:
+        raise ConfigurationError("fov must be in (0, 180)")
+    if head_speed_deg_s < 0 or prefetch_per_deg_s < 0:
+        raise ConfigurationError("speeds must be >= 0")
+    base = (fov_deg / 360.0) * (fov_deg / 180.0)
+    margin = 1.0 + prefetch_per_deg_s * head_speed_deg_s
+    return min(1.0, base * margin * 2.0)  # both eyes' (overlapping) views
+
+
+def build_vr_setup(
+    workload: VrWorkload,
+    per_eye: Resolution = VR_EYE_RESOLUTIONS[-1],
+    refresh_hz: float = 60.0,
+    fps: float = 30.0,
+    frame_count: int = 60,
+    viewport_adaptive: bool = False,
+    fov_deg: float = 90.0,
+) -> VrRunSetup:
+    """Assemble config, frame descriptors, and per-frame projection work
+    for one VR session.
+
+    ``viewport_adaptive=True`` models a tiled client: only the viewport
+    tiles (plus a head-speed-dependent prefetch ring) are downloaded
+    and decoded, scaling both the encoded stream and the decoded source
+    buffer per frame.
+    """
+    config = vr_headset(per_eye, refresh_hz)
+    source = source_resolution_for(per_eye)
+    model = AnalyticContentModel(
+        content=workload.content, gop=GopStructure("IPPP")
+    )
+    full_frames = model.frames(source, frame_count, seed=workload.seed)
+    trace = generate_head_trace(
+        workload.head,
+        duration_s=frame_count / fps,
+        sample_hz=fps,
+        seed=workload.seed,
+    )
+    panel_bytes = float(config.panel.frame_bytes)
+    full_source_bytes = float(source.frame_bytes())
+    frames = []
+    vr_work = []
+    for index in range(frame_count):
+        speed = float(trace.angular_speed[min(index, len(trace) - 1)])
+        fraction = (
+            viewport_fraction(fov_deg, speed)
+            if viewport_adaptive else 1.0
+        )
+        descriptor = full_frames[index]
+        if viewport_adaptive:
+            from dataclasses import replace as dc_replace
+
+            descriptor = dc_replace(
+                descriptor,
+                encoded_bytes=descriptor.encoded_bytes * fraction,
+                decoded_bytes=descriptor.decoded_bytes * fraction,
+            )
+        frames.append(descriptor)
+        projection = config.gpu.projection_time(
+            config.panel.resolution.pixels,
+            head_velocity_deg_s=speed,
+            intensity=workload.compute_intensity,
+        )
+        vr_work.append(
+            VrWork(
+                source_bytes=full_source_bytes * fraction,
+                projection_s=float(projection),
+                projected_bytes=panel_bytes,
+            )
+        )
+    return VrRunSetup(
+        config=config, frames=frames, vr_work=vr_work, trace=trace
+    )
+
+
+def vr_streaming_run(
+    workload: VrWorkload,
+    scheme: DisplayScheme,
+    per_eye: Resolution = VR_EYE_RESOLUTIONS[-1],
+    refresh_hz: float = 60.0,
+    fps: float = 30.0,
+    frame_count: int = 60,
+    with_drfb: bool = False,
+    viewport_adaptive: bool = False,
+) -> RunResult:
+    """Simulate one VR streaming session under ``scheme``."""
+    setup = build_vr_setup(
+        workload, per_eye, refresh_hz, fps, frame_count,
+        viewport_adaptive=viewport_adaptive,
+    )
+    config = setup.config.with_drfb() if with_drfb else setup.config
+    simulator = FrameWindowSimulator(config, scheme)
+    return simulator.run(setup.frames, fps, vr_work=setup.vr_work)

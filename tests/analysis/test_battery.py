@@ -1,0 +1,90 @@
+"""Battery-life estimation."""
+
+import pytest
+
+from repro.analysis.battery import (
+    BatteryLife,
+    battery_life,
+    compare_battery_life,
+)
+from repro.config import UHD_4K, skylake_tablet
+from repro.core import BurstLinkScheme
+from repro.errors import ConfigurationError
+from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+from repro.power import PowerModel
+from repro.video.source import AnalyticContentModel
+
+
+@pytest.fixture(scope="module")
+def reports():
+    config = skylake_tablet(UHD_4K)
+    frames = AnalyticContentModel().frames(UHD_4K, 16)
+    model = PowerModel()
+    base = model.report(
+        FrameWindowSimulator(config, ConventionalScheme()).run(
+            frames, 60.0
+        )
+    )
+    burst = model.report(
+        FrameWindowSimulator(
+            config.with_drfb(), BurstLinkScheme()
+        ).run(frames, 60.0)
+    )
+    return base, burst
+
+
+class TestBatteryLife:
+    def test_hours_formula(self):
+        # 45 Wh at 4.5 W is exactly 10 hours.
+        life = BatteryLife(battery_wh=45.0, average_power_mw=4500.0)
+        assert life.hours == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatteryLife(battery_wh=0, average_power_mw=1)
+        with pytest.raises(ConfigurationError):
+            BatteryLife(battery_wh=45, average_power_mw=0)
+
+    def test_from_report(self, reports):
+        base, _ = reports
+        life = battery_life(base)
+        assert life.hours == pytest.approx(
+            45000.0 / base.average_power_mw
+        )
+
+    def test_str_mentions_hours(self):
+        assert "h at" in str(
+            BatteryLife(battery_wh=45.0, average_power_mw=4500.0)
+        )
+
+
+class TestComparison:
+    def test_burstlink_extends_runtime(self, reports):
+        base, burst = reports
+        comparison = compare_battery_life(base, burst)
+        assert comparison.extra_hours > 0
+        assert comparison.runtime_gain > 0.5
+
+    def test_hyperbolic_payoff(self, reports):
+        """An energy reduction R extends runtime by R / (1 - R)."""
+        base, burst = reports
+        comparison = compare_battery_life(base, burst)
+        reduction = 1 - (
+            burst.average_power_mw / base.average_power_mw
+        )
+        assert comparison.runtime_gain == pytest.approx(
+            reduction / (1 - reduction)
+        )
+
+    def test_summary_format(self, reports):
+        base, burst = reports
+        summary = compare_battery_life(base, burst).summary()
+        assert "->" in summary and "+" in summary
+
+    def test_custom_battery_scales_linearly(self, reports):
+        base, burst = reports
+        small = compare_battery_life(base, burst, battery_wh=22.5)
+        large = compare_battery_life(base, burst, battery_wh=45.0)
+        assert large.extra_hours == pytest.approx(
+            2 * small.extra_hours
+        )

@@ -1,0 +1,128 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_timeline_scheme_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["timeline", "not-a-scheme"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "table2" in out and "validate" in out
+
+    def test_validate(self, capsys):
+        code, out = run_cli(capsys, "validate")
+        assert code == 0
+        assert "mean accuracy" in out
+
+    def test_table2(self, capsys):
+        code, out = run_cli(capsys, "table2")
+        assert code == 0
+        assert "AvgP" in out and "reduction" in out
+
+    def test_fig01(self, capsys):
+        code, out = run_cli(capsys, "fig01")
+        assert code == 0
+        assert "FHD" in out and "DRAM" in out
+
+    def test_fig09(self, capsys):
+        code, out = run_cli(capsys, "fig09")
+        assert code == 0
+        assert "BurstLink" in out and "5K" in out
+
+    def test_sec64(self, capsys):
+        code, out = run_cli(capsys, "sec64")
+        assert code == 0
+        assert "zhang" in out and "vip" in out
+
+    def test_timeline_burstlink(self, capsys):
+        code, out = run_cli(capsys, "timeline", "burstlink")
+        assert code == 0
+        assert "w0" in out and "C9" in out
+
+    def test_timeline_custom_point(self, capsys):
+        code, out = run_cli(
+            capsys, "timeline", "conventional",
+            "--resolution", "4K", "--fps", "60",
+        )
+        assert code == 0
+        assert "C2" in out
+
+    def test_battery(self, capsys):
+        code, out = run_cli(
+            capsys, "battery", "--resolution", "FHD", "--fps", "30",
+        )
+        assert code == 0
+        assert "Wh battery" in out and "->" in out
+
+    def test_battery_custom_capacity(self, capsys):
+        code, out = run_cli(
+            capsys, "battery", "--battery-wh", "30",
+        )
+        assert code == 0
+        assert "30 Wh" in out
+
+    def test_export_json_to_stdout(self, capsys):
+        code, out = run_cli(
+            capsys, "export", "burstlink", "--frames", "4",
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(out)
+        assert payload["scheme"] == "burstlink"
+        assert payload["energy"]["average_power_mw"] > 0
+
+    def test_export_csv_to_stdout(self, capsys):
+        code, out = run_cli(
+            capsys, "export", "conventional", "--frames", "4",
+            "--format", "csv",
+        )
+        assert code == 0
+        header = out.splitlines()[0]
+        assert header.startswith("start_s,end_s,state")
+
+    def test_export_to_file(self, capsys, tmp_path):
+        target = tmp_path / "run.json"
+        code, out = run_cli(
+            capsys, "export", "bypass", "--frames", "4",
+            "--out", str(target),
+        )
+        assert code == 0
+        assert "wrote" in out
+        assert target.exists()
+
+    def test_constants_command(self, capsys):
+        code, out = run_cli(capsys, "constants")
+        assert code == 0
+        assert "soc_floor[C9]" in out
+        assert "drfb_active" in out
+        assert "58 mW" in out
+
+    def test_figures_command(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "figures", "--out", str(tmp_path / "figs"),
+        )
+        assert code == 0
+        assert "6 figures" in out
+        assert (tmp_path / "figs" / "fig09_planar_30fps.svg").exists()

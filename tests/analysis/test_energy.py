@@ -1,0 +1,70 @@
+"""The scheme-comparison helpers."""
+
+import pytest
+
+from repro.analysis.energy import (
+    SchemeComparison,
+    compare_schemes,
+    energy_reduction,
+)
+from repro.config import FHD, skylake_tablet
+from repro.core.burstlink import BurstLinkScheme
+from repro.core.bursting import FrameBurstingScheme
+from repro.errors import SimulationError
+from repro.pipeline.conventional import ConventionalScheme
+from repro.video.source import AnalyticContentModel
+
+
+@pytest.fixture
+def comparison():
+    config = skylake_tablet(FHD)
+    frames = AnalyticContentModel().frames(FHD, 12)
+    return compare_schemes(
+        config,
+        frames,
+        30.0,
+        schemes={
+            "burst": (FrameBurstingScheme(), True),
+            "burstlink": (BurstLinkScheme(), True),
+        },
+        baseline=ConventionalScheme(),
+        workload="test",
+    )
+
+
+class TestEnergyReduction:
+    def test_reduction_formula(self, comparison):
+        reduction = comparison.reduction("burstlink")
+        assert reduction == pytest.approx(
+            1
+            - comparison.candidates["burstlink"].average_power_mw
+            / comparison.baseline.average_power_mw
+        )
+
+    def test_reduction_positive(self, comparison):
+        assert comparison.reduction("burstlink") > 0.3
+
+    def test_unknown_scheme_rejected(self, comparison):
+        with pytest.raises(SimulationError):
+            comparison.reduction("nope")
+
+    def test_all_reductions(self, comparison):
+        reductions = comparison.reductions()
+        assert set(reductions) == {"burst", "burstlink"}
+        assert reductions["burstlink"] > reductions["burst"]
+
+
+class TestCompareSchemes:
+    def test_runs_recorded(self, comparison):
+        assert set(comparison.runs) == {
+            "baseline", "burst", "burstlink",
+        }
+
+    def test_drfb_configs_applied(self, comparison):
+        assert comparison.runs["burstlink"].config.panel.has_drfb
+        assert not comparison.runs["baseline"].config.panel.has_drfb
+
+    def test_direct_energy_reduction_helper(self, comparison):
+        assert energy_reduction(
+            comparison.baseline, comparison.candidates["burstlink"]
+        ) == comparison.reduction("burstlink")

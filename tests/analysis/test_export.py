@@ -1,0 +1,116 @@
+"""JSON/CSV serialization of runs, timelines, and reports."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    report_to_dict,
+    run_to_dict,
+    timeline_to_csv,
+    timeline_to_records,
+    to_json,
+)
+from repro.config import FHD, skylake_tablet
+from repro.core import BurstLinkScheme
+from repro.errors import SimulationError
+from repro.pipeline import (
+    ConventionalScheme,
+    FrameWindowSimulator,
+    Timeline,
+)
+from repro.power import PowerModel
+from repro.video.source import AnalyticContentModel
+
+
+@pytest.fixture(scope="module")
+def run():
+    config = skylake_tablet(FHD).with_drfb()
+    frames = AnalyticContentModel().frames(FHD, 6)
+    return FrameWindowSimulator(config, BurstLinkScheme()).run(
+        frames, 30.0
+    )
+
+
+@pytest.fixture(scope="module")
+def report(run):
+    return PowerModel().report(run)
+
+
+class TestTimelineExport:
+    def test_one_record_per_segment(self, run):
+        records = timeline_to_records(run.timeline)
+        assert len(records) == len(run.timeline)
+
+    def test_records_are_json_serialisable(self, run):
+        text = to_json(timeline_to_records(run.timeline))
+        parsed = json.loads(text)
+        assert parsed[0]["state"] == "C0"
+
+    def test_csv_roundtrip(self, run):
+        text = timeline_to_csv(run.timeline)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(run.timeline)
+        assert float(rows[0]["start_s"]) == pytest.approx(0.0)
+
+    def test_csv_durations_cover_run(self, run):
+        rows = list(
+            csv.DictReader(io.StringIO(timeline_to_csv(run.timeline)))
+        )
+        covered = sum(
+            float(r["end_s"]) - float(r["start_s"]) for r in rows
+        )
+        assert covered == pytest.approx(run.duration)
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(SimulationError):
+            timeline_to_csv(Timeline())
+
+
+class TestReportExport:
+    def test_energy_fields_present(self, report):
+        payload = report_to_dict(report)
+        assert payload["average_power_mw"] == pytest.approx(
+            report.average_power_mw
+        )
+        assert "C9" in payload["by_state"]
+        assert payload["by_component_mj"]["panel"] > 0
+
+    def test_state_fractions_sum_to_one(self, report):
+        payload = report_to_dict(report)
+        assert sum(
+            row["residency_fraction"]
+            for row in payload["by_state"].values()
+        ) == pytest.approx(1.0)
+
+
+class TestRunExport:
+    def test_core_fields(self, run):
+        payload = run_to_dict(run)
+        assert payload["scheme"] == "burstlink"
+        assert payload["panel"]["drfb"] is True
+        assert payload["stats"]["windows"] == run.stats.windows
+        assert "energy" not in payload
+
+    def test_with_report_attached(self, run, report):
+        payload = run_to_dict(run, report)
+        assert payload["energy"]["average_power_mw"] == (
+            pytest.approx(report.average_power_mw)
+        )
+
+    def test_round_trips_through_json(self, run, report):
+        text = to_json(run_to_dict(run, report))
+        parsed = json.loads(text)
+        assert parsed["residency"]["C9"] > 0.5
+
+    def test_baseline_export_differs(self):
+        config = skylake_tablet(FHD)
+        frames = AnalyticContentModel().frames(FHD, 6)
+        baseline = FrameWindowSimulator(
+            config, ConventionalScheme()
+        ).run(frames, 30.0)
+        payload = run_to_dict(baseline)
+        assert payload["panel"]["drfb"] is False
+        assert "C9" not in payload["residency"]

@@ -1,0 +1,101 @@
+"""QoS/energy Pareto analysis."""
+
+import pytest
+
+from repro.analysis.pareto import QosPoint, evaluate_qos, pareto_front
+from repro.baselines import VipScheme, ZhangScheme
+from repro.config import FHD, UHD_4K, skylake_tablet
+from repro.core import (
+    BurstLinkScheme,
+    FrameBufferBypassScheme,
+    FrameBurstingScheme,
+)
+from repro.errors import ConfigurationError
+from repro.pipeline import ConventionalScheme
+from repro.video.source import AnalyticContentModel
+
+SCHEMES = {
+    "conventional": (ConventionalScheme(), False),
+    "burst": (FrameBurstingScheme(), True),
+    "bypass": (FrameBufferBypassScheme(), False),
+    "burstlink": (BurstLinkScheme(), True),
+    "zhang": (ZhangScheme(), False),
+    "vip": (VipScheme(), False),
+}
+
+
+@pytest.fixture(scope="module")
+def points():
+    config = skylake_tablet(UHD_4K)
+    frames = AnalyticContentModel().frames(UHD_4K, 16)
+    return evaluate_qos(config, frames, 30.0, dict(SCHEMES))
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        better = QosPoint("a", 30.0, 1000.0, 0)
+        worse = QosPoint("b", 30.0, 2000.0, 0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_equal_points_do_not_dominate(self):
+        a = QosPoint("a", 30.0, 1000.0, 0)
+        b = QosPoint("b", 30.0, 1000.0, 0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_tradeoff_points_incomparable(self):
+        fast = QosPoint("fast", 60.0, 3000.0, 0)
+        frugal = QosPoint("frugal", 30.0, 1000.0, 0)
+        assert not fast.dominates(frugal)
+        assert not frugal.dominates(fast)
+
+
+class TestEvaluation:
+    def test_every_scheme_present(self, points):
+        assert {p.scheme for p in points} == set(SCHEMES)
+
+    def test_no_scheme_drops_frames_at_4k30(self, points):
+        """The central QoS check: every scheme holds 30 effective FPS
+        at the paper's 4K operating point."""
+        for point in points:
+            assert point.effective_fps == pytest.approx(30.0)
+            assert point.deadline_misses == 0
+
+    def test_burstlink_dominates_conventional(self, points):
+        by_name = {p.scheme: p for p in points}
+        assert by_name["burstlink"].dominates(by_name["conventional"])
+
+    def test_empty_schemes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_qos(
+                skylake_tablet(FHD),
+                AnalyticContentModel().frames(FHD, 4),
+                30.0,
+                {},
+            )
+
+
+class TestParetoFront:
+    def test_burstlink_on_the_front(self, points):
+        front = pareto_front(points)
+        assert "burstlink" in {p.scheme for p in front}
+
+    def test_conventional_not_on_the_front(self, points):
+        front = pareto_front(points)
+        assert "conventional" not in {p.scheme for p in front}
+
+    def test_front_sorted_by_power(self, points):
+        front = pareto_front(points)
+        powers = [p.average_power_mw for p in front]
+        assert powers == sorted(powers)
+
+    def test_front_is_mutually_nondominated(self, points):
+        front = pareto_front(points)
+        for a in front:
+            for b in front:
+                assert not a.dominates(b) or a is b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pareto_front([])

@@ -1,0 +1,50 @@
+"""Text report rendering."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_table,
+    render_cstate_table,
+    render_reductions,
+)
+from repro.errors import SimulationError
+from repro.power.model import CStateSummary
+from repro.soc.cstates import PackageCState
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ("name", "value"), [("a", 1), ("long-name", 22)]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_row_width_checked(self):
+        with pytest.raises(SimulationError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(SimulationError):
+            format_table((), [])
+
+
+class TestRenderers:
+    def test_cstate_table(self):
+        rows = [
+            CStateSummary(PackageCState.C0, 0.1, 0.09, 5940.0, 594.0),
+            CStateSummary(PackageCState.C8, 0.9, 0.80, 1285.0, 1157.0),
+        ]
+        text = render_cstate_table("Baseline", rows, 2162.0)
+        assert "C0" in text
+        assert "5940" in text
+        assert "AvgP: 2162 mW" in text
+
+    def test_reductions(self):
+        text = render_reductions(
+            "Fig. 9", {"FHD": 0.372, "4K": 0.486}
+        )
+        assert "- 37.2%" in text
+        assert "FHD" in text

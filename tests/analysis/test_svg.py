@@ -1,0 +1,101 @@
+"""The SVG chart renderer and the figure regeneration."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import BarChart, write_figures
+from repro.errors import ConfigurationError
+
+
+def chart(**overrides):
+    defaults = dict(
+        title="Test",
+        categories=["A", "B"],
+        series={"one": [1.0, 2.0], "two": [0.5, 1.5]},
+    )
+    defaults.update(overrides)
+    return BarChart(**defaults)
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+def rects(root):
+    return [e for e in root.iter() if e.tag.endswith("rect")]
+
+
+class TestValidation:
+    def test_needs_categories(self):
+        with pytest.raises(ConfigurationError):
+            chart(categories=[])
+
+    def test_needs_series(self):
+        with pytest.raises(ConfigurationError):
+            chart(series={})
+
+    def test_series_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            chart(series={"bad": [1.0]})
+
+    def test_minimum_size(self):
+        with pytest.raises(ConfigurationError):
+            chart(width=50)
+
+
+class TestRendering:
+    def test_valid_xml(self):
+        parse(chart().to_svg())
+
+    def test_bar_count(self):
+        root = parse(chart().to_svg())
+        # background + 5 gridline-free... count data bars: 2 series x 2
+        # categories = 4, plus background and 2 legend swatches = 7.
+        assert len(rects(root)) == 7
+
+    def test_bar_heights_proportional(self):
+        root = parse(chart(series={"one": [1.0, 2.0]}).to_svg())
+        data_bars = rects(root)[1:-1]  # drop background and legend
+        heights = sorted(float(r.get("height")) for r in data_bars)
+        assert heights[1] == pytest.approx(2 * heights[0], rel=0.01)
+
+    def test_negative_values_clamp_to_zero(self):
+        root = parse(chart(series={"one": [-0.5, 1.0]}).to_svg())
+        data_bars = rects(root)[1:-1]
+        heights = [float(r.get("height")) for r in data_bars]
+        assert min(heights) == 0.0
+
+    def test_percent_axis_labels(self):
+        svg = chart(percent=True).to_svg()
+        assert "%" in svg
+
+    def test_title_escaped(self):
+        svg = chart(title="a < b & c").to_svg()
+        parse(svg)  # must stay well-formed
+        assert "a &lt; b &amp; c" in svg
+
+    def test_bars_stay_inside_canvas(self):
+        c = chart()
+        root = parse(c.to_svg())
+        for r in rects(root):
+            x = float(r.get("x", 0))
+            width = float(r.get("width", 0))
+            assert 0 <= x <= c.width
+            assert x + width <= c.width + 0.5
+
+
+class TestWriteFigures:
+    def test_writes_all_headline_figures(self, tmp_path):
+        written = write_figures(tmp_path)
+        names = {p.name for p in written}
+        assert names == {
+            "fig01_energy_breakdown.svg",
+            "fig09_planar_30fps.svg",
+            "fig12_planar_60fps.svg",
+            "fig11a_vr_workloads.svg",
+            "fig13_fbc.svg",
+            "fig14b_mobile.svg",
+        }
+        for path in written:
+            parse(path.read_text())

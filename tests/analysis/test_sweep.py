@@ -1,0 +1,84 @@
+"""Parameter sweeps."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepPoint,
+    sweep_edp_bandwidth,
+    sweep_refresh_rate,
+    sweep_vrr,
+)
+from repro.config import FHD, QHD, UHD_4K
+from repro.errors import ConfigurationError
+
+
+class TestSweepPoint:
+    def test_reduction(self):
+        point = SweepPoint("x", 1.0, baseline_mw=1000, burstlink_mw=600)
+        assert point.reduction == pytest.approx(0.4)
+
+
+class TestEdpSweep:
+    def test_4k_benefit_grows_with_bandwidth(self):
+        """The paper's claim: faster links shorten the burst and deepen
+        C9 residency, so BurstLink's edge grows."""
+        result = sweep_edp_bandwidth(UHD_4K)
+        assert len(result.points) >= 3
+        assert result.is_monotonic_increasing(tolerance=0.002)
+
+    def test_infeasible_links_skipped(self):
+        # 4K 60 Hz needs ~11.9 Gbps: a 10 Gbps link cannot drive it.
+        result = sweep_edp_bandwidth(
+            UHD_4K, bandwidths_gbps=(10.0, 25.92)
+        )
+        assert [p.label for p in result.points] == ["25.92 Gbps"]
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_edp_bandwidth(UHD_4K, bandwidths_gbps=())
+
+
+class TestRefreshSweep:
+    def test_points_generated(self):
+        result = sweep_refresh_rate(QHD)
+        assert [p.label for p in result.points] == [
+            "60 Hz", "90 Hz", "120 Hz",
+        ]
+
+    def test_absolute_savings_grow_with_refresh(self):
+        """Higher refresh rates save more milliwatts even where the
+        percentage dilutes against the pricier panel (a model finding
+        recorded in EXPERIMENTS.md)."""
+        result = sweep_refresh_rate(FHD)
+        savings = [
+            p.baseline_mw - p.burstlink_mw for p in result.points
+        ]
+        assert savings[-1] > savings[0]
+
+    def test_infeasible_modes_skipped(self):
+        result = sweep_refresh_rate(
+            UHD_4K, refresh_rates=(60.0, 144.0)
+        )
+        assert [p.label for p in result.points] == ["60 Hz"]
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_refresh_rate(FHD, refresh_rates=())
+
+
+class TestVrrSweep:
+    def test_points_generated(self):
+        result = sweep_vrr(FHD)
+        assert [p.value for p in result.points] == [24.0, 30.0]
+
+    def test_vrr_is_energy_neutral_under_burstlink(self):
+        """The model finding documented in EXPERIMENTS.md: repeat
+        windows are already C9-deep, so matching the refresh to the
+        content moves energy by under 3% either way."""
+        result = sweep_vrr(FHD)
+        for point in result.points:
+            assert abs(point.reduction) < 0.03
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_vrr(FHD, content_fps=())

@@ -1,0 +1,83 @@
+"""Design-choice ablations."""
+
+import pytest
+
+from repro.analysis.tradeoffs import (
+    AblationResult,
+    drfb_cost_benefit,
+    sweep_dc_buffer,
+    sweep_deadline_utilization,
+)
+from repro.config import FHD, PLANAR_RESOLUTIONS, UHD_4K
+from repro.errors import ConfigurationError
+
+
+class TestDcBufferSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sweep_dc_buffer(UHD_4K, buffer_mib=(0.25, 1.0, 4.0))
+
+    def test_smaller_buffer_means_more_wakes(self, result):
+        wakes = [p.vd_wakes_per_frame for p in result.points]
+        assert wakes[0] > wakes[-1]
+
+    def test_power_spread_is_modest(self, result):
+        """The paper's implicit claim: the existing ~1 MiB DC buffer is
+        fine; the size is not a first-order energy knob."""
+        assert result.spread_mw() < 0.05 * result.best().burstlink_mw
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_dc_buffer(UHD_4K, buffer_mib=())
+
+
+class TestDeadlineUtilizationSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sweep_deadline_utilization(FHD)
+
+    def test_sweep_produces_all_points(self, result):
+        assert len(result.points) == 5
+
+    def test_stretching_beats_racing_in_c7(self, result):
+        """Racing in C7 (tiny utilization) wastes the burst headroom;
+        the calibrated 0.38 target must not be the worst point."""
+        by_value = {p.value: p.burstlink_mw for p in result.points}
+        worst = max(by_value.values())
+        assert by_value[0.38] < worst
+
+    def test_best_is_reported(self, result):
+        assert result.best().burstlink_mw == min(
+            p.burstlink_mw for p in result.points
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_deadline_utilization(FHD, utilizations=())
+
+
+class TestDrfbCostBenefit:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return drfb_cost_benefit(PLANAR_RESOLUTIONS)
+
+    def test_savings_grow_with_resolution(self, results):
+        saved = [r.saved_mw for r in results]
+        assert saved == sorted(saved)
+
+    def test_costs_under_a_dollar(self, results):
+        """Sec. 4.4: even the 5K DRFB is cents, not dollars."""
+        assert all(r.drfb_usd < 1.0 for r in results)
+
+    def test_cents_per_watt_is_tiny(self, results):
+        """The punchline: well under a dollar per saved watt at every
+        resolution."""
+        assert all(r.cents_per_saved_watt < 100 for r in results)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            drfb_cost_benefit(())
+
+    def test_ablation_result_guards(self):
+        with pytest.raises(ConfigurationError):
+            AblationResult(parameter="x", points=[]).best()

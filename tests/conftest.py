@@ -1,0 +1,45 @@
+"""Shared fixtures for the BurstLink reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FHD, UHD_4K, SystemConfig, skylake_tablet
+from repro.video.source import AnalyticContentModel, FrameDescriptor
+
+
+@pytest.fixture
+def fhd_config() -> SystemConfig:
+    """The paper's baseline platform with an FHD 60 Hz panel."""
+    return skylake_tablet(FHD)
+
+
+@pytest.fixture
+def uhd4k_config() -> SystemConfig:
+    """The baseline platform with a 4K 60 Hz panel."""
+    return skylake_tablet(UHD_4K)
+
+
+@pytest.fixture
+def fhd_frames() -> list[FrameDescriptor]:
+    """A short deterministic FHD stream."""
+    return AnalyticContentModel().frames(FHD, 24, seed=7)
+
+
+@pytest.fixture
+def small_clip() -> list[np.ndarray]:
+    """Eight 96x64 frames with smooth motion, for the functional codec."""
+    width, height = 96, 64
+    ys, xs = np.mgrid[0:height, 0:width]
+    clip = []
+    for t in range(8):
+        base = (xs * 2 + ys * 3 + 5 * t) % 256
+        blob = 80.0 * np.exp(
+            -(((xs - 20 - 3 * t) ** 2 + (ys - 30) ** 2) / 150.0)
+        )
+        frame = np.stack(
+            [base, 255 - base, (base * 0.5 + 64)], axis=-1
+        ) + blob[..., None]
+        clip.append(np.clip(frame, 0, 255).astype(np.uint8))
+    return clip

@@ -1,0 +1,75 @@
+"""The Sec. 4.4 hardware cost model."""
+
+import pytest
+
+from repro.config import FHD, PanelConfig, UHD_4K
+from repro.core.cost import CostReport, HardwareCostModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return HardwareCostModel()
+
+
+class TestPaperNumbers:
+    def test_4k_drfb_costs_32_5_cents(self, model):
+        """Sec. 4.4: 24 MB extra at $13.9/GB is ~32.5 cents."""
+        report = model.report(PanelConfig(resolution=UHD_4K))
+        assert report.drfb_bom_usd == pytest.approx(0.325, abs=0.01)
+
+    def test_panel_bom_fraction_0_3_percent(self, model):
+        report = model.report(PanelConfig(resolution=UHD_4K))
+        assert report.drfb_panel_bom_fraction == pytest.approx(
+            0.003, abs=0.0005
+        )
+
+    def test_device_bom_fraction_0_05_percent(self, model):
+        report = model.report(PanelConfig(resolution=UHD_4K))
+        assert report.drfb_device_bom_fraction == pytest.approx(
+            0.0005, abs=0.0001
+        )
+
+    def test_power_overhead_58_mw(self, model):
+        report = model.report(PanelConfig(resolution=UHD_4K))
+        assert report.drfb_power_overhead_mw == 58.0
+
+    def test_firmware_is_tens_of_lines(self, model):
+        report = model.report(PanelConfig(resolution=FHD))
+        assert 10 <= report.firmware_lines_added <= 100
+
+    def test_die_area_increase_tiny(self, model):
+        report = model.report(PanelConfig(resolution=FHD))
+        assert report.die_area_increase_fraction == pytest.approx(
+            0.00004
+        )
+
+
+class TestScaling:
+    def test_cost_scales_with_frame_size(self, model):
+        fhd = model.report(PanelConfig(resolution=FHD))
+        uhd = model.report(PanelConfig(resolution=UHD_4K))
+        assert uhd.drfb_bom_usd > 3 * fhd.drfb_bom_usd
+
+    def test_extra_bytes_is_one_frame(self, model):
+        panel = PanelConfig(resolution=UHD_4K)
+        report = model.report(panel)
+        assert report.drfb_extra_bytes == panel.frame_bytes
+
+
+class TestValidation:
+    def test_bad_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardwareCostModel(dram_usd_per_gb=0)
+        with pytest.raises(ConfigurationError):
+            HardwareCostModel(drfb_power_overhead_mw=-1)
+        with pytest.raises(ConfigurationError):
+            HardwareCostModel(firmware_lines_added=-1)
+
+    def test_summary_mentions_key_figures(self, model):
+        summary = model.report(PanelConfig(resolution=UHD_4K)).summary()
+        assert "24 MB" in summary
+        assert "58 mW" in summary
+        assert isinstance(
+            CostReport.summary, type(HardwareCostModel.report)
+        ) or True  # summary is a plain method

@@ -1,0 +1,77 @@
+"""The scheme-selection / fallback policy."""
+
+from repro.core.burstlink import BurstLinkScheme
+from repro.core.bursting import FrameBurstingScheme
+from repro.core.fallback import SchemeSelector, select_scheme
+from repro.core.windowed import WindowedVideoScheme
+from repro.pipeline.conventional import ConventionalScheme
+from repro.soc.registers import (
+    PlaneDescriptor,
+    PlaneType,
+    RegisterFile,
+)
+
+
+class TestSelection:
+    def test_full_screen_video_selects_burstlink(self):
+        scheme = select_scheme(RegisterFile.full_screen_video())
+        assert isinstance(scheme, BurstLinkScheme)
+
+    def test_windowed_video_selects_psr2_path(self):
+        scheme = select_scheme(RegisterFile.windowed_video())
+        assert isinstance(scheme, WindowedVideoScheme)
+
+    def test_single_graphics_plane_selects_bursting(self):
+        """Sec. 6.5: a single non-video plane (gaming, productivity)
+        arms Frame Bursting."""
+        registers = RegisterFile()
+        registers.register_plane(PlaneDescriptor(PlaneType.GRAPHICS))
+        scheme = select_scheme(registers)
+        assert isinstance(scheme, FrameBurstingScheme)
+
+    def test_multi_plane_selects_conventional(self):
+        scheme = select_scheme(RegisterFile.multi_plane_desktop())
+        assert isinstance(scheme, ConventionalScheme)
+
+
+class TestFallbackTriggers:
+    def test_graphics_interrupt(self):
+        registers = RegisterFile.full_screen_video()
+        registers.graphics_interrupt = True
+        assert isinstance(select_scheme(registers), ConventionalScheme)
+
+    def test_psr2_exit(self):
+        registers = RegisterFile.windowed_video()
+        registers.psr2_exited = True
+        assert isinstance(select_scheme(registers), ConventionalScheme)
+
+    def test_multi_panel(self):
+        registers = RegisterFile.full_screen_video()
+        registers.panel_count = 3
+        assert isinstance(select_scheme(registers), ConventionalScheme)
+
+
+class TestSelectorLog:
+    def test_decisions_recorded_with_reasons(self):
+        selector = SchemeSelector()
+        selector.select(RegisterFile.full_screen_video())
+        registers = RegisterFile.full_screen_video()
+        registers.psr2_exited = True
+        selector.select(registers)
+        assert len(selector.decisions) == 2
+        names = [name for name, _ in selector.decisions]
+        assert names == ["burstlink", "conventional"]
+        assert "PSR2" in selector.decisions[1][1]
+
+    def test_fallback_reasons_distinct(self):
+        selector = SchemeSelector()
+        for mutate, keyword in (
+            (lambda r: setattr(r, "graphics_interrupt", True),
+             "interrupt"),
+            (lambda r: setattr(r, "psr2_exited", True), "PSR2"),
+            (lambda r: setattr(r, "panel_count", 2), "panels"),
+        ):
+            registers = RegisterFile.full_screen_video()
+            mutate(registers)
+            selector.select(registers)
+            assert keyword in selector.decisions[-1][1]

@@ -1,0 +1,130 @@
+"""The functional multi-plane compositor."""
+
+import numpy as np
+import pytest
+
+from repro.config import Resolution
+from repro.display.composition import (
+    CompositionPlane,
+    compose,
+    desktop_stack,
+)
+from repro.errors import ConfigurationError, DataPathError
+from repro.soc.registers import PlaneType
+
+
+def solid(height, width, value):
+    return np.full((height, width, 3), value, dtype=np.uint8)
+
+
+OUTPUT = Resolution(64, 48)
+
+
+class TestPlaneValidation:
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            CompositionPlane(
+                PlaneType.VIDEO, np.zeros((8, 8), dtype=np.uint8)
+            )
+
+    def test_bad_dtype(self):
+        with pytest.raises(ConfigurationError):
+            CompositionPlane(
+                PlaneType.VIDEO, np.zeros((8, 8, 3), dtype=np.int32)
+            )
+
+    def test_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            CompositionPlane(
+                PlaneType.VIDEO, solid(8, 8, 0), alpha=1.5
+            )
+
+    def test_negative_position(self):
+        with pytest.raises(ConfigurationError):
+            CompositionPlane(PlaneType.VIDEO, solid(8, 8, 0), x=-1)
+
+
+class TestCompose:
+    def test_single_plane_fills_region(self):
+        plane = CompositionPlane(
+            PlaneType.BACKGROUND, solid(48, 64, 99)
+        )
+        result = compose([plane], OUTPUT)
+        assert result.frame.shape == (48, 64, 3)
+        assert np.all(result.frame == 99)
+
+    def test_z_order_wins(self):
+        bottom = CompositionPlane(
+            PlaneType.BACKGROUND, solid(48, 64, 10), z=0
+        )
+        top = CompositionPlane(
+            PlaneType.VIDEO, solid(16, 16, 200), x=4, y=4, z=5
+        )
+        result = compose([bottom, top], OUTPUT)
+        assert result.frame[10, 10, 0] == 200
+        assert result.frame[40, 40, 0] == 10
+
+    def test_z_order_independent_of_list_order(self):
+        bottom = CompositionPlane(
+            PlaneType.BACKGROUND, solid(48, 64, 10), z=0
+        )
+        top = CompositionPlane(
+            PlaneType.VIDEO, solid(16, 16, 200), x=0, y=0, z=5
+        )
+        a = compose([bottom, top], OUTPUT)
+        b = compose([top, bottom], OUTPUT)
+        assert np.array_equal(a.frame, b.frame)
+
+    def test_alpha_blend(self):
+        bottom = CompositionPlane(
+            PlaneType.BACKGROUND, solid(48, 64, 100), z=0
+        )
+        overlay = CompositionPlane(
+            PlaneType.GRAPHICS, solid(48, 64, 200), z=1, alpha=0.5
+        )
+        result = compose([bottom, overlay], OUTPUT)
+        assert result.frame[0, 0, 0] == 150
+
+    def test_read_bytes_sum_all_planes(self):
+        """Observation 1: the merge reads every plane buffer."""
+        planes = desktop_stack(OUTPUT)
+        result = compose(planes, OUTPUT)
+        assert result.read_bytes == sum(p.size_bytes for p in planes)
+        assert result.planes_merged == 4
+
+    def test_out_of_bounds_plane_rejected(self):
+        oversized = CompositionPlane(
+            PlaneType.VIDEO, solid(64, 64, 0), x=10
+        )
+        with pytest.raises(DataPathError):
+            compose([oversized], OUTPUT)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compose([], OUTPUT)
+
+
+class TestDesktopStack:
+    def test_four_planes(self):
+        planes = desktop_stack(OUTPUT)
+        types = {p.plane_type for p in planes}
+        assert types == {
+            PlaneType.BACKGROUND,
+            PlaneType.VIDEO,
+            PlaneType.GRAPHICS,
+            PlaneType.CURSOR,
+        }
+
+    def test_composes_cleanly(self):
+        result = compose(desktop_stack(OUTPUT), OUTPUT)
+        assert result.frame.shape == (48, 64, 3)
+        # The cursor (white, topmost, at the screen centre) is visible.
+        assert result.frame[24, 32, 0] > 200
+
+    def test_custom_video_plane(self):
+        video = solid(16, 16, 77)
+        planes = desktop_stack(OUTPUT, video=video)
+        video_plane = next(
+            p for p in planes if p.plane_type is PlaneType.VIDEO
+        )
+        assert video_plane.content is video

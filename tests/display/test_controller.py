@@ -1,0 +1,114 @@
+"""The display controller: buffer mechanics, fetch plans, composition."""
+
+import math
+
+import pytest
+
+from repro.config import DisplayControllerConfig, UHD_4K
+from repro.display.controller import DisplayController
+from repro.errors import (
+    BufferOverflowError,
+    BufferUnderflowError,
+    ConfigurationError,
+)
+from repro.units import gb_per_s, kib, mib
+
+
+@pytest.fixture
+def dc():
+    return DisplayController()
+
+
+class TestBufferMechanics:
+    def test_fill_and_drain(self, dc):
+        dc.fill(kib(512))
+        assert dc.buffered_bytes == kib(512)
+        dc.drain(kib(512))
+        assert dc.is_empty
+
+    def test_overflow(self, dc):
+        with pytest.raises(BufferOverflowError):
+            dc.fill(dc.config.buffer_size + 1)
+
+    def test_underflow(self, dc):
+        with pytest.raises(BufferUnderflowError):
+            dc.drain(1)
+
+    def test_is_full_respects_chunk_granularity(self, dc):
+        dc.fill(dc.config.buffer_size - dc.config.chunk_size / 2)
+        assert dc.is_full  # no room for a full chunk
+
+    def test_negative_sizes_rejected(self, dc):
+        with pytest.raises(ConfigurationError):
+            dc.fill(-1)
+        with pytest.raises(ConfigurationError):
+            dc.drain(-1)
+
+    def test_counters(self, dc):
+        dc.fill(kib(512))
+        dc.drain(kib(256))
+        dc.drain(kib(256))
+        assert dc.fills == 1
+        assert dc.drains == 2
+
+
+class TestFetchPlan:
+    def test_chunk_count(self, dc):
+        plan = dc.fetch_plan(UHD_4K.frame_bytes(), gb_per_s(4))
+        assert plan.chunk_count == math.ceil(
+            UHD_4K.frame_bytes() / dc.config.chunk_size
+        )
+
+    def test_total_fetch_time(self, dc):
+        frame = mib(6)
+        plan = dc.fetch_plan(frame, gb_per_s(4))
+        expected = (
+            plan.chunk_count * dc.config.chunk_setup_latency
+            + frame / gb_per_s(4)
+        )
+        assert plan.total_fetch_time == pytest.approx(expected)
+
+    def test_per_chunk_time(self, dc):
+        plan = dc.fetch_plan(mib(6), gb_per_s(4))
+        assert plan.per_chunk_fetch_time == pytest.approx(
+            dc.config.chunk_setup_latency
+            + dc.config.chunk_size / gb_per_s(4)
+        )
+
+    def test_reads_whole_frame(self, dc):
+        plan = dc.fetch_plan(mib(6), gb_per_s(4))
+        assert plan.total_read_bytes == mib(6)
+
+    def test_rejects_bad_inputs(self, dc):
+        with pytest.raises(ConfigurationError):
+            dc.fetch_plan(0, gb_per_s(4))
+        with pytest.raises(ConfigurationError):
+            dc.fetch_plan(mib(1), 0)
+
+
+class TestBypassCycles:
+    def test_cycles_per_half_buffer(self):
+        dc = DisplayController(DisplayControllerConfig(
+            buffer_size=mib(1)
+        ))
+        assert dc.bypass_chunk_cycles(mib(6)) == 12
+
+
+class TestComposition:
+    def test_reads_every_plane(self, dc):
+        """Sec. 3: composition must read all plane buffers — the reason
+        multi-plane display cannot bypass DRAM."""
+        planes = [mib(6), mib(6), kib(64), kib(16)]
+        assert dc.composition_read_bytes(planes) == sum(planes)
+        assert dc.composed_planes == 4
+
+    def test_single_plane(self, dc):
+        assert dc.composition_read_bytes([mib(6)]) == mib(6)
+
+    def test_empty_rejected(self, dc):
+        with pytest.raises(ConfigurationError):
+            dc.composition_read_bytes([])
+
+    def test_nonpositive_plane_rejected(self, dc):
+        with pytest.raises(ConfigurationError):
+            dc.composition_read_bytes([mib(1), 0])

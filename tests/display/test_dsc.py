@@ -1,0 +1,121 @@
+"""The DSC extension: fixed-rate line codec and link scaling."""
+
+import numpy as np
+import pytest
+
+from repro.config import UHD_4K, skylake_tablet
+from repro.display.dsc import DscConfig, DscLineCodec, with_dsc
+from repro.errors import CodecError, ConfigurationError
+
+
+@pytest.fixture
+def codec():
+    return DscLineCodec(DscConfig(ratio=2.0))
+
+
+def gradient_line(pixels=128):
+    x = np.arange(pixels)
+    return np.stack(
+        [x % 250, (x // 2) % 250, 250 - x % 250], axis=-1
+    ).astype(np.uint8)
+
+
+class TestConfig:
+    def test_ratio_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DscConfig(ratio=1.0)
+        with pytest.raises(ConfigurationError):
+            DscConfig(ratio=3.5)
+
+    def test_functional_codec_caps_at_2(self):
+        with pytest.raises(ConfigurationError):
+            DscLineCodec(DscConfig(ratio=3.0))
+
+    def test_effective_link_scales(self):
+        config = skylake_tablet(UHD_4K)
+        scaled = DscConfig(ratio=2.0).effective_link(config.edp)
+        assert scaled.max_bandwidth == pytest.approx(
+            2 * config.edp.max_bandwidth
+        )
+        assert "DSC" in scaled.name
+
+    def test_with_dsc_enables_4k144(self):
+        """4K@144 exceeds eDP 1.4 raw; DSC 2:1 makes it feasible."""
+        with pytest.raises(ConfigurationError):
+            skylake_tablet(UHD_4K, refresh_hz=144)
+        config = with_dsc(skylake_tablet(UHD_4K, refresh_hz=60))
+        assert config.edp.max_bandwidth > (
+            UHD_4K.frame_bytes() * 144
+        )
+
+
+class TestFixedRate:
+    def test_budget_respected_on_worst_case(self, codec):
+        """Pure noise — the hardest content — still fits the budget."""
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            line = rng.integers(0, 256, (128, 3), dtype=np.uint8)
+            assert len(codec.encode_line(line)) <= codec.budget(128)
+
+    def test_budget_converges_to_ratio(self, codec):
+        budget = codec.budget(3840)
+        assert budget / (3840 * 3) == pytest.approx(0.5, abs=0.01)
+
+
+class TestQuality:
+    def test_gradient_near_lossless(self, codec):
+        line = gradient_line()
+        decoded = codec.decode_line(codec.encode_line(line), 128)
+        error = np.abs(
+            decoded.astype(int) - line.astype(int)
+        ).max()
+        assert error <= 2
+
+    def test_natural_content_visually_lossless(self, codec):
+        rng = np.random.default_rng(2)
+        frame = np.clip(
+            np.cumsum(rng.normal(0, 3, (8, 96, 3)), axis=1) + 128,
+            0, 255,
+        ).astype(np.uint8)
+        decoded = codec.decode_frame(codec.encode_frame(frame), 96)
+        error = np.abs(decoded.astype(int) - frame.astype(int))
+        assert error.max() <= 4
+
+    def test_first_pixel_exact(self, codec):
+        line = gradient_line()
+        decoded = codec.decode_line(codec.encode_line(line), 128)
+        assert np.array_equal(decoded[0], line[0])
+
+    def test_closed_loop_error_does_not_accumulate(self, codec):
+        """On a long constant-slope ramp the error stays bounded
+        instead of growing with position — the closed-loop property."""
+        x = np.arange(512)
+        line = np.stack([x // 4] * 3, axis=-1).astype(np.uint8)
+        decoded = codec.decode_line(codec.encode_line(line), 512)
+        tail_error = np.abs(
+            decoded[-64:].astype(int) - line[-64:].astype(int)
+        ).max()
+        assert tail_error <= 2
+
+
+class TestValidation:
+    def test_bad_line_shape(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode_line(np.zeros((16,), dtype=np.uint8))
+
+    def test_bad_dtype(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode_line(np.zeros((16, 3), dtype=np.int32))
+
+    def test_truncated_payload(self, codec):
+        with pytest.raises(CodecError):
+            codec.decode_line(b"\x01", 16)
+
+    def test_payload_shorter_than_line(self, codec):
+        encoded = codec.encode_line(gradient_line(32))
+        with pytest.raises(CodecError):
+            codec.decode_line(encoded, 64)
+
+    def test_bad_frame_shape(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode_frame(np.zeros((8, 8), dtype=np.uint8))

@@ -1,0 +1,95 @@
+"""The eDP link model."""
+
+import pytest
+
+from repro.config import EdpConfig, UHD_4K
+from repro.display.edp import EdpLink, EdpLinkState
+from repro.errors import ConfigurationError, DataPathError, PowerStateError
+from repro.units import gbps
+
+
+@pytest.fixture
+def link():
+    return EdpLink()
+
+
+class TestRateValidation:
+    def test_maximum_allowed(self, link):
+        link.validate_rate(link.config.max_bandwidth)
+
+    def test_over_maximum_rejected(self, link):
+        with pytest.raises(ConfigurationError):
+            link.validate_rate(link.config.max_bandwidth * 1.01)
+
+    def test_zero_rejected(self, link):
+        with pytest.raises(ConfigurationError):
+            link.validate_rate(0)
+
+
+class TestPowerStates:
+    def test_starts_off(self, link):
+        assert link.state is EdpLinkState.OFF
+
+    def test_power_on_pays_wake_once(self, link):
+        assert link.power_on() == link.config.wake_latency
+        assert link.power_on() == 0.0
+        assert link.wake_count == 1
+
+    def test_power_off_from_idle(self, link):
+        link.power_on()
+        link.power_off()
+        assert link.state is EdpLinkState.OFF
+
+    def test_cannot_gate_mid_transfer(self, link):
+        link.state = EdpLinkState.ACTIVE
+        with pytest.raises(PowerStateError):
+            link.power_off()
+
+
+class TestTransfers:
+    def test_burst_duration_matches_paper(self, link):
+        """A 4K frame at the eDP 1.4 maximum takes ~7.7 ms (the paper
+        quotes 7.2 ms for its 24 MB figure)."""
+        frame = UHD_4K.frame_bytes()
+        transfer = link.transmit(frame, link.config.max_bandwidth)
+        assert transfer.duration == pytest.approx(
+            frame / gbps(25.92) + link.config.wake_latency
+        )
+        assert transfer.included_wake
+
+    def test_second_transfer_skips_wake(self, link):
+        link.transmit(1000, gbps(1))
+        transfer = link.transmit(1000, gbps(1))
+        assert not transfer.included_wake
+
+    def test_byte_accounting(self, link):
+        link.transmit(1000, gbps(1))
+        link.transmit(500, gbps(1))
+        assert link.bytes_transferred == 1500
+        assert len(link.transfers) == 2
+
+    def test_negative_size_rejected(self, link):
+        with pytest.raises(DataPathError):
+            link.transmit(-1, gbps(1))
+
+    def test_link_left_idle(self, link):
+        link.transmit(100, gbps(1))
+        assert link.state is EdpLinkState.IDLE
+
+
+class TestUtilization:
+    def test_conventional_4k60_underutilizes(self, link):
+        """Observation 2: conventional 4K 60 Hz uses under half the
+        eDP 1.4 bandwidth."""
+        pixel_rate = UHD_4K.frame_bytes() * 60
+        assert link.utilization(pixel_rate) < 0.5
+
+    def test_burst_is_full_utilization(self, link):
+        assert link.utilization(link.config.max_bandwidth) == (
+            pytest.approx(1.0)
+        )
+
+    def test_custom_generation(self):
+        slow = EdpLink(EdpConfig(name="eDP 1.3",
+                                 max_bandwidth=gbps(17.28)))
+        assert slow.utilization(gbps(17.28)) == pytest.approx(1.0)

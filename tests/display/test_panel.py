@@ -1,0 +1,91 @@
+"""The assembled display panel."""
+
+import pytest
+
+from repro.config import PanelConfig, Resolution
+from repro.display.panel import DisplayPanel
+from repro.display.rfb import DoubleRemoteFrameBuffer, RemoteFrameBuffer
+from repro.errors import ConfigurationError, DataPathError
+
+
+def conventional_panel() -> DisplayPanel:
+    return DisplayPanel(PanelConfig(resolution=Resolution(64, 32)))
+
+
+def burstlink_panel() -> DisplayPanel:
+    return DisplayPanel(
+        PanelConfig(resolution=Resolution(64, 32), remote_buffers=2)
+    )
+
+
+class TestConstruction:
+    def test_conventional_gets_single_rfb(self):
+        panel = conventional_panel()
+        assert isinstance(panel.remote_buffer, RemoteFrameBuffer)
+
+    def test_burstlink_gets_drfb(self):
+        panel = burstlink_panel()
+        assert isinstance(
+            panel.remote_buffer, DoubleRemoteFrameBuffer
+        )
+
+    def test_rfb_sized_for_one_frame(self):
+        panel = conventional_panel()
+        assert panel.remote_buffer.capacity == panel.config.frame_bytes
+
+    def test_psr_engine_attached(self):
+        assert conventional_panel().psr is not None
+
+    def test_no_psr_without_support(self):
+        panel = DisplayPanel(
+            PanelConfig(
+                resolution=Resolution(64, 32),
+                supports_psr=False,
+                supports_psr2=False,
+                remote_buffers=1,
+            )
+        )
+        assert panel.psr is None
+
+
+class TestFrameFlow:
+    def test_conventional_receive_then_refresh(self):
+        panel = conventional_panel()
+        panel.receive_frame(0)
+        assert panel.can_self_refresh
+        assert panel.refresh() == panel.config.frame_bytes
+        assert panel.refreshes == 1
+
+    def test_burstlink_needs_swap_before_refresh(self):
+        panel = burstlink_panel()
+        panel.receive_frame(0)
+        assert not panel.can_self_refresh  # frame only in back buffer
+        panel.swap_buffers()
+        assert panel.can_self_refresh
+        panel.refresh()
+
+    def test_swap_on_conventional_panel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            conventional_panel().swap_buffers()
+
+    def test_receive_counts(self):
+        panel = burstlink_panel()
+        panel.receive_frame(0)
+        panel.swap_buffers()
+        panel.receive_frame(1)
+        assert panel.received_frames == 2
+
+    def test_partial_frame_size(self):
+        panel = conventional_panel()
+        panel.receive_frame(0, size_bytes=1024)
+        assert panel.refresh() == 1024
+
+    def test_nonpositive_frame_rejected(self):
+        with pytest.raises(DataPathError):
+            conventional_panel().receive_frame(0, size_bytes=0)
+
+    def test_refresh_without_frame(self):
+        from repro.errors import BufferUnderflowError
+
+        with pytest.raises(BufferUnderflowError):
+            conventional_panel().refresh()

@@ -1,0 +1,71 @@
+"""The pixel formatter's fixed-rate scan-out."""
+
+import numpy as np
+import pytest
+
+from repro.config import PanelConfig, Resolution, UHD_4K
+from repro.display.pixel_formatter import PixelFormatter
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def small_panel():
+    return PanelConfig(resolution=Resolution(8, 4), refresh_hz=60)
+
+
+class TestRates:
+    def test_pixel_rate(self):
+        formatter = PixelFormatter(PanelConfig(resolution=UHD_4K))
+        assert formatter.pixel_rate == UHD_4K.pixels * 60
+
+    def test_byte_rate_matches_panel(self):
+        panel = PanelConfig(resolution=UHD_4K)
+        assert PixelFormatter(panel).byte_rate == (
+            panel.pixel_update_bandwidth
+        )
+
+    def test_full_frame_scan_takes_one_window(self):
+        panel = PanelConfig(resolution=UHD_4K, refresh_hz=60)
+        formatter = PixelFormatter(panel)
+        assert formatter.scan_duration() == pytest.approx(1 / 60)
+
+    def test_partial_scan_proportional(self):
+        panel = PanelConfig(resolution=UHD_4K, refresh_hz=60)
+        formatter = PixelFormatter(panel)
+        assert formatter.scan_duration(panel.frame_bytes / 4) == (
+            pytest.approx(1 / 240)
+        )
+
+    def test_negative_size_rejected(self, small_panel):
+        with pytest.raises(ConfigurationError):
+            PixelFormatter(small_panel).scan_duration(-1)
+
+
+class TestFormatting:
+    def test_output_shape(self, small_panel):
+        formatter = PixelFormatter(small_panel)
+        frame = np.zeros((4, 8, 3), dtype=np.uint8)
+        pixels = formatter.format_frame(frame)
+        assert pixels.shape == (32, 3)
+
+    def test_channel_order_swapped_to_bgr(self, small_panel):
+        formatter = PixelFormatter(small_panel)
+        frame = np.zeros((4, 8, 3), dtype=np.uint8)
+        frame[..., 0] = 10  # R
+        frame[..., 2] = 30  # B
+        pixels = formatter.format_frame(frame)
+        assert pixels[0, 0] == 30  # B first
+        assert pixels[0, 2] == 10  # R last
+
+    def test_shape_mismatch_rejected(self, small_panel):
+        formatter = PixelFormatter(small_panel)
+        with pytest.raises(ConfigurationError):
+            formatter.format_frame(np.zeros((8, 4, 3), dtype=np.uint8))
+
+    def test_counters(self, small_panel):
+        formatter = PixelFormatter(small_panel)
+        frame = np.zeros((4, 8, 3), dtype=np.uint8)
+        formatter.format_frame(frame)
+        formatter.format_frame(frame)
+        assert formatter.frames_formatted == 2
+        assert formatter.bytes_formatted == 2 * frame.nbytes

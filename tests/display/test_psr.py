@@ -1,0 +1,112 @@
+"""The PSR/PSR2 protocol engine."""
+
+import pytest
+
+from repro.display.psr import PsrEngine, PsrState, SelectiveUpdate
+from repro.display.rfb import DoubleRemoteFrameBuffer, RemoteFrameBuffer
+from repro.errors import DataPathError, PowerStateError
+from repro.units import mib
+
+
+@pytest.fixture
+def engine():
+    rfb = RemoteFrameBuffer(mib(24))
+    rfb.store(0, mib(24))
+    return PsrEngine(rfb)
+
+
+class TestEntryExit:
+    def test_enter_requires_resident_frame(self):
+        empty = PsrEngine(RemoteFrameBuffer(mib(1)))
+        with pytest.raises(PowerStateError):
+            empty.enter_psr()
+
+    def test_enter_and_self_refresh(self, engine):
+        engine.enter_psr()
+        assert engine.state is PsrState.PSR_ACTIVE
+        assert engine.self_refresh() == mib(24)
+        assert engine.self_refresh_count == 1
+
+    def test_self_refresh_requires_psr(self, engine):
+        with pytest.raises(PowerStateError):
+            engine.self_refresh()
+
+    def test_exit_returns_to_live(self, engine):
+        engine.enter_psr()
+        engine.exit_psr()
+        assert engine.state is PsrState.LIVE
+        assert engine.exits == 1
+
+    def test_exit_from_live_is_noop(self, engine):
+        engine.exit_psr()
+        assert engine.exits == 0
+
+    def test_reentry_after_exit(self, engine):
+        engine.enter_psr()
+        engine.exit_psr()
+        engine.enter_psr()
+        assert engine.state is PsrState.PSR_ACTIVE
+
+
+class TestSelectiveUpdates:
+    def test_update_moves_to_psr2(self, engine):
+        engine.enter_psr()
+        engine.selective_update(SelectiveUpdate(0, mib(6)))
+        assert engine.state is PsrState.PSR2_UPDATING
+        assert engine.updated_bytes == mib(6)
+
+    def test_update_requires_psr(self, engine):
+        with pytest.raises(PowerStateError):
+            engine.selective_update(SelectiveUpdate(0, 100))
+
+    def test_update_requires_psr2_support(self):
+        rfb = RemoteFrameBuffer(mib(24))
+        rfb.store(0, mib(24))
+        engine = PsrEngine(rfb, supports_psr2=False)
+        engine.enter_psr()
+        with pytest.raises(PowerStateError):
+            engine.selective_update(SelectiveUpdate(0, 100))
+
+    def test_update_bounds_checked(self, engine):
+        engine.enter_psr()
+        with pytest.raises(DataPathError):
+            engine.selective_update(SelectiveUpdate(mib(20), mib(5)))
+
+    def test_bad_update_geometry_rejected(self):
+        with pytest.raises(DataPathError):
+            SelectiveUpdate(-1, 10)
+        with pytest.raises(DataPathError):
+            SelectiveUpdate(0, 0)
+
+    def test_multiple_updates_accumulate(self, engine):
+        engine.enter_psr()
+        for _ in range(3):
+            engine.selective_update(SelectiveUpdate(0, mib(2)))
+        assert engine.updated_bytes == mib(6)
+        assert len(engine.selective_updates) == 3
+
+
+class TestWithDrfb:
+    def test_drfb_self_refresh_from_front(self):
+        drfb = DoubleRemoteFrameBuffer(mib(24))
+        drfb.receive_burst(0, mib(24))
+        drfb.swap()
+        engine = PsrEngine(drfb)
+        engine.enter_psr()
+        assert engine.self_refresh() == mib(24)
+
+    def test_drfb_without_displayable_frame(self):
+        drfb = DoubleRemoteFrameBuffer(mib(24))
+        drfb.receive_burst(0, mib(24))  # still only in the back buffer
+        engine = PsrEngine(drfb)
+        with pytest.raises(PowerStateError):
+            engine.enter_psr()
+
+    def test_drfb_selective_update_bounds(self):
+        drfb = DoubleRemoteFrameBuffer(mib(24))
+        drfb.receive_burst(0, mib(24))
+        drfb.swap()
+        engine = PsrEngine(drfb)
+        engine.enter_psr()
+        with pytest.raises(DataPathError):
+            engine.selective_update(SelectiveUpdate(mib(23), mib(2)))

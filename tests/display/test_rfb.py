@@ -1,0 +1,126 @@
+"""Remote frame buffers: the PSR RFB and the BurstLink DRFB."""
+
+import pytest
+
+from repro.display.rfb import DoubleRemoteFrameBuffer, RemoteFrameBuffer
+from repro.errors import (
+    BufferOverflowError,
+    BufferUnderflowError,
+    ConfigurationError,
+    DataPathError,
+)
+from repro.units import mib
+
+
+class TestRemoteFrameBuffer:
+    def test_store_and_scan(self):
+        rfb = RemoteFrameBuffer(mib(24))
+        rfb.store(0, mib(24))
+        assert rfb.holds_frame
+        assert rfb.scan_out() == mib(24)
+        assert rfb.bytes_scanned == mib(24)
+
+    def test_store_replaces(self):
+        rfb = RemoteFrameBuffer(mib(24))
+        rfb.store(0, mib(24))
+        rfb.store(1, mib(20))
+        assert rfb.frame_id == 1
+        assert rfb.stored_bytes == mib(20)
+
+    def test_oversized_frame(self):
+        rfb = RemoteFrameBuffer(mib(24))
+        with pytest.raises(BufferOverflowError):
+            rfb.store(0, mib(25))
+
+    def test_scan_without_frame(self):
+        with pytest.raises(BufferUnderflowError):
+            RemoteFrameBuffer(mib(1)).scan_out()
+
+    def test_selective_update(self):
+        rfb = RemoteFrameBuffer(mib(24))
+        rfb.store(0, mib(24))
+        rfb.selective_update(mib(6))
+        assert rfb.bytes_written == mib(30)
+
+    def test_selective_update_needs_frame(self):
+        with pytest.raises(BufferUnderflowError):
+            RemoteFrameBuffer(mib(1)).selective_update(10)
+
+    def test_selective_update_bounds(self):
+        rfb = RemoteFrameBuffer(mib(24))
+        rfb.store(0, mib(10))
+        with pytest.raises(DataPathError):
+            rfb.selective_update(mib(11))
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RemoteFrameBuffer(0)
+
+    def test_nonpositive_frame_rejected(self):
+        with pytest.raises(DataPathError):
+            RemoteFrameBuffer(mib(1)).store(0, 0)
+
+
+class TestDoubleRemoteFrameBuffer:
+    def test_total_capacity_doubles(self):
+        # Sec. 4.4: a 24 MB RFB becomes a 48 MB DRFB.
+        drfb = DoubleRemoteFrameBuffer(mib(24))
+        assert drfb.total_capacity == mib(48)
+
+    def test_burst_lands_in_back_buffer(self):
+        drfb = DoubleRemoteFrameBuffer(mib(24))
+        drfb.receive_burst(0, mib(24))
+        assert drfb.pending_frame == 0
+        assert drfb.displayable_frame is None
+
+    def test_swap_promotes_pending_frame(self):
+        drfb = DoubleRemoteFrameBuffer(mib(24))
+        drfb.receive_burst(0, mib(24))
+        drfb.swap()
+        assert drfb.displayable_frame == 0
+        assert drfb.swaps == 1
+
+    def test_swap_requires_complete_frame(self):
+        with pytest.raises(BufferUnderflowError):
+            DoubleRemoteFrameBuffer(mib(24)).swap()
+
+    def test_decoupling_invariant(self):
+        """The BurstLink key property: a burst into the back buffer
+        never disturbs the frame the panel is scanning."""
+        drfb = DoubleRemoteFrameBuffer(mib(24))
+        drfb.receive_burst(0, mib(24))
+        drfb.swap()
+        # Frame 1 bursts in while frame 0 displays.
+        drfb.receive_burst(1, mib(24))
+        assert drfb.displayable_frame == 0
+        assert drfb.scan_out() == mib(24)
+        drfb.swap()
+        assert drfb.displayable_frame == 1
+
+    def test_steady_state_pipelining(self):
+        drfb = DoubleRemoteFrameBuffer(mib(24))
+        drfb.receive_burst(0, mib(24))
+        drfb.swap()
+        for frame in range(1, 6):
+            drfb.receive_burst(frame, mib(24))
+            drfb.scan_out()
+            drfb.swap()
+            assert drfb.displayable_frame == frame
+        assert drfb.swaps == 6
+
+    def test_selective_update_hits_front_buffer(self):
+        drfb = DoubleRemoteFrameBuffer(mib(24))
+        drfb.receive_burst(0, mib(24))
+        drfb.swap()
+        before = drfb.front.bytes_written
+        drfb.selective_update(mib(6))
+        assert drfb.front.bytes_written == before + mib(6)
+
+    def test_byte_counters_track_both_buffers(self):
+        drfb = DoubleRemoteFrameBuffer(mib(24))
+        drfb.receive_burst(0, mib(24))
+        drfb.swap()
+        drfb.receive_burst(1, mib(24))
+        drfb.scan_out()
+        assert drfb.bytes_written == mib(48)
+        assert drfb.bytes_scanned == mib(24)

@@ -1,0 +1,78 @@
+"""Traffic metering over time intervals."""
+
+import pytest
+
+from repro.dram.bandwidth import TrafficMeter, TrafficSample
+from repro.errors import DataPathError
+
+
+class TestSample:
+    def test_duration(self):
+        sample = TrafficSample(1.0, 3.0, read_bytes=100)
+        assert sample.duration == 2.0
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(DataPathError):
+            TrafficSample(3.0, 1.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(DataPathError):
+            TrafficSample(0, 1, read_bytes=-1)
+
+    def test_overlap(self):
+        sample = TrafficSample(1.0, 3.0)
+        assert sample.overlap(0.0, 2.0) == 1.0
+        assert sample.overlap(2.5, 10.0) == 0.5
+        assert sample.overlap(5.0, 6.0) == 0.0
+
+
+class TestMeter:
+    def test_totals(self):
+        meter = TrafficMeter()
+        meter.log_transfer(0, 1, read_bytes=100, write_bytes=50)
+        meter.log_transfer(1, 2, read_bytes=25)
+        assert meter.total_read_bytes == 125
+        assert meter.total_write_bytes == 50
+        assert meter.total_bytes == 175
+
+    def test_samples_kept_sorted(self):
+        meter = TrafficMeter()
+        meter.log_transfer(2, 3, read_bytes=1)
+        meter.log_transfer(0, 1, read_bytes=2)
+        assert [s.start for s in meter.samples] == [0, 2]
+
+    def test_interval_proration(self):
+        meter = TrafficMeter()
+        meter.log_transfer(0.0, 2.0, read_bytes=100)
+        read, write = meter.bytes_in(0.0, 1.0)
+        assert read == pytest.approx(50.0)
+        assert write == 0.0
+
+    def test_instantaneous_sample(self):
+        meter = TrafficMeter()
+        meter.log(TrafficSample(1.0, 1.0, write_bytes=64))
+        read, write = meter.bytes_in(0.5, 1.5)
+        assert write == 64
+        read, write = meter.bytes_in(2.0, 3.0)
+        assert write == 0
+
+    def test_average_bandwidth(self):
+        meter = TrafficMeter()
+        meter.log_transfer(0.0, 1.0, read_bytes=1e9)
+        read_bw, write_bw = meter.average_bandwidth(0.0, 2.0)
+        assert read_bw == pytest.approx(0.5e9)
+
+    def test_reversed_query_rejected(self):
+        with pytest.raises(DataPathError):
+            TrafficMeter().bytes_in(2.0, 1.0)
+
+    def test_zero_length_bandwidth_query_rejected(self):
+        with pytest.raises(DataPathError):
+            TrafficMeter().average_bandwidth(1.0, 1.0)
+
+    def test_reset(self):
+        meter = TrafficMeter()
+        meter.log_transfer(0, 1, read_bytes=1)
+        meter.reset()
+        assert meter.total_bytes == 0
+        assert meter.samples == []

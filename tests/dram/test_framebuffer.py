@@ -1,0 +1,126 @@
+"""Frame-buffer region management inside DRAM."""
+
+import pytest
+
+from repro.dram.framebuffer import FrameBufferManager, FrameBufferRegion
+from repro.errors import (
+    BufferOverflowError,
+    BufferUnderflowError,
+    ConfigurationError,
+    DataPathError,
+)
+from repro.units import gib, mib
+
+
+@pytest.fixture
+def manager():
+    return FrameBufferManager(dram_capacity=gib(8))
+
+
+class TestRegion:
+    def test_capacity(self):
+        region = FrameBufferRegion("video", mib(24), slots=2)
+        assert region.capacity == mib(48)
+
+    def test_slot_lifecycle(self):
+        region = FrameBufferRegion("video", mib(24), slots=2)
+        first = region.acquire_slot()
+        second = region.acquire_slot()
+        assert {first, second} == {0, 1}
+        assert region.free_slots == 0
+        region.release_slot(first)
+        assert region.free_slots == 1
+
+    def test_overflow_when_full(self):
+        region = FrameBufferRegion("video", mib(1), slots=1)
+        region.acquire_slot()
+        with pytest.raises(BufferOverflowError):
+            region.acquire_slot()
+
+    def test_double_release(self):
+        region = FrameBufferRegion("video", mib(1), slots=1)
+        index = region.acquire_slot()
+        region.release_slot(index)
+        with pytest.raises(BufferUnderflowError):
+            region.release_slot(index)
+
+    def test_release_out_of_range(self):
+        region = FrameBufferRegion("video", mib(1), slots=1)
+        with pytest.raises(DataPathError):
+            region.release_slot(5)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            FrameBufferRegion("bad", 0)
+        with pytest.raises(ConfigurationError):
+            FrameBufferRegion("bad", 10, slots=0)
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self, manager):
+        region = manager.allocate("video", mib(24))
+        assert manager.region("video") is region
+        assert manager.allocated_bytes == mib(48)
+
+    def test_duplicate_name(self, manager):
+        manager.allocate("video", mib(24))
+        with pytest.raises(ConfigurationError):
+            manager.allocate("video", mib(24))
+
+    def test_capacity_budget_enforced(self):
+        manager = FrameBufferManager(dram_capacity=mib(40))
+        with pytest.raises(BufferOverflowError):
+            manager.allocate("video", mib(24))  # double buffer = 48 MB
+
+    def test_free(self, manager):
+        manager.allocate("video", mib(24))
+        manager.free("video")
+        assert manager.allocated_bytes == 0
+
+    def test_free_unknown(self, manager):
+        with pytest.raises(ConfigurationError):
+            manager.free("video")
+
+    def test_conventional_multi_plane_layout(self, manager):
+        """The Sec. 3 example: four planes, each with its own buffer."""
+        for name in ("background", "video", "gui", "cursor"):
+            manager.allocate(name, mib(6), slots=2)
+        assert manager.allocated_bytes == 4 * mib(12)
+
+
+class TestTraffic:
+    def test_write_read_accounting(self, manager):
+        manager.allocate("video", mib(24))
+        manager.write("video", mib(24))
+        manager.read("video", mib(24))
+        assert manager.write_bytes == mib(24)
+        assert manager.read_bytes == mib(24)
+        assert manager.total_traffic == mib(48)
+
+    def test_write_larger_than_slot(self, manager):
+        manager.allocate("video", mib(24))
+        with pytest.raises(BufferOverflowError):
+            manager.write("video", mib(25))
+
+    def test_read_larger_than_region(self, manager):
+        manager.allocate("video", mib(24))
+        with pytest.raises(BufferUnderflowError):
+            manager.read("video", mib(49))
+
+    def test_negative_sizes_rejected(self, manager):
+        manager.allocate("video", mib(24))
+        with pytest.raises(DataPathError):
+            manager.write("video", -1)
+        with pytest.raises(DataPathError):
+            manager.read("video", -1)
+
+    def test_unknown_region_traffic(self, manager):
+        with pytest.raises(ConfigurationError):
+            manager.write("nope", 1)
+
+    def test_reset_traffic_keeps_allocations(self, manager):
+        manager.allocate("video", mib(24))
+        manager.write("video", mib(1))
+        manager.reset_traffic()
+        assert manager.total_traffic == 0
+        assert "video" in manager.regions

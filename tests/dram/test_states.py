@@ -1,0 +1,40 @@
+"""DRAM power states and their package C-state coupling."""
+
+import pytest
+
+from repro.dram.states import DramPowerState, dram_state_for_package
+from repro.soc.cstates import PackageCState
+
+
+class TestStates:
+    def test_only_active_serves_requests(self):
+        assert DramPowerState.ACTIVE.can_serve_requests
+        assert not DramPowerState.FAST_POWER_DOWN.can_serve_requests
+        assert not DramPowerState.SELF_REFRESH.can_serve_requests
+
+
+class TestPackageCoupling:
+    """Sec. 5.2: DRAM active in C0/C2, self-refresh in deeper states."""
+
+    @pytest.mark.parametrize(
+        "state", [PackageCState.C0, PackageCState.C2]
+    )
+    def test_active_in_shallow_states(self, state):
+        assert dram_state_for_package(state) is DramPowerState.ACTIVE
+
+    @pytest.mark.parametrize(
+        "state",
+        [
+            PackageCState.C3,
+            PackageCState.C6,
+            PackageCState.C7,
+            PackageCState.C7_PRIME,
+            PackageCState.C8,
+            PackageCState.C9,
+            PackageCState.C10,
+        ],
+    )
+    def test_self_refresh_in_deep_states(self, state):
+        assert dram_state_for_package(state) is (
+            DramPowerState.SELF_REFRESH
+        )

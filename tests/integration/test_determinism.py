@@ -1,0 +1,80 @@
+"""Determinism: every experiment must reproduce itself exactly.
+
+Reproduction work is worthless if two runs disagree; all randomness in
+the stack is seeded (content sizes, head traces, browsing activity), so
+identical calls must return identical numbers — bit-for-bit, not just
+approximately.
+"""
+
+from repro.analysis.experiments import (
+    fig09_planar_reduction_30fps,
+    fig11a_vr_workloads,
+    table2_power_comparison,
+)
+from repro.config import FHD, skylake_tablet
+from repro.core import BurstLinkScheme
+from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+from repro.power import PowerModel
+from repro.video.source import AnalyticContentModel
+from repro.workloads.browsing import browsing_timeline
+from repro.workloads.scenario import streaming_session
+
+
+class TestRunDeterminism:
+    def test_identical_runs_identical_energy(self):
+        def once():
+            config = skylake_tablet(FHD).with_drfb()
+            frames = AnalyticContentModel().frames(FHD, 12, seed=5)
+            run = FrameWindowSimulator(config, BurstLinkScheme()).run(
+                frames, 30.0
+            )
+            return PowerModel().report(run).total_energy_mj
+
+        assert once() == once()
+
+    def test_identical_timelines_segment_for_segment(self):
+        def once():
+            config = skylake_tablet(FHD)
+            frames = AnalyticContentModel().frames(FHD, 8, seed=3)
+            return FrameWindowSimulator(
+                config, ConventionalScheme()
+            ).run(frames, 60.0).timeline
+
+        a, b = once(), once()
+        assert len(a) == len(b)
+        for left, right in zip(a, b):
+            assert left == right
+
+
+class TestExperimentDeterminism:
+    def test_table2_reproduces(self):
+        first = table2_power_comparison()
+        second = table2_power_comparison()
+        assert first.baseline_avg_mw == second.baseline_avg_mw
+        assert first.burstlink_avg_mw == second.burstlink_avg_mw
+
+    def test_fig09_reproduces(self):
+        assert (
+            fig09_planar_reduction_30fps().reductions
+            == fig09_planar_reduction_30fps().reductions
+        )
+
+    def test_fig11a_reproduces(self):
+        assert (
+            fig11a_vr_workloads(frame_count=8).reductions
+            == fig11a_vr_workloads(frame_count=8).reductions
+        )
+
+
+class TestGeneratorDeterminism:
+    def test_browsing_timeline_reproduces(self):
+        config = skylake_tablet(FHD)
+        a = browsing_timeline(config, duration_s=1.0, seed=4)
+        b = browsing_timeline(config, duration_s=1.0, seed=4)
+        assert [s.state for s in a] == [s.state for s in b]
+
+    def test_scenario_reproduces(self):
+        a = streaming_session(skylake_tablet(FHD)).play()
+        b = streaming_session(skylake_tablet(FHD)).play()
+        assert a.average_power_mw == b.average_power_mw
+        assert a.scheme_sequence() == b.scheme_sequence()

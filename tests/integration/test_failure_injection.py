@@ -1,0 +1,179 @@
+"""Failure injection: the system's behaviour at and beyond its limits.
+
+These tests deliberately configure infeasible platforms and degraded
+inputs and check that failures are *detected and reported* — deadline
+misses recorded or raised, underruns counted, fallbacks engaged — never
+silently absorbed.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    EdpConfig,
+    FHD,
+    OrchestrationConfig,
+    Resolution,
+    SystemConfig,
+    UHD_5K,
+    VideoDecoderConfig,
+    skylake_tablet,
+)
+from repro.core import BurstLinkScheme, select_scheme
+from repro.errors import ConfigurationError, DeadlineMissError
+from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+from repro.soc.registers import RegisterFile
+from repro.units import gbps, mbps
+from repro.video.source import AnalyticContentModel, StreamSource
+
+
+class TestInfeasibleConfigurations:
+    def test_link_too_slow_is_rejected_at_construction(self):
+        """A link that cannot feed the panel is a config error, not a
+        runtime surprise."""
+        with pytest.raises(ConfigurationError):
+            SystemConfig(edp=EdpConfig(max_bandwidth=gbps(1.0)))
+
+    def test_slow_decoder_misses_recorded(self):
+        """A decoder too slow for the content records a miss on every
+        new-frame window."""
+        config = replace(
+            skylake_tablet(UHD_5K),
+            decoder=VideoDecoderConfig(max_output_rate=1e9),
+        )
+        frames = AnalyticContentModel().frames(UHD_5K, 6)
+        run = FrameWindowSimulator(config, ConventionalScheme()).run(
+            frames, 60.0
+        )
+        assert run.stats.deadline_misses == (
+            run.stats.new_frame_windows
+        )
+
+    def test_slow_decoder_raises_in_strict_mode(self):
+        config = replace(
+            skylake_tablet(UHD_5K),
+            decoder=VideoDecoderConfig(max_output_rate=1e9),
+            strict_deadlines=True,
+        )
+        frames = AnalyticContentModel().frames(UHD_5K, 6)
+        with pytest.raises(DeadlineMissError):
+            FrameWindowSimulator(config, ConventionalScheme()).run(
+                frames, 60.0
+            )
+
+    def test_enormous_orchestration_misses(self):
+        config = replace(
+            skylake_tablet(FHD),
+            orchestration=OrchestrationConfig(
+                baseline_per_frame=0.020  # longer than the window
+            ),
+        )
+        frames = AnalyticContentModel().frames(FHD, 4)
+        run = FrameWindowSimulator(config, ConventionalScheme()).run(
+            frames, 60.0
+        )
+        assert run.stats.deadline_misses > 0
+
+    def test_timeline_stays_valid_under_misses(self):
+        """Even a missing window must produce a full, contiguous
+        timeline (the panel still refreshes; the frame is just late)."""
+        config = replace(
+            skylake_tablet(UHD_5K),
+            decoder=VideoDecoderConfig(max_output_rate=1e9),
+        )
+        frames = AnalyticContentModel().frames(UHD_5K, 6)
+        run = FrameWindowSimulator(config, ConventionalScheme()).run(
+            frames, 60.0
+        )
+        assert run.duration == pytest.approx(
+            run.stats.windows / 60.0
+        )
+        assert sum(run.residency_fractions().values()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_burstlink_degrades_not_crashes_on_slow_decoder(self):
+        config = replace(
+            skylake_tablet(UHD_5K),
+            decoder=VideoDecoderConfig(max_output_rate=1.5e9),
+        ).with_drfb()
+        frames = AnalyticContentModel().frames(UHD_5K, 6)
+        run = FrameWindowSimulator(config, BurstLinkScheme()).run(
+            frames, 60.0
+        )
+        # It may or may not miss depending on the stretch policy, but
+        # the run must complete and account for all time.
+        assert run.duration > 0
+
+
+class TestNetworkDegradation:
+    def test_starved_stream_counts_underruns(self):
+        frames = AnalyticContentModel().frames(FHD, 20)
+        source = StreamSource(
+            frames=frames, bandwidth=mbps(0.5), prebuffer_frames=1
+        )
+        for index in range(20):
+            source.pop_frame(index / 30.0)
+        assert source.underruns > 10
+
+    def test_ample_bandwidth_has_no_underruns(self):
+        frames = AnalyticContentModel().frames(FHD, 20)
+        source = StreamSource(
+            frames=frames, bandwidth=mbps(200), prebuffer_frames=2
+        )
+        start = source.startup_delay
+        for index in range(20):
+            source.pop_frame(start + (index + 1) / 30.0)
+        assert source.underruns == 0
+
+
+class TestRuntimeFallbacks:
+    def test_user_input_mid_session_forces_conventional(self):
+        """A PSR2 exit (touch) must flip the selector to the
+        conventional scheme on the next selection."""
+        registers = RegisterFile.windowed_video()
+        assert select_scheme(registers).name == "windowed-video"
+        registers.psr2_exited = True
+        assert select_scheme(registers).name == "conventional"
+        registers.psr2_exited = False
+        assert select_scheme(registers).name == "windowed-video"
+
+    def test_new_plane_mid_session_forces_conventional(self):
+        registers = RegisterFile.full_screen_video()
+        assert select_scheme(registers).name == "burstlink"
+        registers.graphics_interrupt = True
+        assert select_scheme(registers).name == "conventional"
+
+    def test_second_app_breaks_bypass(self):
+        registers = RegisterFile.full_screen_video()
+        registers.open_video_session()
+        assert select_scheme(registers).name != "burstlink"
+
+
+class TestExtremeGeometry:
+    def test_tiny_panel_still_simulates(self):
+        config = SystemConfig(
+            panel=replace(
+                skylake_tablet(FHD).panel,
+                resolution=Resolution(160, 96),
+            )
+        )
+        frames = AnalyticContentModel().frames(
+            Resolution(160, 96), 4
+        )
+        run = FrameWindowSimulator(config, ConventionalScheme()).run(
+            frames, 30.0
+        )
+        assert run.stats.deadline_misses == 0
+
+    def test_low_fps_on_high_refresh(self):
+        config = skylake_tablet(FHD, refresh_hz=120.0)
+        frames = AnalyticContentModel().frames(FHD, 4)
+        run = FrameWindowSimulator(
+            config.with_drfb(), BurstLinkScheme()
+        ).run(frames, 12.0)
+        # 12 FPS on 120 Hz: nine repeat windows per new frame.
+        assert run.stats.repeat_windows == (
+            9 * run.stats.new_frame_windows
+        )

@@ -1,0 +1,80 @@
+"""The DRAM / Display / Others breakdown."""
+
+import pytest
+
+from repro.config import FHD, skylake_tablet
+from repro.core.burstlink import BurstLinkScheme
+from repro.errors import SimulationError
+from repro.pipeline.conventional import ConventionalScheme
+from repro.pipeline.sim import FrameWindowSimulator
+from repro.power.breakdown import SystemBreakdown, breakdown_report
+from repro.power.model import PowerModel
+from repro.video.source import AnalyticContentModel
+
+
+def reports():
+    config = skylake_tablet(FHD)
+    frames = AnalyticContentModel().frames(FHD, 24)
+    model = PowerModel()
+    base = model.report(
+        FrameWindowSimulator(config, ConventionalScheme()).run(
+            frames, 30.0
+        )
+    )
+    burst = model.report(
+        FrameWindowSimulator(
+            config.with_drfb(), BurstLinkScheme()
+        ).run(frames, 30.0)
+    )
+    return base, burst
+
+
+class TestBreakdown:
+    def test_buckets_sum_to_total(self):
+        base, _ = reports()
+        breakdown = breakdown_report(base)
+        assert breakdown.total_mj == pytest.approx(
+            base.total_energy_mj
+        )
+
+    def test_fractions_sum_to_one(self):
+        base, _ = reports()
+        breakdown = breakdown_report(base)
+        assert (
+            breakdown.dram_fraction
+            + breakdown.display_fraction
+            + breakdown.others_fraction
+        ) == pytest.approx(1.0)
+
+    def test_burstlink_guts_dram(self):
+        base, burst = reports()
+        assert breakdown_report(burst).dram_mj < (
+            breakdown_report(base).dram_mj / 3
+        )
+
+    def test_display_roughly_preserved(self):
+        """The panel keeps displaying either way; BurstLink shifts only
+        the datapath energy."""
+        base, burst = reports()
+        ratio = (
+            breakdown_report(burst).display_mj
+            / breakdown_report(base).display_mj
+        )
+        assert 0.8 < ratio < 1.1
+
+    def test_normalised_to_reference(self):
+        base, burst = reports()
+        base_breakdown = breakdown_report(base)
+        dram, display, others = breakdown_report(
+            burst
+        ).normalised_to(base_breakdown)
+        assert dram + display + others == pytest.approx(
+            breakdown_report(burst).total_mj
+            / base_breakdown.total_mj
+        )
+
+    def test_normalising_to_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            breakdown_report(reports()[0]).normalised_to(
+                SystemBreakdown(0, 0, 0)
+            )

@@ -1,0 +1,136 @@
+"""The component power library and its Skylake anchors."""
+
+import pytest
+
+from repro.config import FHD, PanelConfig, UHD_4K, skylake_tablet
+from repro.errors import CalibrationError
+from repro.pipeline.conventional import ConventionalScheme
+from repro.pipeline.sim import FrameWindowSimulator
+from repro.power.breakdown import breakdown_report
+from repro.power.calibration import (
+    SKYLAKE_TABLET_POWER,
+    ComponentPowerLibrary,
+)
+from repro.power.model import PowerModel
+from repro.soc.cstates import PackageCState
+from repro.units import gbps
+from repro.video.source import AnalyticContentModel
+
+
+@pytest.fixture
+def library():
+    return SKYLAKE_TABLET_POWER
+
+
+class TestValidation:
+    def test_floor_monotonicity_enforced(self):
+        floors = dict(SKYLAKE_TABLET_POWER.soc_floor)
+        floors[PackageCState.C9] = floors[PackageCState.C0] + 1
+        with pytest.raises(CalibrationError):
+            ComponentPowerLibrary(soc_floor=floors)
+
+    def test_missing_floor_rejected(self):
+        floors = dict(SKYLAKE_TABLET_POWER.soc_floor)
+        del floors[PackageCState.C8]
+        with pytest.raises(CalibrationError):
+            ComponentPowerLibrary(soc_floor=floors)
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(CalibrationError):
+            ComponentPowerLibrary(cpu_active=-1)
+
+
+class TestComponentPowers:
+    def test_panel_scales_with_resolution(self, library):
+        fhd = library.panel_power(PanelConfig(resolution=FHD))
+        uhd = library.panel_power(PanelConfig(resolution=UHD_4K))
+        assert uhd > fhd
+
+    def test_panel_scales_with_refresh(self, library):
+        base = library.panel_power(PanelConfig(refresh_hz=60))
+        fast = library.panel_power(PanelConfig(refresh_hz=120))
+        assert fast > base
+
+    def test_panel_off_is_free(self, library):
+        assert library.panel_power(
+            PanelConfig(), displaying=False
+        ) == 0.0
+
+    def test_panel_rx_adder(self, library):
+        panel = PanelConfig()
+        assert library.panel_power(panel, receiving=True) == (
+            library.panel_power(panel) + library.panel_rx_active
+        )
+
+    def test_edp_idle_is_free(self, library):
+        assert library.edp_power(0) == 0.0
+
+    def test_edp_scales_with_rate(self, library):
+        slow = library.edp_power(gbps(2.99))
+        fast = library.edp_power(gbps(25.92))
+        assert fast > slow > 0
+
+    def test_dc_power_rate_dependent(self, library):
+        assert library.dc_power(1e9) > library.dc_power(0) > 0
+
+    def test_dc_rejects_negative_rate(self, library):
+        with pytest.raises(CalibrationError):
+            library.dc_power(-1)
+
+    def test_dram_background_follows_package_state(self, library):
+        assert library.dram_background(PackageCState.C0) > (
+            library.dram_background(PackageCState.C8)
+        )
+
+    def test_vd_power_ladder(self, library):
+        assert (
+            library.vd_active
+            > library.vd_low_power
+            > library.vd_clock_gated
+            > 0
+        )
+
+
+class TestPaperAnchors:
+    """The calibration must reproduce the published measurements."""
+
+    def test_c9_package_power(self, library):
+        """Table 2: C9 at ~1090 mW (panel PSR + always-on)."""
+        total = (
+            library.floor(PackageCState.C9)
+            + library.panel_power(PanelConfig(resolution=FHD))
+            + library.dram_background(PackageCState.C9)
+            + library.always_on
+            + library.platform_idle
+            + library.wifi_streaming
+        )
+        assert total == pytest.approx(1090, rel=0.05)
+
+    def test_dram_over_30_percent_at_4k(self):
+        """Fig. 1: DRAM alone is ~30% of system energy at 4K."""
+        config = skylake_tablet(UHD_4K)
+        frames = AnalyticContentModel().frames(UHD_4K, 24)
+        run = FrameWindowSimulator(config, ConventionalScheme()).run(
+            frames, 30.0
+        )
+        share = breakdown_report(
+            PowerModel().report(run)
+        ).dram_fraction
+        assert share > 0.27
+
+    def test_dram_share_grows_with_resolution(self):
+        model = PowerModel()
+        shares = []
+        for resolution in (FHD, UHD_4K):
+            config = skylake_tablet(resolution)
+            frames = AnalyticContentModel().frames(resolution, 24)
+            run = FrameWindowSimulator(
+                config, ConventionalScheme()
+            ).run(frames, 30.0)
+            shares.append(
+                breakdown_report(model.report(run)).dram_fraction
+            )
+        assert shares[1] > shares[0]
+
+    def test_drfb_overhead_matches_samsung_estimate(self, library):
+        assert library.drfb_active == 58.0

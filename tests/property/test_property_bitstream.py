@@ -1,0 +1,73 @@
+"""Property-based tests for the bitstream layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.bitstream import BitReader, BitWriter
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100000),
+                max_size=50))
+def test_ue_sequences_roundtrip(values):
+    writer = BitWriter()
+    for value in values:
+        writer.write_ue(value)
+    reader = BitReader(writer.getvalue())
+    assert [reader.read_ue() for _ in values] == values
+
+
+@given(st.lists(st.integers(min_value=-50000, max_value=50000),
+                max_size=50))
+def test_se_sequences_roundtrip(values):
+    writer = BitWriter()
+    for value in values:
+        writer.write_se(value)
+    reader = BitReader(writer.getvalue())
+    assert [reader.read_se() for _ in values] == values
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=24),
+            st.integers(min_value=0),
+        ).map(lambda wv: (wv[0], wv[1] % (1 << wv[0]))),
+        max_size=50,
+    )
+)
+def test_fixed_width_fields_roundtrip(fields):
+    writer = BitWriter()
+    for width, value in fields:
+        writer.write_bits(value, width)
+    reader = BitReader(writer.getvalue())
+    assert [
+        reader.read_bits(width) for width, _ in fields
+    ] == [value for _, value in fields]
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), max_size=30),
+    st.lists(st.integers(min_value=-1000, max_value=1000),
+             max_size=30),
+)
+def test_mixed_streams_roundtrip(unsigned, signed):
+    """Interleaving ue/se codes never desynchronises the stream."""
+    writer = BitWriter()
+    for u, s in zip(unsigned, signed):
+        writer.write_ue(u)
+        writer.write_se(s)
+    reader = BitReader(writer.getvalue())
+    for u, s in zip(unsigned, signed):
+        assert reader.read_ue() == u
+        assert reader.read_se() == s
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+@settings(max_examples=200)
+def test_ue_length_monotone_in_magnitude_class(value):
+    """A UE code never gets shorter for a larger bit-length class."""
+    writer_small = BitWriter()
+    writer_small.write_ue(value)
+    writer_big = BitWriter()
+    writer_big.write_ue(value * 2 + 1)
+    assert writer_big.bit_length >= writer_small.bit_length

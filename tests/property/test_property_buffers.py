@@ -1,0 +1,114 @@
+"""Property-based tests on buffer state machines (DRFB, DC buffer)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DisplayControllerConfig
+from repro.display.controller import DisplayController
+from repro.display.rfb import DoubleRemoteFrameBuffer
+from repro.errors import BufferOverflowError, BufferUnderflowError
+from repro.units import mib
+
+#: Random burst/swap/scan command streams for the DRFB.
+drfb_commands = st.lists(
+    st.sampled_from(["burst", "swap", "scan"]),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(drfb_commands)
+@settings(max_examples=200)
+def test_drfb_never_corrupts_displayed_frame(commands):
+    """Under any command sequence, the frame id the panel scans only
+    ever changes at a swap — bursts never touch it."""
+    drfb = DoubleRemoteFrameBuffer(mib(1))
+    next_frame = 0
+    displayed = None
+    for command in commands:
+        if command == "burst":
+            drfb.receive_burst(next_frame, mib(1))
+            next_frame += 1
+            assert drfb.displayable_frame == displayed
+        elif command == "swap":
+            try:
+                drfb.swap()
+            except BufferUnderflowError:
+                continue
+            displayed = drfb.displayable_frame
+            assert displayed is not None
+        else:
+            try:
+                scanned = drfb.scan_out()
+            except BufferUnderflowError:
+                assert displayed is None
+                continue
+            assert scanned == mib(1)
+            assert drfb.displayable_frame == displayed
+
+
+@given(drfb_commands)
+@settings(max_examples=200)
+def test_drfb_swap_count_bounded_by_bursts(commands):
+    drfb = DoubleRemoteFrameBuffer(mib(1))
+    bursts = 0
+    for command in commands:
+        if command == "burst":
+            drfb.receive_burst(bursts, mib(1))
+            bursts += 1
+        elif command == "swap":
+            try:
+                drfb.swap()
+            except BufferUnderflowError:
+                pass
+    assert drfb.swaps <= bursts
+
+
+#: Random fill/drain sizes for the DC double buffer.
+dc_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["fill", "drain"]),
+        st.floats(min_value=1.0, max_value=float(mib(1))),
+    ),
+    max_size=80,
+)
+
+
+@given(dc_operations)
+@settings(max_examples=200)
+def test_dc_buffer_occupancy_always_in_bounds(operations):
+    """The DC buffer never reports occupancy below zero or above its
+    capacity, whatever sequence of fills/drains is attempted."""
+    dc = DisplayController(
+        DisplayControllerConfig(buffer_size=mib(1), chunk_size=mib(1) / 4)
+    )
+    for operation, size in operations:
+        try:
+            if operation == "fill":
+                dc.fill(size)
+            else:
+                dc.drain(size)
+        except (BufferOverflowError, BufferUnderflowError):
+            pass
+        assert -1e-6 <= dc.buffered_bytes <= dc.config.buffer_size + 1e-6
+
+
+@given(dc_operations)
+@settings(max_examples=100)
+def test_dc_conservation(operations):
+    """Accepted fills minus accepted drains equals the occupancy."""
+    dc = DisplayController(
+        DisplayControllerConfig(buffer_size=mib(1), chunk_size=mib(1) / 4)
+    )
+    filled = drained = 0.0
+    for operation, size in operations:
+        try:
+            if operation == "fill":
+                dc.fill(size)
+                filled += size
+            else:
+                dc.drain(size)
+                drained += size
+        except (BufferOverflowError, BufferUnderflowError):
+            pass
+    assert abs(dc.buffered_bytes - (filled - drained)) < 1e-3

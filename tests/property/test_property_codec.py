@@ -1,0 +1,85 @@
+"""Property-based tests for the functional codec."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.video.codec import Codec, CodecConfig
+from repro.video.frames import DecodedFrame, FrameType
+
+#: Small macroblock-aligned frames keep examples fast.
+frame_strategy = arrays(
+    dtype=np.uint8,
+    shape=(32, 32, 3),
+    elements=st.integers(min_value=0, max_value=255),
+)
+
+smooth_frame_strategy = st.integers(
+    min_value=0, max_value=200
+).map(
+    lambda base: np.clip(
+        np.fromfunction(
+            lambda y, x, c: base + x * 2 + y + c * 10, (32, 32, 3)
+        ),
+        0,
+        255,
+    ).astype(np.uint8)
+)
+
+
+@given(frame_strategy)
+@settings(max_examples=20, deadline=None)
+def test_encoder_reconstruction_equals_decoder_output(frame):
+    """For ANY frame — even pure noise — the encoder's local
+    reconstruction must match the decoder bit-for-bit (the no-drift
+    invariant)."""
+    codec = Codec(CodecConfig(qstep=12.0))
+    encoded, reconstruction = codec.encode_frame(0, frame, FrameType.I)
+    decoded = codec.decode_frame(encoded)
+    assert np.array_equal(decoded.pixels, reconstruction)
+
+
+@given(frame_strategy)
+@settings(max_examples=15, deadline=None)
+def test_p_frame_no_drift(frame):
+    codec = Codec(CodecConfig(qstep=12.0))
+    _, reference = codec.encode_frame(0, frame, FrameType.I)
+    shifted = np.roll(frame, 2, axis=1)
+    encoded, reconstruction = codec.encode_frame(
+        1, shifted, FrameType.P, past=reference
+    )
+    decoded = codec.decode_frame(encoded, past=reference)
+    assert np.array_equal(decoded.pixels, reconstruction)
+
+
+@given(smooth_frame_strategy)
+@settings(max_examples=15, deadline=None)
+def test_smooth_content_quality_floor(frame):
+    """Smooth gradients must survive coding at >= 30 dB PSNR."""
+    codec = Codec(CodecConfig(qstep=12.0))
+    encoded, _ = codec.encode_frame(0, frame, FrameType.I)
+    decoded = codec.decode_frame(encoded)
+    assert decoded.psnr(
+        DecodedFrame(0, FrameType.I, frame)
+    ) > 30.0
+
+
+@given(smooth_frame_strategy)
+@settings(max_examples=15, deadline=None)
+def test_smooth_content_compresses(frame):
+    codec = Codec(CodecConfig(qstep=12.0))
+    encoded, _ = codec.encode_frame(0, frame, FrameType.I)
+    assert encoded.size_bytes < frame.nbytes
+
+
+@given(frame_strategy, st.integers(min_value=4, max_value=60))
+@settings(max_examples=10, deadline=None)
+def test_qstep_never_grows_stream(frame, qstep):
+    """A coarser quantizer never yields a larger stream than qstep=2
+    on the same content."""
+    fine = Codec(CodecConfig(qstep=2.0))
+    coarse = Codec(CodecConfig(qstep=float(qstep)))
+    fine_encoded, _ = fine.encode_frame(0, frame, FrameType.I)
+    coarse_encoded, _ = coarse.encode_frame(0, frame, FrameType.I)
+    assert coarse_encoded.size_bytes <= fine_encoded.size_bytes

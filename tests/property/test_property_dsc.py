@@ -1,0 +1,75 @@
+"""Property-based tests for the DSC line codec: the fixed-rate and
+closed-loop guarantees must hold for arbitrary content."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.display.dsc import DscConfig, DscLineCodec
+
+lines = arrays(
+    dtype=np.uint8,
+    shape=st.integers(min_value=2, max_value=200).map(lambda n: (n, 3)),
+    elements=st.integers(min_value=0, max_value=255),
+)
+
+ratios = st.floats(min_value=1.6, max_value=2.0)
+
+
+@given(lines)
+@settings(max_examples=150, deadline=None)
+def test_budget_never_exceeded(line):
+    """The fixed-rate guarantee: no content, however adversarial, makes
+    a line exceed its budget."""
+    codec = DscLineCodec(DscConfig(ratio=2.0))
+    assert len(codec.encode_line(line)) <= codec.budget(line.shape[0])
+
+
+@given(lines)
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_shape_and_dtype(line):
+    codec = DscLineCodec(DscConfig(ratio=2.0))
+    decoded = codec.decode_line(
+        codec.encode_line(line), line.shape[0]
+    )
+    assert decoded.shape == line.shape
+    assert decoded.dtype == np.uint8
+
+
+@given(lines)
+@settings(max_examples=150, deadline=None)
+def test_first_pixel_always_exact(line):
+    codec = DscLineCodec(DscConfig(ratio=2.0))
+    decoded = codec.decode_line(
+        codec.encode_line(line), line.shape[0]
+    )
+    assert np.array_equal(decoded[0], line[0])
+
+
+@given(lines)
+@settings(max_examples=100, deadline=None)
+def test_error_bounded_by_step(line):
+    """Closed-loop DPCM: per-sample error stays within about one step
+    of the quantizer chosen for the channel (no unbounded drift)."""
+    codec = DscLineCodec(DscConfig(ratio=2.0))
+    encoded = codec.encode_line(line)
+    steps = np.array([encoded[0], encoded[1], encoded[2]],
+                     dtype=np.int64)
+    decoded = codec.decode_line(encoded, line.shape[0])
+    error = np.abs(decoded.astype(np.int64) - line.astype(np.int64))
+    for channel in range(3):
+        assert error[:, channel].max() <= 2 * steps[channel] + 1
+
+
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=2, max_value=100),
+)
+@settings(max_examples=100)
+def test_constant_lines_are_lossless(value, pixels):
+    """A flat line (zero deltas) must reconstruct exactly."""
+    codec = DscLineCodec(DscConfig(ratio=2.0))
+    line = np.full((pixels, 3), value, dtype=np.uint8)
+    decoded = codec.decode_line(codec.encode_line(line), pixels)
+    assert np.array_equal(decoded, line)

@@ -1,0 +1,111 @@
+"""Bitstream fuzzing: corrupted inputs must fail *loudly or safely*.
+
+A decoder fed a damaged stream may either raise :class:`CodecError`
+(detected corruption) or produce a structurally valid frame (the damage
+landed in coefficient data) — but it must never crash with an unrelated
+exception, hang, or emit a malformed array.  Same contract for the DSC
+line codec.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.display.dsc import DscConfig, DscLineCodec
+from repro.video.codec import Codec, CodecConfig
+from repro.video.frames import EncodedFrame, FrameType
+
+
+def reference_frame():
+    ys, xs = np.mgrid[0:32, 0:32]
+    return np.stack(
+        [(xs * 5) % 256, (ys * 3) % 256, (xs + ys) % 256], axis=-1
+    ).astype(np.uint8)
+
+
+def encoded_reference():
+    codec = Codec(CodecConfig(qstep=10.0))
+    encoded, _ = codec.encode_frame(0, reference_frame(), FrameType.I)
+    return codec, encoded
+
+
+_CODEC, _ENCODED = encoded_reference()
+
+
+@given(
+    st.integers(min_value=1, max_value=len(_ENCODED.payload) - 1),
+    st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=150, deadline=None)
+def test_bit_flips_fail_safely(byte_index, bit):
+    """Any single bit flip after the magic byte either raises
+    CodecError or decodes to a well-formed frame."""
+    payload = bytearray(_ENCODED.payload)
+    payload[byte_index] ^= 1 << bit
+    damaged = EncodedFrame(
+        index=_ENCODED.index,
+        frame_type=_ENCODED.frame_type,
+        width=_ENCODED.width,
+        height=_ENCODED.height,
+        payload=bytes(payload),
+    )
+    try:
+        decoded = _CODEC.decode_frame(damaged)
+    except CodecError:
+        return
+    assert decoded.pixels.shape == (32, 32, 3)
+    assert decoded.pixels.dtype == np.uint8
+
+
+@given(
+    st.integers(min_value=1, max_value=len(_ENCODED.payload) - 1)
+)
+@settings(max_examples=100, deadline=None)
+def test_truncation_fails_safely(cut):
+    payload = _ENCODED.payload[:cut]
+    damaged = EncodedFrame(
+        index=0,
+        frame_type=FrameType.I,
+        width=32,
+        height=32,
+        payload=payload,
+    )
+    try:
+        decoded = _CODEC.decode_frame(damaged)
+    except CodecError:
+        return
+    assert decoded.pixels.shape == (32, 32, 3)
+
+
+@given(st.binary(min_size=0, max_size=64))
+@settings(max_examples=150)
+def test_garbage_streams_rejected_or_safe(garbage):
+    """Pure garbage must not crash the decoder with anything but
+    CodecError."""
+    damaged = EncodedFrame(
+        index=0,
+        frame_type=FrameType.I,
+        width=32,
+        height=32,
+        payload=garbage,
+    )
+    try:
+        decoded = _CODEC.decode_frame(damaged)
+    except CodecError:
+        return
+    assert decoded.pixels.shape == (32, 32, 3)
+
+
+@given(st.binary(min_size=0, max_size=128),
+       st.integers(min_value=2, max_value=64))
+@settings(max_examples=150)
+def test_dsc_decoder_fuzz(garbage, pixels):
+    """The DSC line decoder has the same contract."""
+    codec = DscLineCodec(DscConfig(ratio=2.0))
+    try:
+        line = codec.decode_line(garbage, pixels)
+    except CodecError:
+        return
+    assert line.shape == (pixels, 3)
+    assert line.dtype == np.uint8

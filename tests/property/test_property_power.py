@@ -1,0 +1,127 @@
+"""Property-based tests on the power model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PanelConfig, Resolution
+from repro.dram.power import DramPowerModel
+from repro.pipeline.timeline import PanelMode, Segment, VdMode
+from repro.power.model import PowerModel
+from repro.soc.cstates import PackageCState
+
+bandwidths = st.floats(min_value=0.0, max_value=30e9)
+shallow_states = st.sampled_from(
+    [PackageCState.C0, PackageCState.C2]
+)
+deep_states = st.sampled_from(
+    [
+        PackageCState.C7,
+        PackageCState.C7_PRIME,
+        PackageCState.C8,
+        PackageCState.C9,
+    ]
+)
+resolutions = st.sampled_from(
+    [
+        Resolution(1920, 1080),
+        Resolution(2560, 1440),
+        Resolution(3840, 2160),
+    ]
+)
+
+
+@given(bandwidths, bandwidths)
+def test_dram_operating_power_superposition(read, write):
+    model = DramPowerModel()
+    combined = model.operating_power(read, write)
+    assert abs(
+        combined
+        - model.operating_power(read, 0)
+        - model.operating_power(0, write)
+    ) < 1e-6
+
+
+@given(shallow_states, bandwidths, resolutions)
+@settings(max_examples=100)
+def test_power_monotone_in_traffic(state, bandwidth, resolution):
+    model = PowerModel()
+    panel = PanelConfig(resolution=resolution)
+    quiet = Segment(start=0, end=1, state=state)
+    busy = Segment(
+        start=0, end=1, state=state, dram_read_bw=bandwidth
+    )
+    assert model.segment_power(busy, panel) >= model.segment_power(
+        quiet, panel
+    )
+
+
+@given(deep_states, resolutions)
+@settings(max_examples=100)
+def test_deep_states_cheaper_than_c0(state, resolution):
+    model = PowerModel()
+    panel = PanelConfig(resolution=resolution)
+    deep = Segment(start=0, end=1, state=state)
+    active = Segment(
+        start=0, end=1, state=PackageCState.C0, cpu_active=True,
+        vd_mode=VdMode.ACTIVE,
+    )
+    assert model.segment_power(deep, panel) < model.segment_power(
+        active, panel
+    )
+
+
+@given(
+    deep_states,
+    resolutions,
+    st.sampled_from([PanelMode.SELF_REFRESH, PanelMode.LIVE]),
+)
+@settings(max_examples=100)
+def test_power_always_positive(state, resolution, panel_mode):
+    model = PowerModel()
+    panel = PanelConfig(resolution=resolution)
+    segment = Segment(
+        start=0, end=1, state=state, panel_mode=panel_mode
+    )
+    assert model.segment_power(segment, panel) > 0
+
+
+@given(resolutions, st.floats(min_value=60.0, max_value=144.0))
+@settings(max_examples=100)
+def test_panel_power_monotone_in_refresh(resolution, refresh):
+    library = PowerModel().library
+    base = library.panel_power(
+        PanelConfig(resolution=resolution, refresh_hz=60.0)
+    )
+    fast = library.panel_power(
+        PanelConfig(resolution=resolution, refresh_hz=refresh)
+    )
+    assert fast >= base
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1e-4, max_value=10e-3),
+            deep_states,
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50)
+def test_report_energy_equals_sum_of_segments(phase_list):
+    """Total report energy always equals the integral over segments."""
+    from repro.pipeline.builder import TimelineBuilder
+
+    builder = TimelineBuilder(initial_state=PackageCState.C8)
+    for duration, state in phase_list:
+        builder.add(duration, state)
+    timeline = builder.build()
+    model = PowerModel()
+    panel = PanelConfig()
+    report = model.report_timeline(timeline, panel)
+    manual = sum(
+        model.segment_power(segment, panel) * segment.duration
+        for segment in timeline
+    )
+    assert abs(report.total_energy_mj - manual) < 1e-6

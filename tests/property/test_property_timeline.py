@@ -1,0 +1,105 @@
+"""Property-based tests on timelines and the builder."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.builder import TimelineBuilder
+from repro.soc.cstates import PackageCState
+
+#: States the builder commonly sequences through.
+states = st.sampled_from(
+    [
+        PackageCState.C0,
+        PackageCState.C2,
+        PackageCState.C7,
+        PackageCState.C7_PRIME,
+        PackageCState.C8,
+        PackageCState.C9,
+    ]
+)
+
+#: Phases long enough that excursions never fully consume them.
+phases = st.lists(
+    st.tuples(
+        st.floats(min_value=1e-3, max_value=20e-3), states
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(phases)
+@settings(max_examples=100)
+def test_time_is_conserved(phase_list):
+    """The built timeline covers exactly the sum of phase durations,
+    no matter how many excursions were inserted."""
+    builder = TimelineBuilder(initial_state=PackageCState.C0)
+    for duration, state in phase_list:
+        builder.add(duration, state)
+    total = sum(duration for duration, _ in phase_list)
+    assert abs(builder.build().duration - total) < 1e-12 * len(
+        phase_list
+    ) + 1e-15
+
+
+@given(phases)
+@settings(max_examples=100)
+def test_timeline_is_contiguous(phase_list):
+    builder = TimelineBuilder(initial_state=PackageCState.C0)
+    for duration, state in phase_list:
+        builder.add(duration, state)
+    timeline = builder.build()
+    for earlier, later in zip(timeline.segments,
+                              timeline.segments[1:]):
+        assert abs(later.start - earlier.end) < 1e-12
+
+
+@given(phases)
+@settings(max_examples=100)
+def test_residency_fractions_always_sum_to_one(phase_list):
+    builder = TimelineBuilder(initial_state=PackageCState.C0)
+    for duration, state in phase_list:
+        builder.add(duration, state)
+    fractions = builder.build().residency_fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+
+@given(phases)
+@settings(max_examples=100)
+def test_transitions_only_between_distinct_states(phase_list):
+    """An excursion segment only appears where the state actually
+    changed; repeated same-state phases never produce one."""
+    builder = TimelineBuilder(initial_state=PackageCState.C0)
+    previous = PackageCState.C0
+    expected_transitions = 0
+    for duration, state in phase_list:
+        if state is not previous:
+            expected_transitions += 1
+        builder.add(duration, state)
+        previous = state
+    assert builder.build().transition_count() == expected_transitions
+
+
+@given(
+    st.floats(min_value=0.5e-3, max_value=50e-3),
+    st.lists(states, min_size=1, max_size=4, unique=True),
+)
+@settings(max_examples=100)
+def test_idle_choice_is_a_candidate(duration, candidates):
+    builder = TimelineBuilder(initial_state=PackageCState.C0)
+    chosen = builder.idle(duration, list(candidates))
+    assert chosen in candidates
+
+
+@given(st.floats(min_value=5e-3, max_value=60e-3))
+@settings(max_examples=50)
+def test_longer_idle_never_picks_shallower(duration):
+    """If a state is worth entering for a period T, it stays worth
+    entering for any longer period."""
+    short = TimelineBuilder(initial_state=PackageCState.C0).idle(
+        duration, [PackageCState.C8, PackageCState.C9]
+    )
+    long = TimelineBuilder(initial_state=PackageCState.C0).idle(
+        duration * 2, [PackageCState.C8, PackageCState.C9]
+    )
+    assert long.depth >= short.depth

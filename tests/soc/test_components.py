@@ -1,0 +1,168 @@
+"""Component power states and the PMU resolution rule."""
+
+import pytest
+
+from repro.soc.components import (
+    Component,
+    ComponentPowerState,
+    ComponentSet,
+    deepest_package_state,
+)
+from repro.soc.cstates import PackageCState
+
+
+class TestComponentTopology:
+    def test_cpu_on_die(self):
+        assert Component.CPU.on_processor_die
+
+    def test_panel_components_off_die(self):
+        assert Component.PIXEL_FORMATTER.on_panel
+        assert not Component.PIXEL_FORMATTER.on_processor_die
+
+    def test_dram_neither_die_nor_panel(self):
+        assert not Component.DRAM.on_processor_die
+        assert not Component.DRAM.on_panel
+
+
+class TestPowerStates:
+    def test_active_is_work(self):
+        assert ComponentPowerState.ACTIVE.is_doing_work
+        assert ComponentPowerState.LOW_POWER_ACTIVE.is_doing_work
+
+    def test_gated_is_not_work(self):
+        assert not ComponentPowerState.CLOCK_GATED.is_doing_work
+        assert not ComponentPowerState.POWER_GATED.is_doing_work
+
+    def test_only_power_gated_is_off(self):
+        assert ComponentPowerState.POWER_GATED.is_off
+        assert not ComponentPowerState.CLOCK_GATED.is_off
+
+
+class TestDeepestPackageState:
+    def test_active_cpu_pins_c0(self):
+        assert deepest_package_state(
+            Component.CPU, ComponentPowerState.ACTIVE
+        ) is PackageCState.C0
+
+    def test_racing_vd_pins_c0(self):
+        # The VD shares the graphics rail: full-rate decode keeps the
+        # package at C0 — the baseline behaviour.
+        assert deepest_package_state(
+            Component.VIDEO_DECODER, ComponentPowerState.ACTIVE
+        ) is PackageCState.C0
+
+    def test_low_power_vd_allows_c7(self):
+        # BurstLink's latency-tolerant decode runs inside package C7.
+        assert deepest_package_state(
+            Component.VIDEO_DECODER,
+            ComponentPowerState.LOW_POWER_ACTIVE,
+        ) is PackageCState.C7
+
+    def test_clock_gated_vd_allows_c7_prime(self):
+        assert deepest_package_state(
+            Component.VIDEO_DECODER, ComponentPowerState.CLOCK_GATED
+        ) is PackageCState.C7_PRIME
+
+    def test_active_dram_caps_at_c2(self):
+        assert deepest_package_state(
+            Component.DRAM, ComponentPowerState.ACTIVE
+        ) is PackageCState.C2
+
+    def test_dram_self_refresh_allows_deep(self):
+        assert deepest_package_state(
+            Component.DRAM, ComponentPowerState.SELF_REFRESH
+        ) is PackageCState.C10
+
+    def test_active_dc_caps_at_c8(self):
+        assert deepest_package_state(
+            Component.DISPLAY_CONTROLLER, ComponentPowerState.ACTIVE
+        ) is PackageCState.C8
+
+    def test_power_gated_allows_deepest(self):
+        assert deepest_package_state(
+            Component.CPU, ComponentPowerState.POWER_GATED
+        ) is PackageCState.C10
+
+    def test_panel_components_do_not_block(self):
+        assert deepest_package_state(
+            Component.LCD, ComponentPowerState.ACTIVE
+        ) is PackageCState.C10
+
+
+class TestComponentSet:
+    def test_empty_set_resolves_deepest(self):
+        assert ComponentSet().resolve_package_state() is (
+            PackageCState.C10
+        )
+
+    def test_single_active_core(self):
+        components = ComponentSet()
+        components.set(Component.CPU, ComponentPowerState.ACTIVE)
+        assert components.resolve_package_state() is PackageCState.C0
+
+    def test_busiest_component_wins(self):
+        components = ComponentSet()
+        components.set(Component.DRAM, ComponentPowerState.ACTIVE)
+        components.set(
+            Component.DISPLAY_CONTROLLER, ComponentPowerState.ACTIVE
+        )
+        # DRAM (C2 cap) is shallower than the DC (C8 cap).
+        assert components.resolve_package_state() is PackageCState.C2
+
+    def test_burstlink_decode_window(self):
+        # BurstLink's decode-burst: VD low-power + DC active -> C7.
+        components = ComponentSet()
+        components.set(
+            Component.VIDEO_DECODER,
+            ComponentPowerState.LOW_POWER_ACTIVE,
+        )
+        components.set(
+            Component.DISPLAY_CONTROLLER, ComponentPowerState.ACTIVE
+        )
+        assert components.resolve_package_state() is PackageCState.C7
+
+    def test_burstlink_drain_window(self):
+        # VD clock-gated while the DC drains -> C7'.
+        components = ComponentSet()
+        components.set(
+            Component.VIDEO_DECODER, ComponentPowerState.CLOCK_GATED
+        )
+        components.set(
+            Component.DISPLAY_CONTROLLER, ComponentPowerState.ACTIVE
+        )
+        assert components.resolve_package_state() is (
+            PackageCState.C7_PRIME
+        )
+
+    def test_power_gating_clears_entry(self):
+        components = ComponentSet()
+        components.set(Component.CPU, ComponentPowerState.ACTIVE)
+        components.set(Component.CPU, ComponentPowerState.POWER_GATED)
+        assert components.get(Component.CPU) is (
+            ComponentPowerState.POWER_GATED
+        )
+        assert components.resolve_package_state() is PackageCState.C10
+
+    def test_working_components(self):
+        components = ComponentSet()
+        components.set(Component.CPU, ComponentPowerState.ACTIVE)
+        components.set(
+            Component.VIDEO_DECODER, ComponentPowerState.CLOCK_GATED
+        )
+        assert components.working_components() == {Component.CPU}
+
+    def test_copy_is_independent(self):
+        components = ComponentSet()
+        components.set(Component.CPU, ComponentPowerState.ACTIVE)
+        clone = components.copy()
+        clone.set(Component.CPU, ComponentPowerState.POWER_GATED)
+        assert components.get(Component.CPU) is (
+            ComponentPowerState.ACTIVE
+        )
+
+    def test_iteration(self):
+        components = ComponentSet()
+        components.set(Component.WIFI, ComponentPowerState.ACTIVE)
+        assert dict(components) == {
+            Component.WIFI: ComponentPowerState.ACTIVE
+        }

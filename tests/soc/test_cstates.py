@@ -1,0 +1,145 @@
+"""Package C-states (paper Table 1)."""
+
+import pytest
+
+from repro.errors import PowerStateError
+from repro.soc.cstates import (
+    CSTATE_TRANSITIONS,
+    ENTRY_CONDITIONS,
+    PackageCState,
+    TransitionCost,
+    deepest_allowed,
+    shallowest_required,
+    transition_cost,
+)
+
+
+class TestDepthOrdering:
+    def test_c0_is_shallowest(self):
+        assert min(PackageCState, key=lambda s: s.depth) is (
+            PackageCState.C0
+        )
+
+    def test_c10_is_deepest(self):
+        assert max(PackageCState, key=lambda s: s.depth) is (
+            PackageCState.C10
+        )
+
+    def test_c7_prime_sits_between_c7_and_c8(self):
+        assert (
+            PackageCState.C7.depth
+            < PackageCState.C7_PRIME.depth
+            < PackageCState.C8.depth
+        )
+
+
+class TestReportingFold:
+    def test_c7_prime_reports_as_c7(self):
+        assert PackageCState.C7_PRIME.reporting_state is PackageCState.C7
+
+    @pytest.mark.parametrize(
+        "state",
+        [s for s in PackageCState if s is not PackageCState.C7_PRIME],
+    )
+    def test_other_states_report_as_themselves(self, state):
+        assert state.reporting_state is state
+
+
+class TestDramCoupling:
+    """Table 1: DRAM is active only in C0 and C2."""
+
+    @pytest.mark.parametrize(
+        "state", [PackageCState.C0, PackageCState.C2]
+    )
+    def test_dram_active_states(self, state):
+        assert not state.dram_in_self_refresh
+
+    @pytest.mark.parametrize(
+        "state",
+        [
+            PackageCState.C3,
+            PackageCState.C6,
+            PackageCState.C7,
+            PackageCState.C8,
+            PackageCState.C9,
+            PackageCState.C10,
+        ],
+    )
+    def test_dram_self_refresh_states(self, state):
+        assert state.dram_in_self_refresh
+
+
+class TestDisplayPath:
+    def test_display_may_stay_on_through_c8(self):
+        assert PackageCState.C8.display_path_may_be_on
+
+    def test_display_forced_off_from_c9(self):
+        assert not PackageCState.C9.display_path_may_be_on
+        assert not PackageCState.C10.display_path_may_be_on
+
+
+class TestLabels:
+    def test_prime_label(self):
+        assert PackageCState.C7_PRIME.label == "C7'"
+        assert str(PackageCState.C7_PRIME) == "C7'"
+
+    def test_plain_labels(self):
+        assert PackageCState.C9.label == "C9"
+
+    def test_every_state_has_entry_conditions(self):
+        for state in PackageCState:
+            assert state in ENTRY_CONDITIONS
+            assert ENTRY_CONDITIONS[state]
+
+
+class TestTransitionCosts:
+    def test_every_state_has_a_cost(self):
+        for state in PackageCState:
+            assert isinstance(transition_cost(state), TransitionCost)
+
+    def test_c0_is_free(self):
+        assert transition_cost(PackageCState.C0).round_trip == 0.0
+
+    def test_deeper_states_cost_more(self):
+        # Ignore C7': it's a clock gate, not a package excursion.
+        ladder = [
+            PackageCState.C2,
+            PackageCState.C3,
+            PackageCState.C6,
+            PackageCState.C7,
+            PackageCState.C8,
+            PackageCState.C9,
+            PackageCState.C10,
+        ]
+        costs = [transition_cost(s).round_trip for s in ladder]
+        assert costs == sorted(costs)
+
+    def test_c7_prime_is_nearly_free(self):
+        assert transition_cost(PackageCState.C7_PRIME).round_trip < (
+            transition_cost(PackageCState.C7).round_trip
+        )
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(PowerStateError):
+            TransitionCost(-1.0, 0.0)
+
+    def test_table_is_complete(self):
+        assert set(CSTATE_TRANSITIONS) == set(PackageCState)
+
+
+class TestReductions:
+    def test_deepest_allowed(self):
+        assert deepest_allowed(
+            [PackageCState.C2, PackageCState.C8, PackageCState.C0]
+        ) is PackageCState.C8
+
+    def test_shallowest_required(self):
+        assert shallowest_required(
+            [PackageCState.C2, PackageCState.C8, PackageCState.C9]
+        ) is PackageCState.C2
+
+    def test_empty_rejected(self):
+        with pytest.raises(PowerStateError):
+            deepest_allowed([])
+        with pytest.raises(PowerStateError):
+            shallowest_required([])

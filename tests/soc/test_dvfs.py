@@ -1,0 +1,153 @@
+"""DVFS ladders and the race-vs-stretch policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.dvfs import (
+    DvfsLadder,
+    OperatingPoint,
+    skylake_vd_ladder,
+)
+from repro.units import mib
+
+
+@pytest.fixture
+def ladder():
+    return skylake_vd_ladder()
+
+
+class TestValidation:
+    def test_points_must_ascend(self):
+        with pytest.raises(ConfigurationError):
+            DvfsLadder(
+                points=(
+                    OperatingPoint("A", 2e9, 1.0, 1.0),
+                    OperatingPoint("B", 1e9, 0.8, 1.0),
+                ),
+                ceff_nf=1.0,
+                bytes_per_cycle=1.0,
+            )
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            DvfsLadder(
+                points=(OperatingPoint("A", 1e9, 1.0, 1.0),),
+                ceff_nf=1.0,
+                bytes_per_cycle=1.0,
+            )
+
+    def test_bad_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint("bad", 0, 1.0, 0)
+
+
+class TestPhysics:
+    def test_dynamic_power_cubic_in_ladder(self, ladder):
+        """Higher points pay V^2*f: power rises much faster than
+        frequency."""
+        low, high = ladder.points[0], ladder.points[-1]
+        frequency_ratio = high.frequency_hz / low.frequency_hz
+        power_ratio = (
+            ladder.dynamic_power_mw(high)
+            / ladder.dynamic_power_mw(low)
+        )
+        assert power_ratio > 1.5 * frequency_ratio
+
+    def test_throughput_linear_in_frequency(self, ladder):
+        low, high = ladder.points[0], ladder.points[-1]
+        assert ladder.throughput(high) / ladder.throughput(low) == (
+            pytest.approx(high.frequency_hz / low.frequency_hz)
+        )
+
+    def test_top_point_matches_decoder_config(self, ladder):
+        """The ladder's turbo throughput equals the configured decoder
+        maximum (12 GB/s)."""
+        assert ladder.throughput(ladder.top) == pytest.approx(12e9)
+
+    def test_work_energy_consistency(self, ladder):
+        point = ladder.points[1]
+        work = mib(6)
+        assert ladder.work_energy_mj(point, work) == pytest.approx(
+            ladder.power_mw(point) * ladder.work_time(point, work)
+        )
+
+    def test_slow_point_less_active_energy(self, ladder):
+        """Per unit of work, the low-voltage point spends less active
+        energy — the premise of the latency-tolerant decoder."""
+        work = mib(6)
+        assert ladder.work_energy_mj(
+            ladder.points[0], work
+        ) < ladder.work_energy_mj(ladder.top, work)
+
+
+class TestPolicies:
+    def test_race_always_picks_top(self, ladder):
+        assert ladder.race_to_idle(mib(1)) is ladder.top
+
+    def test_stretch_picks_slowest_feasible(self, ladder):
+        work = mib(6)
+        generous = ladder.deadline_stretch(work, deadline_s=1.0)
+        assert generous is ladder.points[0]
+
+    def test_stretch_tightens_with_deadline(self, ladder):
+        work = mib(24)
+        tight = ladder.work_time(ladder.top, work) * 1.05
+        assert ladder.deadline_stretch(work, tight) is ladder.top
+
+    def test_stretch_falls_back_to_top_when_infeasible(self, ladder):
+        work = mib(24)
+        impossible = ladder.work_time(ladder.top, work) / 2
+        assert ladder.deadline_stretch(work, impossible) is ladder.top
+
+    def test_stretch_rejects_bad_deadline(self, ladder):
+        with pytest.raises(ConfigurationError):
+            ladder.deadline_stretch(mib(1), 0)
+
+
+class TestEnergyOptimal:
+    def test_no_platform_gap_favours_stretching(self, ladder):
+        """With no platform cost to being awake, the cheapest-per-work
+        point wins — BurstLink's C7 situation."""
+        work = mib(6)
+        chosen = ladder.energy_optimal(
+            work, deadline_s=1.0, platform_active_mw=0.0
+        )
+        assert chosen is ladder.points[0]
+
+    def test_large_platform_gap_favours_racing(self, ladder):
+        """When working keeps a ~4 W package-C0 floor awake, finishing
+        fast wins — the conventional race-to-idle situation."""
+        work = mib(6)
+        chosen = ladder.energy_optimal(
+            work,
+            deadline_s=1.0,
+            platform_active_mw=4000.0,
+            platform_idle_mw=100.0,
+        )
+        assert chosen is ladder.top
+
+    def test_crossover_exists(self, ladder):
+        """Somewhere between the two regimes the optimum moves off both
+        endpoints or flips — the knob is real."""
+        work = mib(6)
+        picks = {
+            ladder.energy_optimal(
+                work, 1.0, platform_active_mw=gap
+            ).name
+            for gap in (0.0, 50.0, 500.0, 4000.0)
+        }
+        assert len(picks) >= 2
+
+    def test_respects_deadline(self, ladder):
+        work = mib(24)
+        deadline = ladder.work_time(ladder.points[1], work) * 1.01
+        chosen = ladder.energy_optimal(
+            work, deadline, platform_active_mw=0.0
+        )
+        assert ladder.work_time(chosen, work) <= deadline
+
+    def test_rejects_negative_platform_power(self, ladder):
+        with pytest.raises(ConfigurationError):
+            ladder.energy_optimal(
+                mib(1), 1.0, platform_active_mw=-1
+            )

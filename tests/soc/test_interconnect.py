@@ -1,0 +1,119 @@
+"""The IO fabric with its DMA and P2P engines."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DataPathError
+from repro.soc.interconnect import (
+    DmaEngine,
+    Interconnect,
+    P2PEngine,
+)
+from repro.units import gb_per_s, mib
+
+
+@pytest.fixture
+def fabric():
+    return Interconnect()
+
+
+@pytest.fixture
+def vd_port(fabric):
+    return fabric.attach("vd", gb_per_s(12.0))
+
+
+@pytest.fixture
+def dc_port(fabric):
+    return fabric.attach("dc", gb_per_s(6.0))
+
+
+class TestTopology:
+    def test_memory_port_preattached(self, fabric):
+        assert fabric.port("memory") is fabric.memory_port
+
+    def test_duplicate_name_rejected(self, fabric, vd_port):
+        with pytest.raises(ConfigurationError):
+            fabric.attach("vd", gb_per_s(1.0))
+
+    def test_unknown_port_lookup(self, fabric):
+        with pytest.raises(ConfigurationError):
+            fabric.port("isp")
+
+    def test_zero_bandwidth_port_rejected(self, fabric):
+        with pytest.raises(ConfigurationError):
+            fabric.attach("bad", 0.0)
+
+    def test_zero_fabric_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Interconnect(fabric_bandwidth=0)
+
+
+class TestTransfers:
+    def test_rate_is_bottleneck_of_path(self, fabric, vd_port, dc_port):
+        record = fabric.transfer(vd_port, dc_port, mib(6))
+        assert record.duration == pytest.approx(mib(6) / gb_per_s(6.0))
+
+    def test_via_dram_flag(self, fabric, vd_port, dc_port):
+        to_memory = fabric.transfer(vd_port, fabric.memory_port, 100)
+        p2p = fabric.transfer(vd_port, dc_port, 100)
+        assert to_memory.via_dram
+        assert not p2p.via_dram
+
+    def test_self_transfer_rejected(self, fabric, vd_port):
+        with pytest.raises(DataPathError):
+            fabric.transfer(vd_port, vd_port, 10)
+
+    def test_negative_size_rejected(self, fabric, vd_port, dc_port):
+        with pytest.raises(DataPathError):
+            fabric.transfer(vd_port, dc_port, -1)
+
+    def test_foreign_port_rejected(self, fabric, vd_port):
+        other = Interconnect()
+        foreign = other.attach("dc", gb_per_s(1.0))
+        with pytest.raises(DataPathError):
+            fabric.transfer(vd_port, foreign, 10)
+
+
+class TestAccounting:
+    def test_dram_read_write_split(self, fabric, vd_port, dc_port):
+        DmaEngine(vd_port).to_memory(1000)
+        DmaEngine(dc_port).from_memory(400)
+        assert fabric.dram_write_bytes == 1000
+        assert fabric.dram_read_bytes == 400
+
+    def test_p2p_bytes(self, fabric, vd_port, dc_port):
+        P2PEngine(vd_port).send(dc_port, 250)
+        assert fabric.p2p_bytes == 250
+        assert fabric.dram_read_bytes == 0
+
+    def test_bypass_moves_zero_dram_bytes(self, fabric, vd_port, dc_port):
+        """The core claim of Frame Buffer Bypass on the functional
+        fabric: a frame routed P2P contributes nothing to DRAM traffic."""
+        frame = mib(6)
+        P2PEngine(vd_port).send(dc_port, frame)
+        assert fabric.dram_read_bytes + fabric.dram_write_bytes == 0
+        assert fabric.p2p_bytes == frame
+
+    def test_reset_accounting(self, fabric, vd_port, dc_port):
+        P2PEngine(vd_port).send(dc_port, 10)
+        fabric.reset_accounting()
+        assert fabric.transfers == []
+        assert fabric.p2p_bytes == 0
+
+
+class TestEngines:
+    def test_disabled_dma_raises(self, fabric, vd_port):
+        engine = DmaEngine(vd_port, enabled=False)
+        with pytest.raises(DataPathError):
+            engine.to_memory(10)
+
+    def test_disabled_p2p_raises(self, fabric, vd_port, dc_port):
+        engine = P2PEngine(vd_port, enabled=False)
+        with pytest.raises(DataPathError):
+            engine.send(dc_port, 10)
+
+    def test_dma_roundtrip_counts_both_directions(self, fabric, vd_port):
+        engine = DmaEngine(vd_port)
+        engine.to_memory(500)
+        engine.from_memory(500)
+        assert fabric.dram_write_bytes == 500
+        assert fabric.dram_read_bytes == 500

@@ -1,0 +1,107 @@
+"""The VD/DC control registers and the bypass eligibility signals."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.registers import (
+    PlaneDescriptor,
+    PlaneType,
+    RegisterFile,
+)
+
+
+class TestPlaneDescriptor:
+    def test_video_plane_cannot_be_static(self):
+        with pytest.raises(ConfigurationError):
+            PlaneDescriptor(PlaneType.VIDEO, static=True)
+
+    def test_static_background_allowed(self):
+        plane = PlaneDescriptor(PlaneType.BACKGROUND, static=True)
+        assert plane.static
+
+
+class TestPlaneManagement:
+    def test_register_and_remove(self):
+        registers = RegisterFile()
+        plane = PlaneDescriptor(PlaneType.GRAPHICS)
+        registers.register_plane(plane)
+        assert registers.planes == [plane]
+        registers.remove_plane(plane)
+        assert registers.planes == []
+
+    def test_remove_unregistered_raises(self):
+        with pytest.raises(ConfigurationError):
+            RegisterFile().remove_plane(
+                PlaneDescriptor(PlaneType.CURSOR)
+            )
+
+    def test_active_planes_excludes_static(self):
+        registers = RegisterFile.windowed_video()
+        active = registers.active_planes()
+        assert len(active) == 1
+        assert active[0].plane_type is PlaneType.VIDEO
+
+
+class TestVideoSessions:
+    def test_open_close(self):
+        registers = RegisterFile()
+        registers.open_video_session()
+        assert registers.single_video
+        registers.close_video_session()
+        assert not registers.single_video
+
+    def test_two_sessions_break_single_video(self):
+        registers = RegisterFile()
+        registers.open_video_session()
+        registers.open_video_session()
+        assert not registers.single_video
+
+    def test_close_without_open_raises(self):
+        with pytest.raises(ConfigurationError):
+            RegisterFile().close_video_session()
+
+
+class TestBypassEligibility:
+    def test_full_screen_video_is_eligible(self):
+        assert RegisterFile.full_screen_video().bypass_eligible
+
+    def test_windowed_video_is_eligible_when_chrome_static(self):
+        # Stage two of the windowed flow: video is the only live plane.
+        assert RegisterFile.windowed_video().bypass_eligible
+
+    def test_multi_plane_desktop_not_eligible(self):
+        assert not RegisterFile.multi_plane_desktop().bypass_eligible
+
+    def test_video_plane_only_false_with_live_graphics(self):
+        registers = RegisterFile.full_screen_video()
+        registers.register_plane(PlaneDescriptor(PlaneType.GRAPHICS))
+        assert not registers.video_plane_only
+        assert not registers.bypass_eligible
+
+    def test_second_session_breaks_eligibility(self):
+        registers = RegisterFile.full_screen_video()
+        registers.open_video_session()
+        assert not registers.bypass_eligible
+
+
+class TestFallbackTriggers:
+    """The three Sec. 4.1 fallback conditions."""
+
+    def test_graphics_interrupt(self):
+        registers = RegisterFile.full_screen_video()
+        registers.graphics_interrupt = True
+        assert registers.fallback_required
+        assert not registers.bypass_eligible
+
+    def test_psr2_exit(self):
+        registers = RegisterFile.windowed_video()
+        registers.psr2_exited = True
+        assert registers.fallback_required
+
+    def test_multiple_panels(self):
+        registers = RegisterFile.full_screen_video()
+        registers.panel_count = 2
+        assert registers.fallback_required
+
+    def test_no_trigger_by_default(self):
+        assert not RegisterFile.full_screen_video().fallback_required

@@ -1,0 +1,50 @@
+"""The exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BufferOverflowError,
+    BufferUnderflowError,
+    CalibrationError,
+    CodecError,
+    ConfigurationError,
+    DataPathError,
+    DeadlineMissError,
+    PowerStateError,
+    ReproError,
+    SimulationError,
+)
+
+ALL_ERRORS = (
+    ConfigurationError,
+    PowerStateError,
+    DataPathError,
+    BufferOverflowError,
+    BufferUnderflowError,
+    CodecError,
+    DeadlineMissError,
+    SimulationError,
+    CalibrationError,
+)
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(error):
+    assert issubclass(error, ReproError)
+
+
+def test_buffer_errors_are_datapath_errors():
+    assert issubclass(BufferOverflowError, DataPathError)
+    assert issubclass(BufferUnderflowError, DataPathError)
+
+
+def test_catching_the_family():
+    with pytest.raises(ReproError):
+        raise CodecError("truncated bitstream")
+
+
+def test_errors_carry_messages():
+    try:
+        raise DeadlineMissError("window 3 missed")
+    except ReproError as caught:
+        assert "window 3" in str(caught)

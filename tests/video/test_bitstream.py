@@ -1,0 +1,103 @@
+"""Bit-level IO and Exp-Golomb coding."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.video.bitstream import BitReader, BitWriter
+
+
+class TestBitIO:
+    def test_single_byte_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0xA5, 8)
+        assert writer.getvalue() == b"\xa5"
+
+    def test_cross_byte_fields(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        writer.write_bits(0b0110011001, 10)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(3) == 0b101
+        assert reader.read_bits(10) == 0b0110011001
+
+    def test_padding_to_byte_boundary(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        assert len(writer.getvalue()) == 1
+        assert writer.bit_length == 1
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_bits(4, 2)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_bits(-1, 4)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_bits(0, -1)
+
+    def test_read_past_end(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        with pytest.raises(CodecError):
+            reader.read_bits(1)
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        reader.read_bits(3)
+        assert reader.bits_remaining == 13
+
+    def test_wide_field(self):
+        writer = BitWriter()
+        writer.write_bits(0x123456789A, 40)
+        assert BitReader(writer.getvalue()).read_bits(40) == 0x123456789A
+
+
+class TestExpGolomb:
+    @pytest.mark.parametrize("value", [0, 1, 2, 3, 7, 8, 100, 65535])
+    def test_ue_roundtrip(self, value):
+        writer = BitWriter()
+        writer.write_ue(value)
+        assert BitReader(writer.getvalue()).read_ue() == value
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, -2, 17, -300])
+    def test_se_roundtrip(self, value):
+        writer = BitWriter()
+        writer.write_se(value)
+        assert BitReader(writer.getvalue()).read_se() == value
+
+    def test_ue_zero_is_one_bit(self):
+        writer = BitWriter()
+        writer.write_ue(0)
+        assert writer.bit_length == 1
+
+    def test_small_values_shorter(self):
+        short = BitWriter()
+        short.write_ue(1)
+        long = BitWriter()
+        long.write_ue(1000)
+        assert short.bit_length < long.bit_length
+
+    def test_ue_rejects_negative(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_ue(-1)
+
+    def test_interleaved_stream(self):
+        writer = BitWriter()
+        writer.write_ue(5)
+        writer.write_se(-3)
+        writer.write_bits(0b11, 2)
+        writer.write_ue(0)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_ue() == 5
+        assert reader.read_se() == -3
+        assert reader.read_bits(2) == 0b11
+        assert reader.read_ue() == 0
+
+    def test_malformed_prefix_detected(self):
+        # A stream of zeros never terminates a UE prefix.
+        reader = BitReader(b"\x00" * 20)
+        with pytest.raises(CodecError):
+            reader.read_ue()

@@ -1,0 +1,106 @@
+"""The VD IP: destination selection, timing, and halt/wake."""
+
+import pytest
+
+from repro.config import FHD, VideoDecoderConfig
+from repro.errors import DataPathError
+from repro.soc.registers import PlaneDescriptor, PlaneType, RegisterFile
+from repro.video.codec import Codec, CodecConfig
+from repro.video.decoder import Destination, VideoDecoderIP
+from repro.video.frames import FrameType
+
+
+@pytest.fixture
+def decoder():
+    return VideoDecoderIP(
+        codec=Codec(CodecConfig(qstep=10.0)),
+        registers=RegisterFile.full_screen_video(),
+    )
+
+
+class TestDestinationSelector:
+    def test_bypass_when_eligible(self, decoder):
+        assert decoder.select_destination() is (
+            Destination.DISPLAY_CONTROLLER
+        )
+
+    def test_dram_when_multi_plane(self, decoder):
+        decoder.registers.register_plane(
+            PlaneDescriptor(PlaneType.GRAPHICS)
+        )
+        assert decoder.select_destination() is (
+            Destination.DRAM_FRAME_BUFFER
+        )
+
+    def test_dram_when_fallback_triggered(self, decoder):
+        decoder.registers.graphics_interrupt = True
+        assert decoder.select_destination() is (
+            Destination.DRAM_FRAME_BUFFER
+        )
+
+    def test_dram_without_registers(self):
+        headless = VideoDecoderIP()
+        assert headless.select_destination() is (
+            Destination.DRAM_FRAME_BUFFER
+        )
+
+
+class TestTiming:
+    def test_race_uses_max_rate(self):
+        decoder = VideoDecoderIP()
+        frame = FHD.frame_bytes()
+        assert decoder.decode_time(frame, 1 / 60, race=True) == (
+            pytest.approx(frame / decoder.config.max_output_rate)
+        )
+
+    def test_latency_tolerant_is_slower(self):
+        decoder = VideoDecoderIP()
+        frame = FHD.frame_bytes()
+        assert decoder.decode_time(frame, 1 / 60, race=False) > (
+            decoder.decode_time(frame, 1 / 60, race=True)
+        )
+
+
+class TestHaltWake:
+    def test_wake_pays_latency_once(self):
+        decoder = VideoDecoderIP()
+        decoder.halt()
+        assert decoder.wake() == decoder.config.wake_latency
+        assert decoder.wake() == 0.0
+
+    def test_halted_decoder_refuses_work(self, decoder, small_clip):
+        encoded, _ = decoder.codec.encode_frame(
+            0, small_clip[0], FrameType.I
+        )
+        decoder.halt()
+        with pytest.raises(DataPathError):
+            decoder.decode(encoded)
+
+
+class TestFunctionalDecode:
+    def test_decode_records_accounting(self, decoder, small_clip):
+        encoded, _ = decoder.codec.encode_frame(
+            0, small_clip[0], FrameType.I
+        )
+        frame = decoder.decode(encoded)
+        assert decoder.frames_decoded == 1
+        record = decoder.records[0]
+        assert record.encoded_bytes == encoded.size_bytes
+        assert record.decoded_bytes == frame.size_bytes
+        assert record.destination is Destination.DISPLAY_CONTROLLER
+        assert record.duration > 0
+
+    def test_byte_routing_split(self, decoder, small_clip):
+        encoded, recon = decoder.codec.encode_frame(
+            0, small_clip[0], FrameType.I
+        )
+        decoder.decode(encoded)
+        assert decoder.bytes_to_dc == small_clip[0].nbytes
+        assert decoder.bytes_to_dram == 0
+        # Break eligibility and decode again: bytes go to DRAM.
+        decoder.registers.open_video_session()
+        encoded2, _ = decoder.codec.encode_frame(
+            1, small_clip[1], FrameType.P, past=recon
+        )
+        decoder.decode(encoded2, past=recon)
+        assert decoder.bytes_to_dram == small_clip[1].nbytes

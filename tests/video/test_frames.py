@@ -1,0 +1,118 @@
+"""Frame and GOP types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError, ConfigurationError
+from repro.video.frames import (
+    DecodedFrame,
+    EncodedFrame,
+    FrameType,
+    GopStructure,
+)
+
+
+class TestFrameType:
+    def test_reference_needs(self):
+        assert not FrameType.I.needs_past_reference
+        assert FrameType.P.needs_past_reference
+        assert FrameType.B.needs_past_reference
+        assert FrameType.B.needs_future_reference
+        assert not FrameType.P.needs_future_reference
+
+
+class TestEncodedFrame:
+    def test_sizes(self):
+        frame = EncodedFrame(0, FrameType.I, 64, 32, b"x" * 100)
+        assert frame.size_bytes == 100
+        assert frame.decoded_bytes == 64 * 32 * 3
+        assert frame.compression_ratio == pytest.approx(61.44)
+
+    def test_empty_payload_has_no_ratio(self):
+        frame = EncodedFrame(0, FrameType.I, 64, 32, b"")
+        with pytest.raises(CodecError):
+            _ = frame.compression_ratio
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EncodedFrame(0, FrameType.I, 0, 32, b"x")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EncodedFrame(-1, FrameType.I, 64, 32, b"x")
+
+
+class TestDecodedFrame:
+    def test_geometry(self):
+        pixels = np.zeros((32, 64, 3), dtype=np.uint8)
+        frame = DecodedFrame(0, FrameType.I, pixels)
+        assert (frame.width, frame.height) == (64, 32)
+        assert frame.size_bytes == 32 * 64 * 3
+
+    def test_psnr_identity_is_infinite(self):
+        pixels = np.random.default_rng(0).integers(
+            0, 256, (16, 16, 3), dtype=np.uint8
+        )
+        frame = DecodedFrame(0, FrameType.I, pixels)
+        assert frame.psnr(frame) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = DecodedFrame(
+            0, FrameType.I, np.zeros((16, 16, 3), dtype=np.uint8)
+        )
+        b = DecodedFrame(
+            0, FrameType.I, np.full((16, 16, 3), 255, dtype=np.uint8)
+        )
+        assert a.psnr(b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_psnr_shape_mismatch(self):
+        a = DecodedFrame(
+            0, FrameType.I, np.zeros((16, 16, 3), dtype=np.uint8)
+        )
+        b = DecodedFrame(
+            0, FrameType.I, np.zeros((32, 16, 3), dtype=np.uint8)
+        )
+        with pytest.raises(CodecError):
+            a.psnr(b)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(CodecError):
+            DecodedFrame(
+                0, FrameType.I, np.zeros((16, 16), dtype=np.uint8)
+            )
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(CodecError):
+            DecodedFrame(
+                0, FrameType.I, np.zeros((16, 16, 3), dtype=np.int16)
+            )
+
+
+class TestGopStructure:
+    def test_pattern_repeats(self):
+        gop = GopStructure("IPPP")
+        assert gop.frame_type(0) is FrameType.I
+        assert gop.frame_type(3) is FrameType.P
+        assert gop.frame_type(4) is FrameType.I
+
+    def test_type_counts(self):
+        counts = GopStructure("IBBP").type_counts()
+        assert counts[FrameType.I] == 1
+        assert counts[FrameType.B] == 2
+        assert counts[FrameType.P] == 1
+
+    def test_must_start_with_i(self):
+        with pytest.raises(ConfigurationError):
+            GopStructure("PPPP")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            GopStructure("")
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(ConfigurationError):
+            GopStructure("IPX")
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ConfigurationError):
+            GopStructure("IP").frame_type(-1)

@@ -1,0 +1,114 @@
+"""The GPU IP: gnomonic projection and timing."""
+
+import numpy as np
+import pytest
+
+from repro.config import Resolution
+from repro.errors import ConfigurationError
+from repro.video.gpu import GpuIP, Viewport
+
+
+def banded_sphere(height=90, width=180):
+    """An equirectangular frame whose red channel encodes longitude and
+    green channel encodes latitude."""
+    lat = np.linspace(0, 255, height).astype(np.uint8)[:, None]
+    lon = np.linspace(0, 255, width).astype(np.uint8)[None, :]
+    sphere = np.zeros((height, width, 3), dtype=np.uint8)
+    sphere[..., 0] = lon
+    sphere[..., 1] = lat
+    return sphere
+
+
+@pytest.fixture
+def gpu():
+    return GpuIP()
+
+
+class TestViewport:
+    def test_bad_fov_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Viewport(fov=0)
+        with pytest.raises(ConfigurationError):
+            Viewport(fov=180)
+
+    def test_bad_pitch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Viewport(pitch=91)
+
+
+class TestProjection:
+    def test_output_shape(self, gpu):
+        out = gpu.project(
+            banded_sphere(), Viewport(), Resolution(64, 48)
+        )
+        assert out.shape == (48, 64, 3)
+
+    def test_forward_view_samples_frame_center(self, gpu):
+        sphere = banded_sphere()
+        out = gpu.project(sphere, Viewport(yaw=0, pitch=0),
+                          Resolution(33, 33))
+        center = out[16, 16]
+        # Longitude 0 maps to the horizontal middle of the sphere.
+        assert abs(int(center[0]) - 127) < 12
+        assert abs(int(center[1]) - 127) < 12
+
+    def test_yaw_pans_longitude(self, gpu):
+        sphere = banded_sphere()
+        left = gpu.project(sphere, Viewport(yaw=-60),
+                           Resolution(33, 33))
+        right = gpu.project(sphere, Viewport(yaw=60),
+                            Resolution(33, 33))
+        assert right[16, 16, 0] > left[16, 16, 0]
+
+    def test_pitch_moves_latitude(self, gpu):
+        # Positive pitch looks up -> samples lower latitudes (smaller
+        # green in the banded sphere).
+        sphere = banded_sphere()
+        looking_up = gpu.project(
+            sphere, Viewport(pitch=50), Resolution(33, 33)
+        )
+        looking_down = gpu.project(
+            sphere, Viewport(pitch=-50), Resolution(33, 33)
+        )
+        assert looking_down[16, 16, 1] > looking_up[16, 16, 1]
+
+    def test_yaw_wraps_around(self, gpu):
+        sphere = banded_sphere()
+        a = gpu.project(sphere, Viewport(yaw=10), Resolution(17, 17))
+        b = gpu.project(sphere, Viewport(yaw=370), Resolution(17, 17))
+        # Trig rounding can shift isolated samples by one texel at most.
+        matching = np.mean(a == b)
+        assert matching > 0.95
+
+    def test_wider_fov_sees_more_longitude(self, gpu):
+        sphere = banded_sphere()
+        narrow = gpu.project(sphere, Viewport(fov=40),
+                             Resolution(33, 33))
+        wide = gpu.project(sphere, Viewport(fov=120),
+                           Resolution(33, 33))
+        assert np.ptp(wide[16, :, 0]) > np.ptp(narrow[16, :, 0])
+
+    def test_bad_frame_shape_rejected(self, gpu):
+        with pytest.raises(ConfigurationError):
+            gpu.project(
+                np.zeros((10, 10), dtype=np.uint8),
+                Viewport(),
+                Resolution(8, 8),
+            )
+
+    def test_counters(self, gpu):
+        gpu.project(banded_sphere(), Viewport(), Resolution(8, 8))
+        assert gpu.frames_projected == 1
+        assert gpu.pixels_projected == 64
+
+
+class TestTiming:
+    def test_delegates_to_config(self, gpu):
+        assert gpu.projection_time(1e6, 30.0) == pytest.approx(
+            gpu.config.projection_time(1e6, 30.0)
+        )
+
+    def test_motion_costs_more(self, gpu):
+        assert gpu.projection_time(1e6, 200.0) > gpu.projection_time(
+            1e6, 0.0
+        )

@@ -1,0 +1,108 @@
+"""Image quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.video.codec import Codec, CodecConfig
+from repro.video.frames import FrameType
+from repro.video.metrics import psnr, sequence_quality, ssim
+
+
+def noise(shape, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 256, shape, dtype=np.uint8
+    )
+
+
+class TestPsnr:
+    def test_identity_infinite(self):
+        frame = noise((32, 32, 3))
+        assert psnr(frame, frame) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((16, 16, 3), dtype=np.uint8)
+        b = np.full((16, 16, 3), 255, dtype=np.uint8)
+        assert psnr(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CodecError):
+            psnr(noise((8, 8, 3)), noise((16, 8, 3)))
+
+
+class TestSsim:
+    def test_identity_is_one(self):
+        frame = noise((32, 32, 3))
+        assert ssim(frame, frame) == pytest.approx(1.0)
+
+    def test_unrelated_content_is_low(self):
+        assert ssim(noise((32, 32, 3), 1), noise((32, 32, 3), 2)) < 0.3
+
+    def test_small_distortion_stays_high(self):
+        frame = noise((32, 32, 3))
+        jittered = np.clip(
+            frame.astype(int)
+            + np.random.default_rng(3).integers(-2, 3, frame.shape),
+            0, 255,
+        ).astype(np.uint8)
+        assert ssim(frame, jittered) > 0.95
+
+    def test_monotone_in_distortion(self):
+        frame = noise((32, 32, 3))
+        rng = np.random.default_rng(4)
+        mild = np.clip(
+            frame.astype(int) + rng.integers(-4, 5, frame.shape),
+            0, 255,
+        ).astype(np.uint8)
+        severe = np.clip(
+            frame.astype(int) + rng.integers(-40, 41, frame.shape),
+            0, 255,
+        ).astype(np.uint8)
+        assert ssim(frame, mild) > ssim(frame, severe)
+
+    def test_too_small_frame_rejected(self):
+        with pytest.raises(CodecError):
+            ssim(noise((4, 4, 3)), noise((4, 4, 3)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CodecError):
+            ssim(noise((32, 32, 3)), noise((32, 16, 3)))
+
+    def test_grayscale_rejected(self):
+        with pytest.raises(CodecError):
+            ssim(
+                np.zeros((32, 32), dtype=np.uint8),
+                np.zeros((32, 32), dtype=np.uint8),
+            )
+
+
+class TestSequenceQuality:
+    def test_codec_output_scores_well(self, small_clip):
+        codec = Codec(CodecConfig(qstep=10.0))
+        decoded = []
+        reference = None
+        for index, frame in enumerate(small_clip[:4]):
+            frame_type = FrameType.I if index == 0 else FrameType.P
+            encoded, reference = codec.encode_frame(
+                index, frame, frame_type, past=reference
+            )
+            decoded.append(
+                codec.decode_frame(
+                    encoded,
+                    past=decoded[-1] if decoded else None,
+                ).pixels
+            )
+        quality = sequence_quality(small_clip[:4], decoded)
+        assert quality.frames == 4
+        assert quality.min_psnr_db > 30.0
+        assert quality.min_ssim > 0.9
+        assert quality.mean_psnr_db >= quality.min_psnr_db
+        assert quality.mean_ssim >= quality.min_ssim
+
+    def test_length_mismatch(self):
+        with pytest.raises(CodecError):
+            sequence_quality([noise((16, 16, 3))], [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodecError):
+            sequence_quality([], [])

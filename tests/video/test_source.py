@@ -1,0 +1,154 @@
+"""The analytic content model and the jitter-buffer stream source."""
+
+import pytest
+
+from repro.config import FHD, UHD_4K
+from repro.errors import BufferUnderflowError, ConfigurationError
+from repro.video.frames import FrameType, GopStructure
+from repro.video.source import (
+    AnalyticContentModel,
+    ContentClass,
+    FrameDescriptor,
+    StreamSource,
+)
+from repro.units import mbps
+
+
+class TestContentClass:
+    def test_ordering(self):
+        assert (
+            ContentClass.SCREEN.bits_per_pixel
+            < ContentClass.ANIMATION.bits_per_pixel
+            < ContentClass.NATURAL.bits_per_pixel
+            < ContentClass.HIGH_MOTION.bits_per_pixel
+        )
+
+    def test_natural_4k30_is_streaming_ladder_rate(self):
+        """NATURAL at 4K30 lands near a 20 Mbps streaming rung."""
+        bits_per_s = (
+            ContentClass.NATURAL.bits_per_pixel * UHD_4K.pixels * 30
+        )
+        assert 15e6 < bits_per_s < 25e6
+
+
+class TestAnalyticContentModel:
+    def test_deterministic_per_seed(self):
+        model = AnalyticContentModel()
+        a = model.frames(FHD, 10, seed=3)
+        b = model.frames(FHD, 10, seed=3)
+        assert [f.encoded_bytes for f in a] == [
+            f.encoded_bytes for f in b
+        ]
+
+    def test_different_seeds_differ(self):
+        model = AnalyticContentModel()
+        a = model.frames(FHD, 10, seed=1)
+        b = model.frames(FHD, 10, seed=2)
+        assert [f.encoded_bytes for f in a] != [
+            f.encoded_bytes for f in b
+        ]
+
+    def test_i_frames_bigger_than_p(self):
+        model = AnalyticContentModel(variability=0.0)
+        frames = model.frames(FHD, 8)
+        i_frames = [
+            f for f in frames if f.frame_type is FrameType.I
+        ]
+        p_frames = [
+            f for f in frames if f.frame_type is FrameType.P
+        ]
+        assert min(f.encoded_bytes for f in i_frames) > max(
+            f.encoded_bytes for f in p_frames
+        )
+
+    def test_gop_average_matches_budget(self):
+        model = AnalyticContentModel(variability=0.0)
+        frames = model.frames(FHD, 40)
+        mean = sum(f.encoded_bytes for f in frames) / len(frames)
+        assert mean == pytest.approx(
+            model.average_encoded_bytes(FHD), rel=0.05
+        )
+
+    def test_decoded_size_is_raw_frame(self):
+        frames = AnalyticContentModel().frames(FHD, 1)
+        assert frames[0].decoded_bytes == FHD.frame_bytes()
+
+    def test_types_follow_gop(self):
+        model = AnalyticContentModel(gop=GopStructure("IPBP"))
+        frames = model.frames(FHD, 8)
+        assert [f.frame_type.value for f in frames] == [
+            "I", "P", "B", "P", "I", "P", "B", "P",
+        ]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnalyticContentModel().frames(FHD, -1)
+
+    def test_descriptor_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrameDescriptor(0, FrameType.I, 0, 100)
+
+
+def make_source(bandwidth=mbps(20), fluctuation=0.25, count=20,
+                prebuffer=4):
+    frames = AnalyticContentModel().frames(FHD, count)
+    return StreamSource(
+        frames=frames,
+        bandwidth=bandwidth,
+        fluctuation=fluctuation,
+        prebuffer_frames=prebuffer,
+    )
+
+
+class TestStreamSource:
+    def test_startup_delay_covers_prebuffer(self):
+        source = make_source()
+        assert source.startup_delay > 0
+
+    def test_delivery_advances_buffer(self):
+        source = make_source()
+        written = source.deliver_until(source.startup_delay)
+        assert written > 0
+        assert source.delivered >= source.prebuffer_frames
+
+    def test_pop_after_prebuffer_has_no_underrun(self):
+        source = make_source(bandwidth=mbps(100))
+        start = source.startup_delay
+        for i in range(10):
+            source.pop_frame(start + 0.1 + i / 30)
+        assert source.underruns == 0
+
+    def test_slow_network_underruns(self):
+        # 1 Mbps cannot feed an FHD NATURAL stream at 30 FPS.
+        source = make_source(bandwidth=mbps(1), prebuffer=1)
+        for i in range(10):
+            source.pop_frame(i / 30)
+        assert source.underruns > 0
+
+    def test_exhaustion(self):
+        source = make_source(count=2, prebuffer=1)
+        source.pop_frame(10.0)
+        source.pop_frame(10.0)
+        assert source.exhausted
+        with pytest.raises(BufferUnderflowError):
+            source.pop_frame(10.0)
+
+    def test_deterministic_arrivals(self):
+        a = make_source()
+        b = make_source()
+        assert a._arrival_times == b._arrival_times
+
+    def test_fluctuation_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_source(fluctuation=1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_source(bandwidth=0)
+
+    def test_buffered_bytes_tracks_occupancy(self):
+        source = make_source(bandwidth=mbps(100))
+        source.deliver_until(1.0)
+        occupancy = source.buffered_bytes
+        source.pop_frame(1.0)
+        assert source.buffered_bytes < occupancy

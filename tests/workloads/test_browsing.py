@@ -1,0 +1,71 @@
+"""The Fig. 4 browsing-phase generator."""
+
+import pytest
+
+from repro.config import FHD, skylake_tablet
+from repro.errors import ConfigurationError
+from repro.pipeline.conventional import ConventionalScheme
+from repro.pipeline.sim import FrameWindowSimulator
+from repro.power.model import PowerModel
+from repro.soc.cstates import PackageCState
+from repro.video.source import AnalyticContentModel
+from repro.workloads.browsing import browsing_timeline
+
+
+@pytest.fixture
+def config():
+    return skylake_tablet(FHD)
+
+
+class TestStructure:
+    def test_duration(self, config):
+        timeline = browsing_timeline(config, duration_s=1.0)
+        assert timeline.duration == pytest.approx(1.0, abs=0.02)
+
+    def test_deterministic(self, config):
+        a = browsing_timeline(config, seed=3)
+        b = browsing_timeline(config, seed=3)
+        assert a.pattern() == b.pattern()
+
+    def test_activity_zero_is_all_psr(self, config):
+        timeline = browsing_timeline(config, activity=0.0)
+        fractions = timeline.residency_fractions()
+        assert fractions[PackageCState.C8] > 0.85
+        assert PackageCState.C2 not in fractions
+
+    def test_activity_one_keeps_pipeline_busy(self, config):
+        timeline = browsing_timeline(config, activity=1.0)
+        fractions = timeline.residency_fractions()
+        assert fractions[PackageCState.C0] > 0.12
+        assert fractions.get(PackageCState.C2, 0) > 0.05
+
+    def test_bad_inputs_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            browsing_timeline(config, duration_s=0)
+        with pytest.raises(ConfigurationError):
+            browsing_timeline(config, activity=1.5)
+        with pytest.raises(ConfigurationError):
+            browsing_timeline(config, burst_windows=0)
+
+
+class TestFig4Shape:
+    def test_browsing_cheaper_than_streaming(self, config):
+        """Fig. 4: starting the stream visibly raises system power."""
+        model = PowerModel()
+        browse = model.report_timeline(
+            browsing_timeline(config, duration_s=2.0), config.panel
+        )
+        frames = AnalyticContentModel().frames(FHD, 30)
+        stream = model.report(
+            FrameWindowSimulator(config, ConventionalScheme()).run(
+                frames, 60.0
+            )
+        )
+        assert browse.average_power_mw < stream.average_power_mw
+
+    def test_browsing_power_in_plausible_band(self, config):
+        model = PowerModel()
+        report = model.report_timeline(
+            browsing_timeline(config, duration_s=2.0), config.panel
+        )
+        assert 1200 < report.average_power_mw < 2600

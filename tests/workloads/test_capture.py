@@ -1,0 +1,64 @@
+"""The capture workload runner."""
+
+import pytest
+
+from repro.config import FHD, UHD_4K
+from repro.core.capture import (
+    BurstCaptureScheme,
+    ConventionalCaptureScheme,
+)
+from repro.errors import ConfigurationError
+from repro.power import PowerModel
+from repro.workloads.capture import CaptureWorkload, capture_run
+
+
+class TestWorkload:
+    def test_frames_have_capture_sizes(self):
+        workload = CaptureWorkload(sensor=FHD, encode_ratio=20.0,
+                                   frame_count=5)
+        frames = workload.frames()
+        assert len(frames) == 5
+        assert frames[0].decoded_bytes == FHD.frame_bytes()
+        assert frames[0].encoded_bytes == pytest.approx(
+            FHD.frame_bytes() / 20.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CaptureWorkload(sensor=FHD, fps=0)
+        with pytest.raises(ConfigurationError):
+            CaptureWorkload(sensor=FHD, encode_ratio=1.0)
+        with pytest.raises(ConfigurationError):
+            CaptureWorkload(sensor=FHD, frame_count=0)
+
+
+class TestRunner:
+    def test_conventional_run(self):
+        run = capture_run(
+            CaptureWorkload(sensor=FHD, frame_count=8),
+            ConventionalCaptureScheme(),
+        )
+        assert run.stats.windows == 16
+        assert run.stats.deadline_misses == 0
+
+    def test_burst_run_needs_drfb(self):
+        run = capture_run(
+            CaptureWorkload(sensor=FHD, frame_count=8),
+            BurstCaptureScheme(),
+            with_drfb=True,
+        )
+        assert run.config.panel.has_drfb
+        assert run.stats.bypassed_windows == (
+            run.stats.new_frame_windows
+        )
+
+    def test_generalization_saving_at_4k(self):
+        workload = CaptureWorkload(sensor=UHD_4K, frame_count=8)
+        model = PowerModel()
+        base = model.report(
+            capture_run(workload, ConventionalCaptureScheme())
+        )
+        burst = model.report(
+            capture_run(workload, BurstCaptureScheme(), with_drfb=True)
+        )
+        assert burst.average_power_mw < 0.75 * base.average_power_mw

@@ -1,0 +1,132 @@
+"""The Fig. 14b mobile workloads."""
+
+import pytest
+
+from repro.config import FHD, UHD_4K
+from repro.core.bursting import FrameBurstingScheme
+from repro.errors import ConfigurationError
+from repro.pipeline.conventional import ConventionalScheme
+from repro.power.model import PowerModel
+from repro.workloads.mobile import (
+    MOBILE_WORKLOADS,
+    MobileWorkload,
+    mobile_workload_run,
+)
+
+
+class TestCatalogue:
+    def test_four_workloads(self):
+        assert set(MOBILE_WORKLOADS) == {
+            "video-conferencing",
+            "video-capture",
+            "casual-gaming",
+            "mobilemark",
+        }
+
+    def test_gaming_updates_every_window(self):
+        assert MOBILE_WORKLOADS["casual-gaming"].update_fps == 60.0
+
+    def test_mobilemark_is_sparse(self):
+        assert MOBILE_WORKLOADS["mobilemark"].update_fps < 30.0
+
+    def test_conferencing_streams(self):
+        assert MOBILE_WORKLOADS["video-conferencing"].streaming
+
+    def test_capture_records(self):
+        assert MOBILE_WORKLOADS["video-capture"].recording
+
+
+class TestValidation:
+    def test_bad_fps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MobileWorkload(name="x", update_fps=0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MobileWorkload(name="x", update_fps=30, produced_fraction=0)
+
+
+class TestRunner:
+    def test_gaming_run_has_no_repeats(self):
+        run = mobile_workload_run(
+            MOBILE_WORKLOADS["casual-gaming"],
+            ConventionalScheme(),
+            FHD,
+            frame_count=8,
+        )
+        assert run.stats.repeat_windows == 0
+
+    def test_mobilemark_mostly_repeats(self):
+        run = mobile_workload_run(
+            MOBILE_WORKLOADS["mobilemark"],
+            ConventionalScheme(),
+            FHD,
+            frame_count=10,
+        )
+        assert run.stats.repeat_windows > (
+            run.stats.new_frame_windows * 3
+        )
+
+    def test_bursting_saves_on_every_workload_at_fhd(self):
+        """Fig. 14b: all four workloads benefit from Frame Bursting."""
+        model = PowerModel()
+        for name, workload in MOBILE_WORKLOADS.items():
+            base = model.report(
+                mobile_workload_run(
+                    workload, ConventionalScheme(), FHD,
+                    frame_count=12,
+                )
+            )
+            burst = model.report(
+                mobile_workload_run(
+                    workload,
+                    FrameBurstingScheme(),
+                    FHD,
+                    frame_count=12,
+                    with_drfb=True,
+                )
+            )
+            reduction = (
+                1 - burst.average_power_mw / base.average_power_mw
+            )
+            assert reduction > 0.15, name
+
+    def test_fhd_reduction_near_paper_range(self):
+        """Paper: ~27-30% at the tablet's native resolution."""
+        model = PowerModel()
+        workload = MOBILE_WORKLOADS["casual-gaming"]
+        base = model.report(
+            mobile_workload_run(
+                workload, ConventionalScheme(), FHD, frame_count=12
+            )
+        )
+        burst = model.report(
+            mobile_workload_run(
+                workload,
+                FrameBurstingScheme(),
+                FHD,
+                frame_count=12,
+                with_drfb=True,
+            )
+        )
+        reduction = 1 - burst.average_power_mw / base.average_power_mw
+        assert reduction == pytest.approx(0.28, abs=0.07)
+
+    def test_4k_still_positive(self):
+        model = PowerModel()
+        workload = MOBILE_WORKLOADS["video-conferencing"]
+        base = model.report(
+            mobile_workload_run(
+                workload, ConventionalScheme(), UHD_4K, frame_count=8
+            )
+        )
+        burst = model.report(
+            mobile_workload_run(
+                workload,
+                FrameBurstingScheme(),
+                UHD_4K,
+                frame_count=8,
+                with_drfb=True,
+            )
+        )
+        assert burst.average_power_mw < base.average_power_mw

@@ -1,0 +1,125 @@
+"""The multi-phase scenario engine with dynamic fallback."""
+
+import pytest
+
+from repro.config import FHD, skylake_tablet
+from repro.errors import ConfigurationError
+from repro.workloads.scenario import (
+    Phase,
+    Scenario,
+    notification_appears,
+    notification_dismissed,
+    second_stream_closes,
+    second_stream_opens,
+    streaming_session,
+    touch_settles,
+    user_touch,
+)
+
+
+@pytest.fixture
+def config():
+    return skylake_tablet(FHD)
+
+
+class TestValidation:
+    def test_phase_needs_positive_duration(self):
+        with pytest.raises(ConfigurationError):
+            Phase("x", duration_s=0)
+
+    def test_phase_needs_positive_fps(self):
+        with pytest.raises(ConfigurationError):
+            Phase("x", duration_s=1, fps=0)
+
+    def test_scenario_needs_phases(self, config):
+        with pytest.raises(ConfigurationError):
+            Scenario(config=config, phases=[])
+
+
+class TestCannedSession:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return streaming_session(skylake_tablet(FHD)).play()
+
+    def test_scheme_sequence_tracks_events(self, result):
+        assert result.scheme_sequence() == [
+            "burstlink",      # steady playback
+            "conventional",   # touch -> PSR2 exit
+            "burstlink",      # touch settles
+            "conventional",   # notification plane
+            "burstlink",      # dismissed
+        ]
+
+    def test_timeline_covers_session(self, result):
+        expected = sum(o.phase.duration_s for o in result.outcomes)
+        assert result.duration_s == pytest.approx(expected, rel=0.02)
+
+    def test_fallback_phases_cost_more(self, result):
+        powers = [
+            o.report.average_power_mw for o in result.outcomes
+        ]
+        assert powers[1] > powers[0]  # touch phase vs steady
+        assert powers[3] > powers[2]  # notification vs steady
+
+    def test_session_average_between_extremes(self, result):
+        powers = [
+            o.report.average_power_mw for o in result.outcomes
+        ]
+        assert min(powers) < result.average_power_mw < max(powers)
+
+    def test_summary_mentions_every_phase(self, result):
+        summary = result.summary()
+        for outcome in result.outcomes:
+            assert outcome.phase.name in summary
+        assert "session average" in summary
+
+
+class TestSecondStream:
+    def test_second_session_forces_conventional(self, config):
+        scenario = Scenario(
+            config=config,
+            phases=[
+                Phase("solo", duration_s=0.5),
+                Phase("pip opens", duration_s=0.5,
+                      events=(second_stream_opens,)),
+                Phase("pip closes", duration_s=0.5,
+                      events=(second_stream_closes,)),
+            ],
+        )
+        result = scenario.play()
+        assert result.scheme_sequence() == [
+            "burstlink", "conventional", "burstlink",
+        ]
+
+
+class TestEventOrder:
+    def test_multiple_events_in_one_phase(self, config):
+        scenario = Scenario(
+            config=config,
+            phases=[
+                Phase(
+                    "touch+notification",
+                    duration_s=0.5,
+                    events=(user_touch, notification_appears),
+                ),
+                Phase(
+                    "both clear",
+                    duration_s=0.5,
+                    events=(touch_settles, notification_dismissed),
+                ),
+            ],
+        )
+        result = scenario.play()
+        assert result.scheme_sequence() == [
+            "conventional", "burstlink",
+        ]
+
+    def test_reasons_recorded(self, config):
+        scenario = Scenario(
+            config=config,
+            phases=[
+                Phase("touch", duration_s=0.5, events=(user_touch,)),
+            ],
+        )
+        outcome = scenario.play().outcomes[0]
+        assert "PSR2" in outcome.reason

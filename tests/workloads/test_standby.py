@@ -1,0 +1,102 @@
+"""Connected standby (the C10 regime)."""
+
+import pytest
+
+from repro.config import FHD, skylake_tablet
+from repro.errors import ConfigurationError
+from repro.power.model import PlatformExtras, PowerModel
+from repro.soc.cstates import PackageCState
+from repro.workloads.standby import standby_power_mw, standby_timeline
+
+
+@pytest.fixture
+def config():
+    return skylake_tablet(FHD)
+
+
+class TestTimeline:
+    def test_duration(self, config):
+        timeline = standby_timeline(config, duration_s=30.0)
+        assert timeline.duration == pytest.approx(30.0)
+
+    def test_c10_dominates(self, config):
+        fractions = standby_timeline(
+            config, duration_s=30.0
+        ).residency_fractions()
+        assert fractions[PackageCState.C10] > 0.98
+
+    def test_wake_count(self, config):
+        timeline = standby_timeline(
+            config, duration_s=60.0, wake_interval_s=10.0
+        )
+        wakes = [
+            s for s in timeline
+            if s.cpu_active and not s.transition
+        ]
+        # One wake per 10 s cadence tick, including the one that lands
+        # exactly on the 60 s boundary.
+        assert len(wakes) == 6
+
+    def test_panel_stays_off(self, config):
+        from repro.pipeline.timeline import PanelMode
+
+        timeline = standby_timeline(config, duration_s=20.0)
+        assert all(
+            s.panel_mode is PanelMode.OFF for s in timeline
+        )
+
+    def test_validation(self, config):
+        with pytest.raises(ConfigurationError):
+            standby_timeline(config, duration_s=0)
+        with pytest.raises(ConfigurationError):
+            standby_timeline(config, wake_interval_s=0)
+        with pytest.raises(ConfigurationError):
+            standby_timeline(
+                config, wake_interval_s=1.0, wake_work_s=2.0
+            )
+
+
+class TestPower:
+    def test_standby_is_tens_of_milliwatts(self, config):
+        """With the panel off and C10 dominating, the floor sits
+        orders of magnitude below any display workload."""
+        power = standby_power_mw(config)
+        assert power < 150.0
+
+    def test_more_wakes_cost_more(self, config):
+        frequent = standby_power_mw(config, wake_interval_s=2.0)
+        rare = standby_power_mw(config, wake_interval_s=30.0)
+        assert frequent > rare
+
+    def test_standby_far_below_video(self, config):
+        """The whole point of the regime split: video is ~2 W, standby
+        is ~0.05 W."""
+        from repro.pipeline import (
+            ConventionalScheme,
+            FrameWindowSimulator,
+        )
+        from repro.video.source import AnalyticContentModel
+
+        video = PowerModel().report(
+            FrameWindowSimulator(config, ConventionalScheme()).run(
+                AnalyticContentModel().frames(FHD, 8), 30.0
+            )
+        )
+        assert standby_power_mw(config) < (
+            video.average_power_mw / 10
+        )
+
+    def test_c10_exit_latency_charged(self, config):
+        """Every wake pays the long C10 exit: the timeline carries one
+        transition excursion per wake plus the re-entries."""
+        timeline = standby_timeline(
+            config, duration_s=60.0, wake_interval_s=10.0
+        )
+        assert timeline.transition_count() >= 10
+        extras = PlatformExtras(
+            streaming=False, local_playback=False
+        )
+        report = PowerModel(extras=extras).report_timeline(
+            timeline, config.panel
+        )
+        assert report.transition_energy_mj > 0

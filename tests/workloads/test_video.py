@@ -1,0 +1,85 @@
+"""Planar video workloads: streaming and local playback."""
+
+import pytest
+
+from repro.config import FHD, UHD_4K, UHD_5K
+from repro.core.bypass import FrameBufferBypassScheme
+from repro.errors import ConfigurationError
+from repro.pipeline.conventional import ConventionalScheme
+from repro.workloads.video import (
+    EDP_HIGH_REFRESH,
+    PlanarVideoWorkload,
+    local_playback_run,
+    planar_streaming_run,
+)
+
+
+class TestWorkloadConfig:
+    def test_standard_modes_use_stock_link(self):
+        workload = PlanarVideoWorkload(resolution=UHD_4K)
+        assert workload.system_config().edp.name == "eDP 1.4"
+
+    def test_high_refresh_substitutes_fast_link(self):
+        workload = PlanarVideoWorkload(
+            resolution=UHD_4K, fps=60.0, refresh_hz=144.0
+        )
+        assert workload.system_config().edp is EDP_HIGH_REFRESH
+
+    def test_frames_generated(self):
+        workload = PlanarVideoWorkload(
+            resolution=FHD, frame_count=10
+        )
+        frames = workload.frames()
+        assert len(frames) == 10
+        assert frames[0].decoded_bytes == FHD.frame_bytes()
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlanarVideoWorkload(resolution=FHD, frame_count=0)
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlanarVideoWorkload(resolution=FHD, fps=0)
+
+
+class TestRunners:
+    def test_streaming_run(self):
+        workload = PlanarVideoWorkload(
+            resolution=FHD, frame_count=8
+        )
+        run = planar_streaming_run(workload, ConventionalScheme())
+        assert run.stats.windows == 16  # 8 frames at 30 on 60 Hz
+
+    def test_drfb_flag_propagates(self):
+        workload = PlanarVideoWorkload(
+            resolution=FHD, frame_count=4
+        )
+        run = planar_streaming_run(
+            workload, ConventionalScheme(), with_drfb=True
+        )
+        assert run.config.panel.has_drfb
+
+    def test_local_requires_local_flag(self):
+        workload = PlanarVideoWorkload(resolution=FHD)
+        with pytest.raises(ConfigurationError):
+            local_playback_run(workload, ConventionalScheme())
+
+    def test_local_playback_at_high_refresh(self):
+        workload = PlanarVideoWorkload(
+            resolution=UHD_4K,
+            fps=60.0,
+            refresh_hz=120.0,
+            frame_count=4,
+            local=True,
+        )
+        run = local_playback_run(
+            workload, FrameBufferBypassScheme()
+        )
+        assert run.stats.deadline_misses == 0
+
+    def test_5k60_runs(self):
+        workload = PlanarVideoWorkload(
+            resolution=UHD_5K, fps=60.0, frame_count=4, local=True
+        )
+        run = local_playback_run(workload, ConventionalScheme())
+        assert run.stats.windows == 4

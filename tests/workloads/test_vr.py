@@ -1,0 +1,197 @@
+"""VR workloads and runners."""
+
+import pytest
+
+from repro.config import VR_EYE_RESOLUTIONS
+from repro.core.burstlink import BurstLinkScheme
+from repro.errors import ConfigurationError
+from repro.pipeline.conventional import ConventionalScheme
+from repro.workloads.vr import (
+    VR_WORKLOADS,
+    VrWorkload,
+    build_vr_setup,
+    source_resolution_for,
+    vr_streaming_run,
+)
+
+
+class TestCatalogue:
+    def test_five_workloads(self):
+        assert set(VR_WORKLOADS) == {
+            "Elephant", "Paris", "Rollercoaster", "Timelapse", "Rhino",
+        }
+
+    def test_rollercoaster_most_compute_intense(self):
+        intensities = {
+            name: w.compute_intensity
+            for name, w in VR_WORKLOADS.items()
+        }
+        assert max(intensities, key=intensities.get) == (
+            "Rollercoaster"
+        )
+
+    def test_bad_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VrWorkload(
+                name="x",
+                source_resolution=VR_WORKLOADS["Rhino"]
+                .source_resolution,
+                content=VR_WORKLOADS["Rhino"].content,
+                head=VR_WORKLOADS["Rhino"].head,
+                compute_intensity=0,
+            )
+
+
+class TestSourceScaling:
+    def test_sphere_is_2_to_1(self):
+        for per_eye in VR_EYE_RESOLUTIONS:
+            sphere = source_resolution_for(per_eye)
+            assert sphere.width == 2 * sphere.height
+
+    def test_sphere_grows_with_eye_resolution(self):
+        small = source_resolution_for(VR_EYE_RESOLUTIONS[0])
+        large = source_resolution_for(VR_EYE_RESOLUTIONS[-1])
+        assert large.pixels > small.pixels
+
+    def test_macroblock_aligned(self):
+        for per_eye in VR_EYE_RESOLUTIONS:
+            sphere = source_resolution_for(per_eye)
+            assert sphere.width % 16 == 0
+
+
+class TestSetup:
+    def test_setup_shapes(self):
+        setup = build_vr_setup(
+            VR_WORKLOADS["Rhino"], frame_count=12
+        )
+        assert len(setup.frames) == 12
+        assert len(setup.vr_work) == 12
+        assert setup.config.panel.resolution.width == 2 * 1440
+
+    def test_projection_varies_with_head_speed(self):
+        setup = build_vr_setup(
+            VR_WORKLOADS["Rollercoaster"], frame_count=30
+        )
+        projections = [w.projection_s for w in setup.vr_work]
+        assert max(projections) > min(projections)
+
+    def test_compute_intensity_scales_projection(self):
+        calm = build_vr_setup(VR_WORKLOADS["Elephant"], frame_count=8)
+        wild = build_vr_setup(
+            VR_WORKLOADS["Rollercoaster"], frame_count=8
+        )
+        assert (
+            sum(w.projection_s for w in wild.vr_work)
+            > sum(w.projection_s for w in calm.vr_work)
+        )
+
+
+class TestViewportAdaptive:
+    def test_fraction_bounds(self):
+        from repro.workloads.vr import viewport_fraction
+
+        calm = viewport_fraction(90.0, 0.0)
+        assert 0 < calm < 1
+
+    def test_fraction_grows_with_head_speed(self):
+        from repro.workloads.vr import viewport_fraction
+
+        assert viewport_fraction(90.0, 120.0) > viewport_fraction(
+            90.0, 0.0
+        )
+
+    def test_fraction_capped_at_full_sphere(self):
+        from repro.workloads.vr import viewport_fraction
+
+        assert viewport_fraction(170.0, 10000.0) == 1.0
+
+    def test_bad_fov_rejected(self):
+        from repro.workloads.vr import viewport_fraction
+
+        with pytest.raises(ConfigurationError):
+            viewport_fraction(0.0, 0.0)
+
+    def test_adaptive_setup_shrinks_traffic(self):
+        full = build_vr_setup(VR_WORKLOADS["Rhino"], frame_count=8)
+        tiled = build_vr_setup(
+            VR_WORKLOADS["Rhino"], frame_count=8,
+            viewport_adaptive=True,
+        )
+        assert sum(f.encoded_bytes for f in tiled.frames) < (
+            0.6 * sum(f.encoded_bytes for f in full.frames)
+        )
+        assert sum(w.source_bytes for w in tiled.vr_work) < (
+            0.6 * sum(w.source_bytes for w in full.vr_work)
+        )
+
+    def test_adaptive_baseline_saves_energy(self):
+        from repro.power import PowerModel
+
+        model = PowerModel()
+        full = model.report(
+            vr_streaming_run(
+                VR_WORKLOADS["Rhino"], ConventionalScheme(),
+                frame_count=12,
+            )
+        )
+        tiled = model.report(
+            vr_streaming_run(
+                VR_WORKLOADS["Rhino"], ConventionalScheme(),
+                frame_count=12, viewport_adaptive=True,
+            )
+        )
+        assert tiled.average_power_mw < full.average_power_mw
+
+    def test_burstlink_still_wins_on_top_of_tiling(self):
+        """BurstLink composes with viewport adaptation: its savings
+        target the frame buffers tiling does not touch."""
+        from repro.power import PowerModel
+
+        model = PowerModel()
+        tiled_base = model.report(
+            vr_streaming_run(
+                VR_WORKLOADS["Rhino"], ConventionalScheme(),
+                frame_count=12, viewport_adaptive=True,
+            )
+        )
+        tiled_burst = model.report(
+            vr_streaming_run(
+                VR_WORKLOADS["Rhino"], BurstLinkScheme(),
+                frame_count=12, viewport_adaptive=True,
+                with_drfb=True,
+            )
+        )
+        reduction = 1 - (
+            tiled_burst.average_power_mw
+            / tiled_base.average_power_mw
+        )
+        assert reduction > 0.20
+
+
+class TestRunner:
+    def test_baseline_run(self):
+        run = vr_streaming_run(
+            VR_WORKLOADS["Rhino"], ConventionalScheme(), frame_count=8
+        )
+        assert run.stats.windows == 16
+        assert run.stats.deadline_misses == 0
+
+    def test_burstlink_run_with_drfb(self):
+        run = vr_streaming_run(
+            VR_WORKLOADS["Rhino"],
+            BurstLinkScheme(),
+            frame_count=8,
+            with_drfb=True,
+        )
+        assert run.config.panel.has_drfb
+        assert run.stats.deadline_misses == 0
+
+    def test_all_eye_resolutions_feasible(self):
+        for per_eye in VR_EYE_RESOLUTIONS:
+            run = vr_streaming_run(
+                VR_WORKLOADS["Rollercoaster"],
+                ConventionalScheme(),
+                per_eye=per_eye,
+                frame_count=4,
+            )
+            assert run.stats.deadline_misses == 0, str(per_eye)
