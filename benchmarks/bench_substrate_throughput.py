@@ -1,15 +1,26 @@
 """Substrate micro-benchmarks: the functional codec and the frame-window
 simulator themselves (how fast the reproduction machinery runs, not a
-paper exhibit)."""
+paper exhibit).
+
+The simulator benches run with memoization disabled — they time the raw
+simulator, not a cache load.  Set ``REPRO_BENCH_QUICK=1`` for the CI
+smoke configuration (shorter simulated runs, same code paths).
+"""
+
+import os
 
 import numpy as np
 
+from repro.analysis.runner import cache_disabled
 from repro.config import FHD, skylake_tablet
 from repro.core import BurstLinkScheme
 from repro.pipeline import ConventionalScheme, FrameWindowSimulator
 from repro.video import Codec, CodecConfig
 from repro.video.frames import FrameType
 from repro.video.source import AnalyticContentModel
+
+#: Frames per simulated run; CI smoke mode trades precision for speed.
+_SIM_FRAMES = 24 if os.environ.get("REPRO_BENCH_QUICK") else 120
 
 
 def _test_frame(size=96):
@@ -41,12 +52,13 @@ def test_codec_decode_throughput(benchmark):
 
 def test_simulator_throughput_baseline(benchmark):
     config = skylake_tablet(FHD)
-    frames = AnalyticContentModel().frames(FHD, 120)
+    frames = AnalyticContentModel().frames(FHD, _SIM_FRAMES)
 
     def run():
-        return FrameWindowSimulator(
-            config, ConventionalScheme()
-        ).run(frames, 60.0)
+        with cache_disabled():
+            return FrameWindowSimulator(
+                config, ConventionalScheme()
+            ).run(frames, 60.0)
 
     result = benchmark(run)
     rate = result.stats.windows / benchmark.stats["mean"]
@@ -56,12 +68,13 @@ def test_simulator_throughput_baseline(benchmark):
 
 def test_simulator_throughput_burstlink(benchmark):
     config = skylake_tablet(FHD).with_drfb()
-    frames = AnalyticContentModel().frames(FHD, 120)
+    frames = AnalyticContentModel().frames(FHD, _SIM_FRAMES)
 
     def run():
-        return FrameWindowSimulator(
-            config, BurstLinkScheme()
-        ).run(frames, 60.0)
+        with cache_disabled():
+            return FrameWindowSimulator(
+                config, BurstLinkScheme()
+            ).run(frames, 60.0)
 
     result = benchmark(run)
     print(f"\n{result.stats.windows} windows simulated")

@@ -6,11 +6,19 @@ paper reports (run with ``pytest benchmarks/ --benchmark-only -s`` to
 see them).  Timing uses two measured rounds per experiment — these are
 throughput benches for the *regeneration*, not statistical micro
 benchmarks.
+
+Importing :mod:`repro.analysis.runner` here activates the simulation
+cache for the whole suite, so the regeneration benches time the engine
+as shipped (warm after round one).  Substrate micro-benchmarks that
+must time the raw simulator opt out via
+:func:`repro.analysis.runner.cache_disabled`.
 """
 
 from __future__ import annotations
 
 import pytest
+
+import repro.analysis.runner  # noqa: F401  (installs the default cache)
 
 
 @pytest.fixture

@@ -21,6 +21,18 @@ from .experiments import (
     table2_power_comparison,
 )
 from .report import format_table, render_cstate_table, render_reductions
+from .runner import (
+    CacheStats,
+    ExhibitOutcome,
+    ExperimentMetrics,
+    SimulationCache,
+    cache_disabled,
+    configure_cache,
+    exhibit_registry,
+    metrics_table,
+    run_exhibit,
+    run_exhibits,
+)
 from .pareto import QosPoint, evaluate_qos, pareto_front
 from .sensitivity import (
     SensitivityRow,
@@ -64,6 +76,16 @@ __all__ = [
     "BarChart",
     "BatteryComparison",
     "BatteryLife",
+    "CacheStats",
+    "ExhibitOutcome",
+    "ExperimentMetrics",
+    "SimulationCache",
+    "cache_disabled",
+    "configure_cache",
+    "exhibit_registry",
+    "metrics_table",
+    "run_exhibit",
+    "run_exhibits",
     "SchemeComparison",
     "SweepResult",
     "battery_life",

@@ -1,0 +1,545 @@
+"""The parallel experiment engine.
+
+Two pieces turn the evaluation harness from a strictly sequential,
+recompute-everything pipeline into one that runs as fast as the host
+allows:
+
+* :class:`SimulationCache` — a content-addressed memo for
+  :class:`~repro.pipeline.sim.FrameWindowSimulator` runs.  Every run is
+  keyed by a stable hash of its full input descriptor (the
+  :class:`~repro.config.SystemConfig`, the scheme's identity and state,
+  the frame sequence, cadence parameters — see
+  :func:`repro.pipeline.sim.run_fingerprint`), so sweeps that revisit a
+  configuration (sensitivity tornadoes, ablations, Pareto fronts, the
+  Fig. 9/12 resolution sweeps) replay the stored timeline instead of
+  re-simulating it.  Hot entries live in a bounded in-process LRU;
+  optionally they also persist as JSON under ``.repro_cache/`` so a
+  *repeated* full-suite regeneration starts warm.
+
+* :func:`run_exhibits` — fan-out of independent exhibits over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Exhibit functions
+  are pure and deterministic, so results are bit-identical to a
+  sequential run; outcomes are returned in request order regardless of
+  completion order.  Each outcome carries an
+  :class:`ExperimentMetrics` record (wall-clock, cache hit/miss counts,
+  windows simulated) — the ``--verbose`` summary of ``repro figures``
+  and the body of ``repro bench-all``.
+
+Importing this module installs a process-wide default cache (in-memory
+only, unless ``REPRO_CACHE_DIR`` points at a directory); library code
+that never imports it keeps the seed's uncached behavior.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from ..config import (
+    DisplayControllerConfig,
+    DramConfig,
+    EdpConfig,
+    GpuConfig,
+    OrchestrationConfig,
+    PanelConfig,
+    Resolution,
+    SystemConfig,
+    VideoDecoderConfig,
+)
+from ..errors import ConfigurationError
+from ..pipeline import sim
+from ..pipeline.sim import RunResult, RunStats
+from ..pipeline.timeline import PanelMode, Segment, Timeline, VdMode
+from ..soc.cstates import PackageCState
+
+#: On-disk payload schema version; bump on any layout change so stale
+#: cache files read as misses instead of garbage.
+_DISK_FORMAT = 1
+
+#: Default number of runs the in-process LRU retains.
+DEFAULT_CAPACITY = 128
+
+
+# ---------------------------------------------------------------------------
+# Run (de)serialization — exact JSON round-trip for the disk layer
+# ---------------------------------------------------------------------------
+
+#: Dataclasses reachable from a SystemConfig, by class name.
+_CONFIG_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        SystemConfig,
+        PanelConfig,
+        EdpConfig,
+        DramConfig,
+        VideoDecoderConfig,
+        GpuConfig,
+        DisplayControllerConfig,
+        OrchestrationConfig,
+        Resolution,
+    )
+}
+
+
+def _config_to_payload(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload = {"__type__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            payload[f.name] = _config_to_payload(getattr(value, f.name))
+        return payload
+    return value
+
+
+def _config_from_payload(payload: Any) -> Any:
+    if isinstance(payload, dict) and "__type__" in payload:
+        cls = _CONFIG_TYPES[payload["__type__"]]
+        return cls(
+            **{
+                name: _config_from_payload(value)
+                for name, value in payload.items()
+                if name != "__type__"
+            }
+        )
+    return payload
+
+
+def _segment_to_record(segment: Segment) -> list[Any]:
+    return [
+        segment.start,
+        segment.end,
+        segment.state.name,
+        segment.label,
+        segment.transition,
+        segment.dram_read_bw,
+        segment.dram_write_bw,
+        segment.edp_rate,
+        segment.cpu_active,
+        segment.gpu_active,
+        segment.vd_mode.name,
+        segment.dc_active,
+        segment.panel_mode.name,
+        segment.drfb_active,
+    ]
+
+
+def _segment_from_record(record: list[Any]) -> Segment:
+    return Segment(
+        start=record[0],
+        end=record[1],
+        state=PackageCState[record[2]],
+        label=record[3],
+        transition=record[4],
+        dram_read_bw=record[5],
+        dram_write_bw=record[6],
+        edp_rate=record[7],
+        cpu_active=record[8],
+        gpu_active=record[9],
+        vd_mode=VdMode[record[10]],
+        dc_active=record[11],
+        panel_mode=PanelMode[record[12]],
+        drfb_active=record[13],
+    )
+
+
+def run_to_payload(run: RunResult) -> dict[str, Any]:
+    """A :class:`RunResult` as a JSON-ready dictionary that
+    :func:`run_from_payload` restores exactly (floats round-trip
+    bit-for-bit through JSON's shortest-repr encoding)."""
+    return {
+        "format": _DISK_FORMAT,
+        "scheme": run.scheme,
+        "video_fps": run.video_fps,
+        "cache_key": run.cache_key,
+        "config": _config_to_payload(run.config),
+        "stats": dataclasses.asdict(run.stats),
+        "segments": [
+            _segment_to_record(segment) for segment in run.timeline
+        ],
+    }
+
+
+def run_from_payload(payload: dict[str, Any]) -> RunResult:
+    """Rebuild the exact :class:`RunResult` serialized by
+    :func:`run_to_payload`."""
+    if payload.get("format") != _DISK_FORMAT:
+        raise ConfigurationError(
+            f"unsupported cache payload format {payload.get('format')!r}"
+        )
+    return RunResult(
+        scheme=payload["scheme"],
+        config=_config_from_payload(payload["config"]),
+        timeline=Timeline(
+            [_segment_from_record(r) for r in payload["segments"]]
+        ),
+        stats=RunStats(**payload["stats"]),
+        video_fps=payload["video_fps"],
+        cache_key=payload["cache_key"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The simulation cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Counters over a cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+    #: Refresh windows actually simulated (cache misses only) — the
+    #: work the cache did *not* avoid.
+    windows_simulated: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        """An immutable copy for before/after deltas."""
+        return dataclasses.replace(self)
+
+
+class SimulationCache:
+    """Memoizes simulator runs by content hash.
+
+    In-process entries live in an LRU bounded by ``capacity``; when
+    ``directory`` is set, every stored run also persists as
+    ``<key>.json`` under it (written atomically, so concurrent worker
+    processes may share one directory).  Eviction never touches disk —
+    delete the directory to reclaim space or force cold runs.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory else None
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, RunResult] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    @staticmethod
+    def _detached(run: RunResult) -> RunResult:
+        """A fresh view of ``run``: shared frozen segments, private
+        mutable containers — callers can't corrupt the cached copy."""
+        return RunResult(
+            scheme=run.scheme,
+            config=run.config,
+            timeline=Timeline(list(run.timeline.segments)),
+            stats=dataclasses.replace(run.stats),
+            video_fps=run.video_fps,
+            cache_key=run.cache_key,
+        )
+
+    # -- the RunMemo protocol -------------------------------------------------
+
+    def load(self, key: str) -> RunResult | None:
+        """The memoized run for ``key``, or ``None`` on a miss."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return self._detached(cached)
+        run = self._load_disk(key)
+        if run is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._remember(key, run)
+            return self._detached(run)
+        self.stats.misses += 1
+        return None
+
+    def store(self, key: str, run: RunResult) -> None:
+        """Record a freshly simulated run."""
+        self.stats.stores += 1
+        self.stats.windows_simulated += run.stats.windows
+        self._remember(key, self._detached(run))
+        if self.directory is not None:
+            self._store_disk(key, run)
+
+    # -- internals ------------------------------------------------------------
+
+    def _remember(self, key: str, run: RunResult) -> None:
+        self._memory[key] = run
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def _load_disk(self, key: str) -> RunResult | None:
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return run_from_payload(payload)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError,
+                ConfigurationError):
+            # A stale or corrupt entry reads as a miss; drop it so the
+            # next store rewrites a clean one.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+
+    def _store_disk(self, key: str, run: RunResult) -> None:
+        assert self.directory is not None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                dir=self.directory,
+                prefix=f".{key[:16]}-",
+                suffix=".tmp",
+                delete=False,
+                encoding="utf-8",
+            )
+            with handle:
+                json.dump(run_to_payload(run), handle)
+            os.replace(handle.name, self._path(key))
+        except OSError:
+            # Disk persistence is best-effort; the in-memory layer
+            # already holds the run.
+            pass
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop all in-memory entries (and, with ``disk=True``, every
+        persisted ``<key>.json`` as well)."""
+        self._memory.clear()
+        if disk and self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default cache
+# ---------------------------------------------------------------------------
+
+
+def configure_cache(
+    directory: str | Path | None = None,
+    capacity: int = DEFAULT_CAPACITY,
+    enabled: bool = True,
+) -> SimulationCache | None:
+    """(Re)install the process-wide simulation cache.
+
+    ``enabled=False`` removes memoization entirely; otherwise a fresh
+    :class:`SimulationCache` (persisting under ``directory`` when
+    given) becomes the active memo.  Returns the installed cache.
+    """
+    cache = (
+        SimulationCache(directory=directory, capacity=capacity)
+        if enabled else None
+    )
+    sim.install_run_memo(cache)
+    return cache
+
+
+def active_cache() -> SimulationCache | None:
+    """The installed process-wide cache, if one is active."""
+    memo = sim.active_run_memo()
+    return memo if isinstance(memo, SimulationCache) else None
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Temporarily run with no memoization (parity tests, baselines)."""
+    previous = sim.install_run_memo(None)
+    try:
+        yield
+    finally:
+        sim.install_run_memo(previous)
+
+
+# Importing the engine activates the default in-memory cache; the
+# REPRO_CACHE_DIR environment variable opts into disk persistence.
+_env_dir = os.environ.get("REPRO_CACHE_DIR")
+if sim.active_run_memo() is None:
+    configure_cache(directory=_env_dir or None)
+
+
+# ---------------------------------------------------------------------------
+# The exhibit registry
+# ---------------------------------------------------------------------------
+
+
+def exhibit_registry() -> dict[str, Callable[[], Any]]:
+    """Every regenerable exhibit, in the paper's presentation order.
+
+    Imported lazily so the registry can enumerate
+    :mod:`repro.analysis.experiments` without an import cycle.
+    """
+    from . import experiments
+
+    return {
+        "fig01": experiments.fig01_energy_breakdown,
+        "fig03": experiments.fig03_conventional_timeline,
+        "fig04": experiments.fig04_browsing_then_streaming,
+        "fig06": experiments.fig06_bypass_timeline,
+        "fig07": experiments.fig07_burstlink_timeline,
+        "table2": experiments.table2_power_comparison,
+        "fig09": experiments.fig09_planar_reduction_30fps,
+        "fig10": experiments.fig10_energy_breakdown_comparison,
+        "fig11a": experiments.fig11a_vr_workloads,
+        "fig11b": experiments.fig11b_vr_resolutions,
+        "fig12": experiments.fig12_planar_reduction_60fps,
+        "fig13": experiments.fig13_fbc_comparison,
+        "sec64": experiments.sec64_related_work,
+        "fig14a": experiments.fig14a_local_playback,
+        "fig14b": experiments.fig14b_mobile_workloads,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Metrics + the fan-out engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentMetrics:
+    """What one exhibit regeneration cost."""
+
+    name: str
+    wall_clock_s: float
+    cache_hits: int
+    cache_misses: int
+    windows_simulated: int
+
+
+@dataclass
+class ExhibitOutcome:
+    """One regenerated exhibit: its result object plus cost metrics."""
+
+    name: str
+    result: Any
+    metrics: ExperimentMetrics = field(repr=False)
+
+
+def run_exhibit(name: str) -> ExhibitOutcome:
+    """Regenerate one exhibit in-process, measuring its cost."""
+    registry = exhibit_registry()
+    if name not in registry:
+        raise ConfigurationError(
+            f"unknown exhibit {name!r}; known: {', '.join(registry)}"
+        )
+    cache = active_cache()
+    before = cache.stats.snapshot() if cache else CacheStats()
+    started = time.perf_counter()
+    result = registry[name]()
+    elapsed = time.perf_counter() - started
+    after = cache.stats.snapshot() if cache else CacheStats()
+    return ExhibitOutcome(
+        name=name,
+        result=result,
+        metrics=ExperimentMetrics(
+            name=name,
+            wall_clock_s=elapsed,
+            cache_hits=after.hits - before.hits,
+            cache_misses=after.misses - before.misses,
+            windows_simulated=(
+                after.windows_simulated - before.windows_simulated
+            ),
+        ),
+    )
+
+
+def _exhibit_task(name: str, cache_dir: str | None) -> ExhibitOutcome:
+    """Worker-process entry point: point the worker's cache at the
+    shared disk directory (when given) and regenerate one exhibit."""
+    if cache_dir is not None:
+        cache = active_cache()
+        if cache is None or cache.directory != Path(cache_dir):
+            configure_cache(directory=cache_dir)
+    return run_exhibit(name)
+
+
+def run_exhibits(
+    names: tuple[str, ...] | list[str] | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> list[ExhibitOutcome]:
+    """Regenerate exhibits, fanning out over ``jobs`` worker processes.
+
+    ``names`` defaults to the full registry.  Results are returned in
+    request order and are bit-identical to a sequential run (every
+    exhibit function is pure and deterministic).  ``cache_dir`` points
+    all workers (and the sequential path) at one shared on-disk cache.
+    """
+    registry = exhibit_registry()
+    selected = list(names) if names is not None else list(registry)
+    unknown = [n for n in selected if n not in registry]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown exhibits: {', '.join(unknown)}"
+        )
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(selected) <= 1:
+        if cache_dir is not None:
+            cache = active_cache()
+            if cache is None or cache.directory != Path(cache_dir):
+                configure_cache(directory=cache_dir)
+        return [run_exhibit(name) for name in selected]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(selected))
+    ) as pool:
+        return list(
+            pool.map(
+                _exhibit_task,
+                selected,
+                [None if cache_dir is None else str(cache_dir)]
+                * len(selected),
+            )
+        )
+
+
+def metrics_table(outcomes: list[ExhibitOutcome]) -> str:
+    """The per-exhibit cost summary as an aligned text table."""
+    from .report import format_table
+
+    rows = [
+        (
+            o.name,
+            f"{o.metrics.wall_clock_s:.2f}",
+            str(o.metrics.cache_hits),
+            str(o.metrics.cache_misses),
+            str(o.metrics.windows_simulated),
+        )
+        for o in outcomes
+    ]
+    rows.append(
+        (
+            "total",
+            f"{sum(o.metrics.wall_clock_s for o in outcomes):.2f}",
+            str(sum(o.metrics.cache_hits for o in outcomes)),
+            str(sum(o.metrics.cache_misses for o in outcomes)),
+            str(sum(o.metrics.windows_simulated for o in outcomes)),
+        )
+    )
+    return format_table(
+        ("exhibit", "wall s", "cache hits", "misses", "windows"), rows
+    )

@@ -150,24 +150,41 @@ class BarChart:
         return "\n".join(parts)
 
 
-def write_figures(output_dir: str | Path) -> list[Path]:
+#: The exhibits the figure set draws from, in emission order.
+FIGURE_EXHIBITS = ("fig01", "fig09", "fig12", "fig11a", "fig13", "fig14b")
+
+
+def write_figures(
+    output_dir: str | Path,
+    jobs: int = 1,
+    metrics_sink: list | None = None,
+) -> list[Path]:
     """Regenerate the headline evaluation figures as SVG files.
 
     Returns the written paths.  Each chart is driven by the same
-    experiment functions the benches use.
+    experiment functions the benches use, regenerated through the
+    parallel engine: ``jobs > 1`` fans the exhibits out over worker
+    processes (outputs are bit-identical either way), and
+    ``metrics_sink``, when given, receives each exhibit's
+    :class:`~repro.analysis.runner.ExperimentMetrics`.
     """
-    from . import experiments
+    from .runner import run_exhibits
 
     output = Path(output_dir)
     output.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
+
+    outcomes = run_exhibits(FIGURE_EXHIBITS, jobs=jobs)
+    results = {outcome.name: outcome.result for outcome in outcomes}
+    if metrics_sink is not None:
+        metrics_sink.extend(outcome.metrics for outcome in outcomes)
 
     def emit(name: str, chart: BarChart) -> None:
         path = output / name
         path.write_text(chart.to_svg(), encoding="utf-8")
         written.append(path)
 
-    fig01 = experiments.fig01_energy_breakdown()
+    fig01 = results["fig01"]
     emit(
         "fig01_energy_breakdown.svg",
         BarChart(
@@ -184,10 +201,10 @@ def write_figures(output_dir: str | Path) -> list[Path]:
 
     for name, result, title in (
         ("fig09_planar_30fps.svg",
-         experiments.fig09_planar_reduction_30fps(),
+         results["fig09"],
          "Fig. 9 — energy reduction, 30 FPS"),
         ("fig12_planar_60fps.svg",
-         experiments.fig12_planar_reduction_60fps(),
+         results["fig12"],
          "Fig. 12 — energy reduction, 60 FPS"),
     ):
         emit(
@@ -207,7 +224,7 @@ def write_figures(output_dir: str | Path) -> list[Path]:
             ),
         )
 
-    fig11a = experiments.fig11a_vr_workloads()
+    fig11a = results["fig11a"]
     emit(
         "fig11a_vr_workloads.svg",
         BarChart(
@@ -219,7 +236,7 @@ def write_figures(output_dir: str | Path) -> list[Path]:
         ),
     )
 
-    fig13 = experiments.fig13_fbc_comparison()
+    fig13 = results["fig13"]
     emit(
         "fig13_fbc.svg",
         BarChart(
@@ -239,7 +256,7 @@ def write_figures(output_dir: str | Path) -> list[Path]:
         ),
     )
 
-    fig14b = experiments.fig14b_mobile_workloads()
+    fig14b = results["fig14b"]
     workloads = list(next(iter(fig14b.reductions.values())))
     emit(
         "fig14b_mobile.svg",

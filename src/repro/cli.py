@@ -81,6 +81,7 @@ def cmd_list(_: argparse.Namespace) -> str:
         ("battery", "battery-life impact for a streaming session"),
         ("export", "a simulated run as JSON/CSV for plotting"),
         ("figures", "the headline figures as SVG files"),
+        ("bench-all", "every exhibit, with timing + cache metrics"),
         ("constants", "the calibrated power library"),
     ]
     return format_table(("command", "what it regenerates"), rows)
@@ -308,10 +309,41 @@ def cmd_figures(args: argparse.Namespace) -> str:
     """Regenerate the headline evaluation figures as SVG files."""
     from .analysis.svg import write_figures
 
-    written = write_figures(args.out)
+    metrics: list = []
+    written = write_figures(
+        args.out, jobs=args.jobs, metrics_sink=metrics
+    )
+    lines = [f"wrote {path}" for path in written]
+    lines.append(f"{len(written)} figures in {args.out}")
+    if args.verbose:
+        from .analysis.runner import ExhibitOutcome, metrics_table
+
+        lines.append("")
+        lines.append(
+            metrics_table(
+                [ExhibitOutcome(m.name, None, m) for m in metrics]
+            )
+        )
+    return "\n".join(lines)
+
+
+def cmd_bench_all(args: argparse.Namespace) -> str:
+    """Regenerate every exhibit through the parallel engine, with
+    per-exhibit wall-clock and cache metrics."""
+    from .analysis.runner import run_exhibits, metrics_table
+
+    outcomes = run_exhibits(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache_dir else args.cache_dir,
+    )
+    total = sum(o.metrics.wall_clock_s for o in outcomes)
     return "\n".join(
-        [f"wrote {path}" for path in written]
-        + [f"{len(written)} figures in {args.out}"]
+        [
+            metrics_table(outcomes),
+            "",
+            f"{len(outcomes)} exhibits in {total:.2f}s "
+            f"(jobs={args.jobs})",
+        ]
     )
 
 
@@ -388,7 +420,32 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--out", default="figures", help="output directory"
     )
+    figures.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for exhibit regeneration",
+    )
+    figures.add_argument(
+        "--verbose", action="store_true",
+        help="print per-exhibit wall-clock and cache metrics",
+    )
     figures.set_defaults(handler=cmd_figures)
+
+    bench_all = commands.add_parser(
+        "bench-all", help=cmd_bench_all.__doc__
+    )
+    bench_all.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for exhibit regeneration",
+    )
+    bench_all.add_argument(
+        "--cache-dir", default=".repro_cache",
+        help="shared on-disk simulation cache directory",
+    )
+    bench_all.add_argument(
+        "--no-cache-dir", action="store_true",
+        help="keep the simulation cache in memory only",
+    )
+    bench_all.set_defaults(handler=cmd_bench_all)
 
     export = commands.add_parser("export", help=cmd_export.__doc__)
     export.add_argument(

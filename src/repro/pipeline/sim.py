@@ -10,8 +10,11 @@ timeline plus statistics — the input to the analytical power model.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol
 
 from ..config import SystemConfig
 from ..display.timing import RefreshTiming, WindowPlan
@@ -131,6 +134,10 @@ class RunResult:
     timeline: Timeline
     stats: RunStats
     video_fps: float
+    #: Content hash of the run's full input descriptor (config, scheme
+    #: identity + state, frames, cadence); ``None`` when the inputs were
+    #: not fingerprintable.  Set by the simulator; memo layers key on it.
+    cache_key: str | None = field(default=None, compare=False)
 
     @property
     def duration(self) -> float:
@@ -152,6 +159,126 @@ class RunResult:
     def residency_fractions(self) -> dict[PackageCState, float]:
         """Package C-state residency over the whole run."""
         return self.timeline.residency_fractions()
+
+
+# ---------------------------------------------------------------------------
+# Run fingerprints and the memoization hook
+# ---------------------------------------------------------------------------
+
+
+def freeze(value: Any) -> Any:
+    """A canonical, hashable, repr-stable form of ``value``.
+
+    Covers everything a run descriptor contains: primitives (floats via
+    their exact hex form), enums, dataclasses (including attributes
+    attached after ``__post_init__``, e.g. a scheme's PMU), sequences,
+    mappings, and numpy scalars.  Raises ``TypeError`` for anything
+    else, which callers treat as "not cacheable".
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return ("f", value.hex())
+    if isinstance(value, enum.Enum):
+        return ("e", type(value).__qualname__, value.name)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            "d",
+            type(value).__qualname__,
+            tuple(
+                (name, freeze(attr))
+                for name, attr in sorted(vars(value).items())
+            ),
+        )
+    if isinstance(value, (list, tuple)):
+        return ("l", tuple(freeze(item) for item in value))
+    if isinstance(value, (dict,)):
+        return (
+            "m",
+            tuple(
+                (freeze(k), freeze(v))
+                for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+            ),
+        )
+    if isinstance(value, (set, frozenset)):
+        return ("s", tuple(sorted(repr(freeze(item)) for item in value)))
+    try:
+        import numpy as _np
+
+        if isinstance(value, _np.generic):
+            return freeze(value.item())
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    if hasattr(value, "__dict__") and not callable(value):
+        return (
+            "o",
+            type(value).__qualname__,
+            tuple(
+                (name, freeze(attr))
+                for name, attr in sorted(vars(value).items())
+            ),
+        )
+    raise TypeError(f"cannot freeze {type(value).__qualname__}")
+
+
+def run_fingerprint(
+    config: SystemConfig,
+    scheme: DisplayScheme,
+    frames: list[FrameDescriptor],
+    video_fps: float,
+    vr_work: list[VrWork] | None = None,
+    max_windows: int | None = None,
+) -> str | None:
+    """A stable content hash identifying one simulator run, or ``None``
+    when some input cannot be canonically frozen (such runs simply
+    bypass any installed memo)."""
+    try:
+        descriptor = freeze(
+            (
+                "run/v1",
+                config,
+                type(scheme).__qualname__,
+                scheme,
+                frames,
+                float(video_fps),
+                vr_work,
+                max_windows,
+            )
+        )
+    except TypeError:
+        return None
+    return hashlib.sha256(repr(descriptor).encode()).hexdigest()
+
+
+class RunMemo(Protocol):
+    """Anything that can memoize simulator runs by fingerprint."""
+
+    def load(self, key: str) -> "RunResult | None":
+        """A previously stored run for ``key``, or ``None``."""
+        ...  # pragma: no cover - protocol
+
+    def store(self, key: str, run: "RunResult") -> None:
+        """Record a freshly simulated run under ``key``."""
+        ...  # pragma: no cover - protocol
+
+
+#: The process-wide run memo (installed by ``repro.analysis.runner``;
+#: ``None`` means every run simulates from scratch).
+_active_memo: RunMemo | None = None
+
+
+def install_run_memo(memo: RunMemo | None) -> RunMemo | None:
+    """Install ``memo`` as the process-wide simulator memo; returns the
+    previously installed one (pass ``None`` to disable memoization)."""
+    global _active_memo
+    previous = _active_memo
+    _active_memo = memo
+    return previous
+
+
+def active_run_memo() -> RunMemo | None:
+    """The currently installed run memo, if any."""
+    return _active_memo
 
 
 @dataclass
@@ -182,6 +309,17 @@ class FrameWindowSimulator:
                 "vr_work must parallel frames "
                 f"({len(vr_work)} vs {len(frames)})"
             )
+        memo = _active_memo
+        key = None
+        if memo is not None:
+            key = run_fingerprint(
+                self.config, self.scheme, frames, video_fps,
+                vr_work=vr_work, max_windows=max_windows,
+            )
+            if key is not None:
+                cached = memo.load(key)
+                if cached is not None:
+                    return cached
         timing = RefreshTiming(self.config.panel.refresh_hz, video_fps)
         window_count = (
             max_windows
@@ -210,13 +348,17 @@ class FrameWindowSimulator:
             stats.record(plan, result)
             timelines.append(result.timeline)
             state = result.timeline.segments[-1].state
-        return RunResult(
+        run = RunResult(
             scheme=self.scheme.name,
             config=self.config,
             timeline=Timeline.concatenate(timelines),
             stats=stats,
             video_fps=video_fps,
+            cache_key=key,
         )
+        if memo is not None and key is not None:
+            memo.store(key, run)
+        return run
 
     def _validate_window(self, plan: WindowPlan,
                          result: WindowResult) -> None:

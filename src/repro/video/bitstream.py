@@ -4,6 +4,14 @@ The functional codec entropy-codes quantized coefficients and motion
 vectors with unsigned/signed Exp-Golomb codes — the universal codes
 H.264/HEVC use for their side information — over a plain MSB-first bit
 stream.
+
+The hot paths are bulk-oriented: :meth:`BitWriter.write_bits` accepts
+arbitrarily wide fields (the codec assembles a whole macroblock's
+entropy codes into one big integer and appends it in a single call),
+whole bytes move through :meth:`BitWriter.write_bytes` /
+:meth:`BitReader.read_bytes` without per-bit work when the stream is
+byte-aligned, and :meth:`BitReader.read_ue` locates the Exp-Golomb
+prefix a byte at a time instead of bit by bit.
 """
 
 from __future__ import annotations
@@ -21,21 +29,30 @@ class BitWriter:
 
     def write_bits(self, value: int, width: int) -> None:
         """Append ``width`` bits of ``value`` (big-endian within the
-        field)."""
+        field).  ``width`` may exceed 64: wide fields are appended in
+        one bulk operation."""
         if width < 0:
             raise CodecError(f"bit width must be >= 0, got {width}")
-        if value < 0 or (width < 64 and value >> width):
+        if value < 0 or value >> width:
             raise CodecError(
                 f"value {value} does not fit in {width} bits"
             )
         self._accumulator = (self._accumulator << width) | value
         self._bit_count += width
-        while self._bit_count >= 8:
-            self._bit_count -= 8
-            self._chunks.append(
-                (self._accumulator >> self._bit_count) & 0xFF
-            )
-        self._accumulator &= (1 << self._bit_count) - 1
+        if self._bit_count >= 8:
+            whole, self._bit_count = divmod(self._bit_count, 8)
+            self._chunks += (
+                self._accumulator >> self._bit_count
+            ).to_bytes(whole, "big")
+            self._accumulator &= (1 << self._bit_count) - 1
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes; a byte-aligned stream takes the O(1)
+        buffer-extend fast path."""
+        if self._bit_count == 0:
+            self._chunks += data
+        elif data:
+            self.write_bits(int.from_bytes(data, "big"), 8 * len(data))
 
     def write_ue(self, value: int) -> None:
         """Unsigned Exp-Golomb: ``value`` >= 0 as zeros-prefix + binary."""
@@ -43,8 +60,7 @@ class BitWriter:
             raise CodecError(f"ue(v) needs v >= 0, got {value}")
         code = value + 1
         width = code.bit_length()
-        self.write_bits(0, width - 1)
-        self.write_bits(code, width)
+        self.write_bits(code, 2 * width - 1)
 
     def write_se(self, value: int) -> None:
         """Signed Exp-Golomb via the standard zigzag integer mapping."""
@@ -99,17 +115,44 @@ class BitReader:
             remaining -= take
         return value
 
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` whole bytes; a byte-aligned cursor takes the
+        O(1) slice fast path."""
+        if count < 0:
+            raise CodecError(f"byte count must be >= 0, got {count}")
+        if 8 * count > self.bits_remaining:
+            raise CodecError(
+                f"bitstream truncated: need {8 * count} bits, have "
+                f"{self.bits_remaining}"
+            )
+        if self._position % 8 == 0:
+            start = self._position // 8
+            self._position += 8 * count
+            return bytes(self._data[start:start + count])
+        return self.read_bits(8 * count).to_bytes(count, "big")
+
+    def _leading_zeros(self) -> int:
+        """Zero bits between the cursor and the next set bit, scanning a
+        byte at a time (the cursor does not move).  Stops counting past
+        the malformed-prefix threshold or the end of the stream."""
+        position = self._position
+        end = len(self._data) * 8
+        zeros = 0
+        while position < end and zeros <= 64:
+            byte_index, bit_offset = divmod(position, 8)
+            chunk = self._data[byte_index] & (0xFF >> bit_offset)
+            if chunk:
+                return zeros + 8 - bit_offset - chunk.bit_length()
+            zeros += 8 - bit_offset
+            position += 8 - bit_offset
+        return zeros
+
     def read_ue(self) -> int:
         """Read an unsigned Exp-Golomb code."""
-        zeros = 0
-        while self.read_bits(1) == 0:
-            zeros += 1
-            if zeros > 64:
-                raise CodecError("malformed Exp-Golomb prefix")
-        if zeros == 0:
-            return 0
-        suffix = self.read_bits(zeros)
-        return (1 << zeros) - 1 + suffix
+        zeros = self._leading_zeros()
+        if zeros > 64:
+            raise CodecError("malformed Exp-Golomb prefix")
+        return self.read_bits(2 * zeros + 1) - 1
 
     def read_se(self) -> int:
         """Read a signed Exp-Golomb code."""

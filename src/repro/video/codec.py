@@ -82,42 +82,82 @@ class Codec:
     # Block-level transform coding
     # ------------------------------------------------------------------
 
-    def _encode_block(self, writer: BitWriter, block: np.ndarray) -> None:
-        """Transform-code one 16x16 single-channel block (int16 domain,
-        residuals may be negative)."""
-        coefficients = dctn(block.astype(np.float64), norm="ortho")
-        quantized = np.round(coefficients / self.config.qstep).astype(
-            np.int64
-        )
-        scan = quantized.reshape(-1)[self._zigzag]
-        nonzero = np.nonzero(scan)[0]
-        pairs: list[tuple[int, int]] = []
-        previous = -1
-        for position in nonzero:
-            pairs.append((int(position - previous - 1), int(scan[position])))
-            previous = int(position)
-        writer.write_ue(len(pairs))
-        for run, level in pairs:
-            writer.write_ue(run)
-            writer.write_se(level)
+    def _code_residual(
+        self, writer: BitWriter, residual: np.ndarray
+    ) -> np.ndarray:
+        """Transform-code one 16x16x3 residual macroblock (all three
+        channels through a single stacked DCT) and return the
+        decoder-side reconstruction of the residual (float64).
 
-    def _decode_block(self, reader: BitReader) -> np.ndarray:
-        """Inverse of :meth:`_encode_block`; returns a float64 block."""
+        Producing the reconstruction here — from the very coefficients
+        just entropy-coded — replaces the seed's separate per-channel
+        re-quantization pass, so each macroblock costs one forward and
+        one inverse transform instead of nine single-channel calls.
+        """
+        coefficients = dctn(residual, axes=(0, 1), norm="ortho")
+        quantized = np.round(coefficients / self.config.qstep)
+        for channel in range(3):
+            self._write_scan(
+                writer,
+                quantized[..., channel].reshape(-1)[self._zigzag],
+            )
+        return idctn(
+            quantized * self.config.qstep, axes=(0, 1), norm="ortho"
+        )
+
+    def _write_scan(self, writer: BitWriter, scan: np.ndarray) -> None:
+        """Run-length + Exp-Golomb code one channel's zigzag scan.
+
+        The (run, level) stream is derived with numpy (no per-position
+        Python loop) and every pair's Exp-Golomb bits are folded into a
+        single big integer appended with one ``write_bits`` call.
+        """
+        nonzero = np.flatnonzero(scan)
+        writer.write_ue(len(nonzero))
+        if not len(nonzero):
+            return
+        runs = np.diff(nonzero, prepend=-1) - 1
+        levels = scan[nonzero]
+        mapped = np.where(levels > 0, 2 * levels - 1, -2 * levels)
+        accumulator = 0
+        bits = 0
+        for run, level in zip(runs.tolist(), mapped.tolist()):
+            run_code = int(run) + 1
+            level_code = int(level) + 1
+            run_width = 2 * run_code.bit_length() - 1
+            level_width = 2 * level_code.bit_length() - 1
+            accumulator = (
+                ((accumulator << run_width) | run_code) << level_width
+            ) | level_code
+            bits += run_width + level_width
+        writer.write_bits(accumulator, bits)
+
+    def _read_scan(self, reader: BitReader) -> np.ndarray:
+        """Read one channel's zigzag scan of quantized coefficients."""
         count = reader.read_ue()
         size = MACROBLOCK_SIZE * MACROBLOCK_SIZE
         scan = np.zeros(size, dtype=np.float64)
         position = -1
         for _ in range(count):
-            run = reader.read_ue()
-            level = reader.read_se()
-            position += run + 1
+            position += reader.read_ue() + 1
             if position >= size:
                 raise CodecError("run-length past end of block")
-            scan[position] = level
-        block = np.zeros(size, dtype=np.float64)
-        block[self._zigzag] = scan
-        block = block.reshape(MACROBLOCK_SIZE, MACROBLOCK_SIZE)
-        return idctn(block * self.config.qstep, norm="ortho")
+            scan[position] = reader.read_se()
+        return scan
+
+    def _decode_residual(self, reader: BitReader) -> np.ndarray:
+        """Inverse of :meth:`_code_residual`: read three channel scans
+        and inverse-transform them in one stacked IDCT; returns the
+        float64 16x16x3 residual."""
+        size = MACROBLOCK_SIZE
+        quantized = np.empty((size, size, 3), dtype=np.float64)
+        flat = np.zeros(size * size, dtype=np.float64)
+        for channel in range(3):
+            flat[self._zigzag] = self._read_scan(reader)
+            quantized[..., channel] = flat.reshape(size, size)
+        return idctn(
+            quantized * self.config.qstep, axes=(0, 1), norm="ortho"
+        )
 
     # ------------------------------------------------------------------
     # Motion estimation / compensation
@@ -223,12 +263,13 @@ class Codec:
                     future, future_luma, top, left, reconstructed,
                     original,
                 )
-                residual = original - predictor
-                for channel in range(3):
-                    self._encode_block(writer, residual[..., channel])
-                # Reconstruct through the same quantization the decoder
-                # applies, so encoder and decoder references never drift.
-                recon = self._requantize(residual) + predictor
+                # Code the residual and reconstruct through the same
+                # quantization the decoder applies, so encoder and
+                # decoder references never drift.
+                recon = (
+                    self._code_residual(writer, original - predictor)
+                    + predictor
+                )
                 reconstructed[top:top + size, left:left + size] = np.clip(
                     np.round(recon), 0, 255
                 ).astype(np.uint8)
@@ -241,18 +282,6 @@ class Codec:
             payload=writer.getvalue(),
         )
         return encoded, reconstructed
-
-    def _requantize(self, residual: np.ndarray) -> np.ndarray:
-        """The decoder-side reconstruction of a residual block: forward
-        then inverse quantized DCT, per channel."""
-        out = np.empty_like(residual)
-        for channel in range(3):
-            coefficients = dctn(residual[..., channel], norm="ortho")
-            quantized = np.round(coefficients / self.config.qstep)
-            out[..., channel] = idctn(
-                quantized * self.config.qstep, norm="ortho"
-            )
-        return out
 
     # Intra 16x16 prediction modes: flat mid-grey, horizontal (extend
     # the left neighbour's edge), vertical (extend the top neighbour's
@@ -374,9 +403,7 @@ class Codec:
                 predictor = self._decode_prediction(
                     reader, frame_type, past, future, top, left, pixels
                 )
-                block = np.empty((size, size, 3), dtype=np.float64)
-                for channel in range(3):
-                    block[..., channel] = self._decode_block(reader)
+                block = self._decode_residual(reader)
                 reconstructed = np.clip(
                     np.round(block + predictor), 0, 255
                 ).astype(np.uint8)

@@ -1,0 +1,201 @@
+"""The parallel experiment engine: cache semantics, registry, metrics."""
+
+import json
+
+import pytest
+
+from repro.analysis import runner
+from repro.analysis.runner import (
+    ExhibitOutcome,
+    ExperimentMetrics,
+    SimulationCache,
+    cache_disabled,
+    exhibit_registry,
+    metrics_table,
+    run_exhibit,
+    run_exhibits,
+    run_from_payload,
+    run_to_payload,
+)
+from repro.config import FHD, skylake_tablet
+from repro.errors import ConfigurationError
+from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+from repro.pipeline.sim import install_run_memo, run_fingerprint
+from repro.video.source import AnalyticContentModel
+
+
+def _simulate(frame_count=6, seed=1):
+    config = skylake_tablet(FHD)
+    frames = AnalyticContentModel().frames(FHD, frame_count, seed=seed)
+    return FrameWindowSimulator(
+        config, ConventionalScheme()
+    ).run(frames, 30.0)
+
+
+@pytest.fixture
+def isolated_cache():
+    """A private cache installed for the test's duration."""
+    cache = SimulationCache()
+    previous = install_run_memo(cache)
+    yield cache
+    install_run_memo(previous)
+
+
+class TestSimulationCache:
+    def test_miss_then_hit(self, isolated_cache):
+        first = _simulate()
+        assert isolated_cache.stats.misses == 1
+        assert isolated_cache.stats.stores == 1
+        second = _simulate()
+        assert isolated_cache.stats.hits == 1
+        assert first.stats == second.stats
+        assert list(first.timeline) == list(second.timeline)
+
+    def test_windows_counted_on_miss_only(self, isolated_cache):
+        run = _simulate()
+        _simulate()
+        assert isolated_cache.stats.windows_simulated == run.stats.windows
+
+    def test_different_inputs_different_entries(self, isolated_cache):
+        _simulate(seed=1)
+        _simulate(seed=2)
+        assert isolated_cache.stats.misses == 2
+        assert len(isolated_cache) == 2
+
+    def test_loads_are_defensive_copies(self, isolated_cache):
+        _simulate()
+        tampered = _simulate()
+        tampered.stats.windows = -1
+        tampered.timeline.segments.clear()
+        clean = _simulate()
+        assert clean.stats.windows > 0
+        assert len(clean.timeline) > 0
+
+    def test_lru_eviction(self):
+        cache = SimulationCache(capacity=2)
+        previous = install_run_memo(cache)
+        try:
+            _simulate(seed=1)
+            _simulate(seed=2)
+            _simulate(seed=3)
+            assert len(cache) == 2
+            _simulate(seed=1)  # evicted -> a fresh miss
+            assert cache.stats.misses == 4
+        finally:
+            install_run_memo(previous)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SimulationCache(capacity=0)
+
+    def test_cache_disabled_bypasses(self, isolated_cache):
+        with cache_disabled():
+            run = _simulate()
+        assert run.cache_key is None
+        assert isolated_cache.stats.misses == 0
+        assert len(isolated_cache) == 0
+
+
+class TestDiskCache:
+    def test_round_trip_is_exact(self, tmp_path):
+        previous = install_run_memo(SimulationCache(directory=tmp_path))
+        try:
+            original = _simulate()
+            assert len(list(tmp_path.glob("*.json"))) == 1
+            # A brand-new process-equivalent: empty memory, same disk.
+            reloaded_cache = SimulationCache(directory=tmp_path)
+            install_run_memo(reloaded_cache)
+            reloaded = _simulate()
+            assert reloaded_cache.stats.disk_hits == 1
+            assert reloaded.stats == original.stats
+            assert list(reloaded.timeline) == list(original.timeline)
+            assert reloaded.config == original.config
+        finally:
+            install_run_memo(previous)
+
+    def test_payload_round_trip(self):
+        with cache_disabled():
+            run = _simulate()
+        payload = json.loads(json.dumps(run_to_payload(run)))
+        rebuilt = run_from_payload(payload)
+        assert rebuilt.scheme == run.scheme
+        assert rebuilt.config == run.config
+        assert rebuilt.stats == run.stats
+        assert list(rebuilt.timeline) == list(run.timeline)
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = SimulationCache(directory=tmp_path)
+        previous = install_run_memo(cache)
+        try:
+            run = _simulate()
+            path = tmp_path / f"{run.cache_key}.json"
+            path.write_text("{not json", encoding="utf-8")
+            install_run_memo(SimulationCache(directory=tmp_path))
+            again = _simulate()
+            assert again.stats == run.stats
+            assert not path.exists() or json.loads(
+                path.read_text(encoding="utf-8")
+            )
+        finally:
+            install_run_memo(previous)
+
+
+class TestUnfingerprintableInputs:
+    def test_unfreezable_scheme_bypasses_cache(self, isolated_cache):
+        def opaque():
+            scheme = ConventionalScheme()
+            scheme.blob = lambda: None  # unfreezable attribute
+            return scheme
+
+        config = skylake_tablet(FHD)
+        frames = AnalyticContentModel().frames(FHD, 4, seed=1)
+        assert run_fingerprint(config, opaque(), frames, 30.0) is None
+        run = FrameWindowSimulator(config, opaque()).run(frames, 30.0)
+        assert run.cache_key is None
+        assert len(isolated_cache) == 0
+
+
+class TestExhibitEngine:
+    def test_registry_is_complete(self):
+        assert len(exhibit_registry()) == 15
+        from repro.analysis import experiments
+
+        for name, function in exhibit_registry().items():
+            assert function.__module__ == experiments.__name__
+
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_exhibit("fig99")
+        with pytest.raises(ConfigurationError):
+            run_exhibits(("fig01", "fig99"))
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_exhibits(("fig01",), jobs=0)
+
+    def test_metrics_track_cache_activity(self, isolated_cache):
+        cold = run_exhibit("fig01")
+        warm = run_exhibit("fig01")
+        assert cold.metrics.cache_misses > 0
+        assert cold.metrics.windows_simulated > 0
+        assert warm.metrics.cache_misses == 0
+        assert warm.metrics.cache_hits == cold.metrics.cache_misses
+        assert warm.metrics.windows_simulated == 0
+        assert cold.result == warm.result
+
+    def test_metrics_table_totals(self):
+        outcomes = [
+            ExhibitOutcome(
+                "a", None, ExperimentMetrics("a", 1.5, 2, 3, 40)
+            ),
+            ExhibitOutcome(
+                "b", None, ExperimentMetrics("b", 0.5, 1, 1, 10)
+            ),
+        ]
+        table = metrics_table(outcomes)
+        assert "total" in table
+        assert "2.00" in table  # summed wall-clock
+        assert "50" in table  # summed windows
+
+    def test_default_cache_installed_on_import(self):
+        assert runner.active_cache() is not None

@@ -11,7 +11,9 @@ from repro.analysis.experiments import (
     fig11a_vr_workloads,
     table2_power_comparison,
 )
+from repro.analysis.runner import cache_disabled, run_exhibits
 from repro.config import FHD, skylake_tablet
+from repro.pipeline.sim import run_fingerprint
 from repro.core import BurstLinkScheme
 from repro.pipeline import ConventionalScheme, FrameWindowSimulator
 from repro.power import PowerModel
@@ -63,6 +65,85 @@ class TestExperimentDeterminism:
         assert (
             fig11a_vr_workloads(frame_count=8).reductions
             == fig11a_vr_workloads(frame_count=8).reductions
+        )
+
+
+class TestEngineParity:
+    """The parallel + cached engine must change nothing but the clock."""
+
+    EXHIBITS = ("fig01", "fig09", "table2")
+
+    def test_cached_matches_uncached(self):
+        with cache_disabled():
+            plain = run_exhibits(self.EXHIBITS)
+        cached_cold = run_exhibits(self.EXHIBITS)
+        cached_warm = run_exhibits(self.EXHIBITS)
+        for a, b, c in zip(plain, cached_cold, cached_warm):
+            assert a.result == b.result == c.result
+
+    def test_parallel_matches_sequential(self):
+        sequential = run_exhibits(self.EXHIBITS, jobs=1)
+        parallel = run_exhibits(self.EXHIBITS, jobs=2)
+        assert [o.name for o in parallel] == list(self.EXHIBITS)
+        for a, b in zip(sequential, parallel):
+            assert a.result == b.result
+
+    def test_memoized_run_equals_fresh_run(self):
+        config = skylake_tablet(FHD).with_drfb()
+        frames = AnalyticContentModel().frames(FHD, 10, seed=7)
+
+        def once():
+            return FrameWindowSimulator(
+                config, BurstLinkScheme()
+            ).run(frames, 30.0)
+
+        with cache_disabled():
+            fresh = once()
+        cold, warm = once(), once()
+        for run in (cold, warm):
+            assert run.stats == fresh.stats
+            assert list(run.timeline) == list(fresh.timeline)
+            assert (
+                PowerModel().report(run).total_energy_mj
+                == PowerModel().report(fresh).total_energy_mj
+            )
+
+
+class TestCacheInvalidation:
+    """Any change to any run input must change the fingerprint."""
+
+    @staticmethod
+    def _fingerprint(config, frames, fps=30.0, scheme=None):
+        key = run_fingerprint(
+            config, scheme or BurstLinkScheme(), frames, fps
+        )
+        assert key is not None
+        return key
+
+    def test_config_field_change_invalidates(self):
+        frames = AnalyticContentModel().frames(FHD, 4, seed=1)
+        base = skylake_tablet(FHD).with_drfb()
+        baseline = self._fingerprint(base, frames)
+        assert self._fingerprint(base, frames) == baseline
+        assert self._fingerprint(
+            skylake_tablet(FHD), frames
+        ) != baseline
+
+    def test_cadence_and_frames_invalidate(self):
+        config = skylake_tablet(FHD).with_drfb()
+        frames = AnalyticContentModel().frames(FHD, 4, seed=1)
+        baseline = self._fingerprint(config, frames)
+        assert self._fingerprint(config, frames, fps=60.0) != baseline
+        other = AnalyticContentModel().frames(FHD, 4, seed=2)
+        assert self._fingerprint(config, other) != baseline
+
+    def test_scheme_identity_invalidates(self):
+        config = skylake_tablet(FHD)
+        frames = AnalyticContentModel().frames(FHD, 4, seed=1)
+        assert self._fingerprint(
+            config, frames, scheme=BurstLinkScheme()
+        ) != self._fingerprint(
+            config, frames, scheme=ConventionalScheme()
         )
 
 

@@ -83,7 +83,7 @@ class TestCliCommandsInDocs:
         for action in parser._actions:
             if hasattr(action, "choices") and action.choices:
                 subcommands |= set(action.choices)
-        pattern = re.compile(r"python -m repro (\w+)")
+        pattern = re.compile(r"python -m repro ([\w-]+)")
         for doc in DOCS:
             for command in pattern.findall(doc.read_text()):
                 assert command in subcommands, (

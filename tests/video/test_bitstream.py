@@ -54,6 +54,49 @@ class TestBitIO:
         writer.write_bits(0x123456789A, 40)
         assert BitReader(writer.getvalue()).read_bits(40) == 0x123456789A
 
+    @pytest.mark.parametrize("width", [64, 65, 100, 256])
+    def test_oversized_value_rejected_at_all_widths(self, width):
+        # The seed skipped the range check for width >= 64, silently
+        # truncating oversized values instead of raising.
+        with pytest.raises(CodecError):
+            BitWriter().write_bits(1 << width, width)
+
+    @pytest.mark.parametrize("width", [64, 65, 100, 256])
+    def test_maximum_value_accepted_at_wide_widths(self, width):
+        writer = BitWriter()
+        writer.write_bits((1 << width) - 1, width)
+        assert BitReader(writer.getvalue()).read_bits(width) == (
+            (1 << width) - 1
+        )
+
+    def test_zero_width_rejects_nonzero_value(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_bits(1, 0)
+
+    def test_aligned_byte_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bytes(b"\x01\x02\xfe")
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bytes(3) == b"\x01\x02\xfe"
+
+    def test_unaligned_byte_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        writer.write_bytes(b"\xab\xcd")
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(3) == 0b101
+        assert reader.read_bytes(2) == b"\xab\xcd"
+
+    def test_read_bytes_past_end(self):
+        with pytest.raises(CodecError):
+            BitReader(b"\x00").read_bytes(2)
+
+    def test_empty_write_bytes(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        writer.write_bytes(b"")
+        assert writer.bit_length == 1
+
 
 class TestExpGolomb:
     @pytest.mark.parametrize("value", [0, 1, 2, 3, 7, 8, 100, 65535])
