@@ -1,6 +1,6 @@
 # Developer entry points for the BurstLink reproduction.
 
-.PHONY: install test bench figures examples validate all
+.PHONY: install test bench figures examples validate trace golden all
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,12 @@ figures:
 
 validate:
 	python -m repro validate
+
+trace:
+	python -m repro trace burstlink --metrics
+
+golden:
+	REPRO_UPDATE_GOLDEN=1 pytest tests/obs/test_golden_traces.py -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -56,6 +56,8 @@ from ..config import (
     VideoDecoderConfig,
 )
 from ..errors import ConfigurationError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..pipeline import sim
 from ..pipeline.sim import RunResult, RunStats
 from ..pipeline.timeline import PanelMode, Segment, Timeline, VdMode
@@ -248,26 +250,41 @@ class SimulationCache:
 
     # -- the RunMemo protocol -------------------------------------------------
 
+    @staticmethod
+    def _observe(event: str, key: str, **attrs: Any) -> None:
+        """Mirror one cache outcome into the tracer (when installed)
+        and the always-on metrics registry."""
+        tracer = obs_trace.active()
+        if tracer is not None:
+            tracer.event(f"cache.{event}", key=key[:12], **attrs)
+        obs_metrics.registry().counter(
+            f"cache.{event}", f"simulation cache {event} count"
+        ).inc()
+
     def load(self, key: str) -> RunResult | None:
         """The memoized run for ``key``, or ``None`` on a miss."""
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
+            self._observe("hit", key, layer="memory")
             return self._detached(cached)
         run = self._load_disk(key)
         if run is not None:
             self.stats.hits += 1
             self.stats.disk_hits += 1
             self._remember(key, run)
+            self._observe("hit", key, layer="disk")
             return self._detached(run)
         self.stats.misses += 1
+        self._observe("miss", key)
         return None
 
     def store(self, key: str, run: RunResult) -> None:
         """Record a freshly simulated run."""
         self.stats.stores += 1
         self.stats.windows_simulated += run.stats.windows
+        self._observe("store", key, windows=run.stats.windows)
         self._remember(key, self._detached(run))
         if self.directory is not None:
             self._store_disk(key, run)
@@ -305,6 +322,7 @@ class SimulationCache:
 
     def _store_disk(self, key: str, run: RunResult) -> None:
         assert self.directory is not None
+        tmp_name: str | None = None
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             handle = tempfile.NamedTemporaryFile(
@@ -315,13 +333,26 @@ class SimulationCache:
                 delete=False,
                 encoding="utf-8",
             )
+            tmp_name = handle.name
             with handle:
                 json.dump(run_to_payload(run), handle)
-            os.replace(handle.name, self._path(key))
-        except OSError:
+                handle.flush()
+                os.fsync(handle.fileno())
+            # Atomic publish: readers only ever see a complete entry;
+            # a crash mid-write leaves (at worst) an orphaned .tmp that
+            # never shadows the real <key>.json.
+            os.replace(tmp_name, self._path(key))
+            tmp_name = None
+        except (OSError, TypeError, ValueError):
             # Disk persistence is best-effort; the in-memory layer
             # already holds the run.
             pass
+        finally:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
 
     def clear(self, disk: bool = False) -> None:
         """Drop all in-memory entries (and, with ``disk=True``, every
@@ -448,10 +479,20 @@ def run_exhibit(name: str) -> ExhibitOutcome:
         )
     cache = active_cache()
     before = cache.stats.snapshot() if cache else CacheStats()
+    tracer = obs_trace.active()
     started = time.perf_counter()
-    result = registry[name]()
+    if tracer is not None:
+        with tracer.span("exhibit", exhibit=name):
+            result = registry[name]()
+    else:
+        result = registry[name]()
     elapsed = time.perf_counter() - started
     after = cache.stats.snapshot() if cache else CacheStats()
+    metrics = obs_metrics.registry()
+    metrics.counter("exhibit.runs", "exhibits regenerated").inc()
+    metrics.histogram(
+        "exhibit.wall_s", "wall-clock seconds per exhibit"
+    ).observe(elapsed)
     return ExhibitOutcome(
         name=name,
         result=result,
@@ -498,6 +539,14 @@ def run_exhibits(
         )
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    tracer = obs_trace.active()
+    if tracer is not None:
+        tracer.event(
+            "exhibits.fanout", jobs=jobs, selected=len(selected)
+        )
+    obs_metrics.registry().counter(
+        "exhibits.fanouts", "run_exhibits invocations"
+    ).inc()
     if jobs == 1 or len(selected) <= 1:
         if cache_dir is not None:
             cache = active_cache()

@@ -82,6 +82,7 @@ def cmd_list(_: argparse.Namespace) -> str:
         ("export", "a simulated run as JSON/CSV for plotting"),
         ("figures", "the headline figures as SVG files"),
         ("bench-all", "every exhibit, with timing + cache metrics"),
+        ("trace", "a deterministic span tree for a canonical run"),
         ("constants", "the calibrated power library"),
     ]
     return format_table(("command", "what it regenerates"), rows)
@@ -305,16 +306,56 @@ def cmd_constants(_: argparse.Namespace) -> str:
     return format_table(("constant", "value"), rows)
 
 
+def cmd_trace(args: argparse.Namespace) -> str:
+    """Trace one canonical run (windows, C-state segments, power
+    accounting) and print its span tree; ``--jsonl`` writes the
+    byte-stable golden format."""
+    from .obs import metrics as obs_metrics
+    from .obs.golden import capture_trace
+    from .obs.trace import render_span_tree
+
+    tracer, run = capture_trace(args.exhibit)
+    lines = [
+        f"{args.exhibit}: {run.scheme} — {run.stats.windows} windows, "
+        f"{len(tracer.events)} trace events",
+        "",
+        render_span_tree(tracer),
+    ]
+    if args.jsonl:
+        tracer.write(args.jsonl)
+        lines.append("")
+        lines.append(
+            f"wrote {args.jsonl} ({len(tracer.events)} events)"
+        )
+    if args.metrics:
+        lines.append("")
+        lines.append(obs_metrics.metrics_table())
+    return "\n".join(lines)
+
+
 def cmd_figures(args: argparse.Namespace) -> str:
     """Regenerate the headline evaluation figures as SVG files."""
     from .analysis.svg import write_figures
 
     metrics: list = []
-    written = write_figures(
-        args.out, jobs=args.jobs, metrics_sink=metrics
-    )
+    if args.trace:
+        from .obs.trace import tracing
+
+        # Tracing captures this process only, so the regeneration runs
+        # sequentially regardless of --jobs.
+        with tracing() as tracer:
+            written = write_figures(
+                args.out, jobs=1, metrics_sink=metrics
+            )
+        tracer.write(args.trace)
+    else:
+        written = write_figures(
+            args.out, jobs=args.jobs, metrics_sink=metrics
+        )
     lines = [f"wrote {path}" for path in written]
     lines.append(f"{len(written)} figures in {args.out}")
+    if args.trace:
+        lines.append(f"wrote trace {args.trace}")
     if args.verbose:
         from .analysis.runner import ExhibitOutcome, metrics_table
 
@@ -428,7 +469,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print per-exhibit wall-clock and cache metrics",
     )
+    figures.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL trace of the regeneration (forces one "
+             "in-process worker)",
+    )
     figures.set_defaults(handler=cmd_figures)
+
+    trace = commands.add_parser("trace", help=cmd_trace.__doc__)
+    trace.add_argument(
+        "exhibit",
+        choices=("burstlink", "conventional", "vr"),
+        help="canonical traced run (see repro.obs.golden)",
+    )
+    trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the byte-stable JSONL trace to PATH",
+    )
+    trace.add_argument(
+        "--metrics", action="store_true",
+        help="append the process-wide metrics registry report",
+    )
+    trace.set_defaults(handler=cmd_trace)
 
     bench_all = commands.add_parser(
         "bench-all", help=cmd_bench_all.__doc__

@@ -1,0 +1,34 @@
+"""``repro.obs`` — the observability layer.
+
+Three pieces (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.trace` — a low-overhead span/counter event tracer
+  over *simulated* time with byte-stable JSONL export; a no-op unless a
+  tracer is installed (``REPRO_TRACE=…``, ``repro trace``,
+  ``repro figures --trace``, or :func:`trace.tracing` in code).
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and histograms with text-table and JSON reports.
+* :mod:`repro.obs.golden` — canonical traced runs whose JSONL bytes are
+  pinned under ``tests/golden/`` as regression artifacts (imported
+  lazily; not re-exported here to keep hot-path imports light).
+"""
+
+from __future__ import annotations
+
+from . import metrics, trace
+from .metrics import MetricsRegistry, metrics_table, registry
+from .trace import Tracer, render_span_tree, tracing
+
+__all__ = [
+    "MetricsRegistry",
+    "Tracer",
+    "metrics",
+    "metrics_table",
+    "registry",
+    "render_span_tree",
+    "trace",
+    "tracing",
+]
+
+# Opt-in profiling hook: REPRO_TRACE=<path> traces the whole process.
+trace.install_env_tracer()

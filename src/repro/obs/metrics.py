@@ -1,0 +1,243 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Where the tracer (:mod:`repro.obs.trace`) records *what happened in
+order*, the registry accumulates *how much, in total*: windows planned,
+cache hits, frames coded, report energies.  Metrics are always on —
+each update is an attribute increment on a long-lived object, far below
+the noise floor of any simulated run — and are reported on demand via
+:func:`metrics_table` (aligned text) or :meth:`MetricsRegistry.to_json`.
+
+Instrument-once, read-anywhere: library code calls
+``metrics.registry().counter("sim.windows").inc(n)``; the CLI's
+``repro trace --metrics`` and tests read the same registry back.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+#: Default histogram bucket upper bounds (values land in the first
+#: bucket whose bound is >= the observation; beyond the last is +Inf).
+DEFAULT_BUCKETS = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+    def render(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    name: str
+    help: str = ""
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+    def render(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass
+class Histogram:
+    """Bucketed observations with count/sum/min/max."""
+
+    name: str
+    help: str = ""
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def __post_init__(self) -> None:
+        if list(self.buckets) != sorted(self.buckets):
+            raise ConfigurationError(
+                f"histogram {self.name!r} buckets must be sorted"
+            )
+        if not self.bucket_counts:
+            # One slot per bound plus the +Inf overflow slot.
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        self.minimum = (
+            value if self.minimum is None else min(self.minimum, value)
+        )
+        self.maximum = (
+            value if self.maximum is None else max(self.maximum, value)
+        )
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": {
+                (f"le_{bound:g}" if index < len(self.buckets)
+                 else "le_inf"): count
+                for index, (bound, count) in enumerate(
+                    zip(self.buckets + (float("inf"),),
+                        self.bucket_counts)
+                )
+            },
+        }
+
+    def render(self) -> str:
+        if not self.count:
+            return "n=0"
+        return (
+            f"n={self.count} mean={self.mean:g} "
+            f"min={self.minimum:g} max={self.maximum:g}"
+        )
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def _get_or_create(
+        self, name: str, factory, kind: type, help: str
+    ) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ConfigurationError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._get_or_create(
+            name, lambda: Counter(name, help), Counter, help
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._get_or_create(
+            name, lambda: Gauge(name, help), Gauge, help
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        return self._get_or_create(
+            name,
+            lambda: Histogram(name, help, buckets=buckets),
+            Histogram,
+            help,
+        )
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Every metric's state, keyed by name (sorted)."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot as JSON."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def table(self) -> str:
+        """An aligned ``metrics_table()``-style text report."""
+        from ..analysis.report import format_table
+
+        rows = [
+            (
+                name,
+                type(self._metrics[name]).__name__.lower(),
+                self._metrics[name].render(),
+            )
+            for name in sorted(self._metrics)
+        ]
+        return format_table(("metric", "type", "value"), rows)
+
+    def reset(self) -> None:
+        """Drop every metric (tests isolate through this)."""
+        self._metrics.clear()
+
+
+#: The process-wide registry every instrumentation site writes to.
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry
+
+
+def metrics_table() -> str:
+    """The process-wide registry as an aligned text report."""
+    return _registry.table()

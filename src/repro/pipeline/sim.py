@@ -19,6 +19,8 @@ from typing import Any, Protocol
 from ..config import SystemConfig
 from ..display.timing import RefreshTiming, WindowPlan
 from ..errors import DeadlineMissError, SimulationError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..soc.cstates import PackageCState
 from ..video.source import FrameDescriptor
 from .timeline import Timeline
@@ -326,6 +328,18 @@ class FrameWindowSimulator:
             if max_windows is not None
             else int(round(len(frames) * timing.windows_per_frame))
         )
+        tracer = obs_trace.active()
+        run_span = None
+        if tracer is not None:
+            run_span = tracer.begin_span(
+                "sim.run",
+                t=0.0,
+                scheme=self.scheme.name,
+                video_fps=float(video_fps),
+                frames=len(frames),
+                windows=window_count,
+                vr=vr_work is not None,
+            )
         stats = RunStats()
         timelines: list[Timeline] = []
         state = PackageCState.C0
@@ -338,6 +352,16 @@ class FrameWindowSimulator:
                 vr=vr_work[frame_index] if vr_work is not None else None,
                 initial_state=state,
             )
+            window_span = None
+            if tracer is not None:
+                window_span = tracer.begin_span(
+                    "sim.window",
+                    t=plan.start,
+                    index=plan.index,
+                    kind="new_frame" if plan.is_new_frame else "repeat",
+                    frame=frame_index,
+                    initial_state=state,
+                )
             result = self.scheme.plan_window(ctx)
             self._validate_window(plan, result)
             if result.deadline_missed and self.config.strict_deadlines:
@@ -348,6 +372,27 @@ class FrameWindowSimulator:
             stats.record(plan, result)
             timelines.append(result.timeline)
             state = result.timeline.segments[-1].state
+            if tracer is not None:
+                for segment in result.timeline:
+                    tracer.event(
+                        "sim.segment",
+                        t=segment.start,
+                        state=segment.state,
+                        duration=segment.duration,
+                        label=segment.label,
+                        transition=segment.transition,
+                    )
+                assert window_span is not None
+                tracer.end_span(
+                    window_span,
+                    t=plan.end,
+                    deadline_missed=result.deadline_missed,
+                    vd_wakes=result.vd_wakes,
+                    used_psr=result.used_psr,
+                    bypassed_dram=result.bypassed_dram,
+                    burst=result.burst,
+                    final_state=state,
+                )
         run = RunResult(
             scheme=self.scheme.name,
             config=self.config,
@@ -356,6 +401,30 @@ class FrameWindowSimulator:
             video_fps=video_fps,
             cache_key=key,
         )
+        registry = obs_metrics.registry()
+        registry.counter(
+            "sim.runs", "simulator runs completed (cache misses only)"
+        ).inc()
+        registry.counter(
+            "sim.windows", "refresh windows planned"
+        ).inc(stats.windows)
+        registry.counter(
+            "sim.deadline_misses", "windows that missed their deadline"
+        ).inc(stats.deadline_misses)
+        if tracer is not None:
+            assert run_span is not None
+            tracer.end_span(
+                run_span,
+                t=run.timeline.end,
+                windows=stats.windows,
+                new_frame_windows=stats.new_frame_windows,
+                repeat_windows=stats.repeat_windows,
+                deadline_misses=stats.deadline_misses,
+                vd_wakes=stats.vd_wakes,
+                psr_windows=stats.psr_windows,
+                bypassed_windows=stats.bypassed_windows,
+                burst_windows=stats.burst_windows,
+            )
         if memo is not None and key is not None:
             memo.store(key, run)
         return run

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 from ..config import PanelConfig
 from ..errors import SimulationError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..pipeline.sim import RunResult
 from ..pipeline.timeline import PanelMode, Segment, Timeline, VdMode
 from ..soc.cstates import PackageCState
@@ -185,6 +187,15 @@ class PowerModel:
         """Evaluate the model over a bare timeline."""
         if not timeline.segments:
             raise SimulationError("cannot evaluate an empty timeline")
+        tracer = obs_trace.active()
+        report_span = None
+        if tracer is not None:
+            report_span = tracer.begin_span(
+                "power.report",
+                t=timeline.start,
+                scheme=scheme,
+                segments=len(timeline),
+            )
         by_component = dict.fromkeys(COMPONENT_KEYS, 0.0)
         state_energy: dict[PackageCState, float] = {}
         state_seconds: dict[PackageCState, float] = {}
@@ -220,7 +231,7 @@ class PowerModel:
             )
             for state, seconds in state_seconds.items()
         }
-        return EnergyReport(
+        report = EnergyReport(
             scheme=scheme,
             duration_s=duration,
             total_energy_mj=total,
@@ -230,6 +241,37 @@ class PowerModel:
             dram_read_bytes=timeline.dram_read_bytes,
             dram_write_bytes=timeline.dram_write_bytes,
         )
+        registry = obs_metrics.registry()
+        registry.counter(
+            "power.reports", "energy reports evaluated"
+        ).inc()
+        registry.histogram(
+            "power.avg_mw", "run-average system power per report"
+        ).observe(report.average_power_mw)
+        if tracer is not None:
+            for key in COMPONENT_KEYS:
+                tracer.event(
+                    "power.component", component=key,
+                    energy_mj=by_component[key],
+                )
+            for row in report.table2_rows():
+                tracer.event(
+                    "power.state",
+                    state=row.state,
+                    residency_s=row.residency_s,
+                    residency_fraction=row.residency_fraction,
+                    average_power_mw=row.average_power_mw,
+                    energy_mj=row.energy_mj,
+                )
+            assert report_span is not None
+            tracer.end_span(
+                report_span,
+                t=timeline.end,
+                total_mj=total,
+                average_mw=report.average_power_mw,
+                transition_mj=transition_energy,
+            )
+        return report
 
     # -- the closed-form check ------------------------------------------------------
 

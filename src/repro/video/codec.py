@@ -25,6 +25,8 @@ import numpy as np
 from scipy.fft import dctn, idctn
 
 from ..errors import CodecError, ConfigurationError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .bitstream import BitReader, BitWriter
 from .frames import (
     DecodedFrame,
@@ -241,6 +243,17 @@ class Codec:
             raise CodecError("B frame needs a future reference")
 
         height, width = frame.shape[:2]
+        tracer = obs_trace.active()
+        frame_span = None
+        if tracer is not None:
+            frame_span = tracer.begin_span(
+                "codec.encode",
+                index=index,
+                type=frame_type.value,
+                width=width,
+                height=height,
+            )
+            tracer.event("codec.phase", phase="header")
         writer = BitWriter()
         writer.write_bits(_MAGIC, 8)
         writer.write_bits({"I": 0, "P": 1, "B": 2}[frame_type.value], 2)
@@ -248,6 +261,8 @@ class Codec:
         writer.write_bits(height, 16)
         writer.write_bits(index & 0xFFFF, 16)
 
+        if tracer is not None:
+            tracer.event("codec.phase", phase="macroblocks")
         reconstructed = np.empty_like(frame)
         past_luma = self._luma(past) if past is not None else None
         future_luma = self._luma(future) if future is not None else None
@@ -281,6 +296,24 @@ class Codec:
             height=height,
             payload=writer.getvalue(),
         )
+        macroblocks = (height // size) * (width // size)
+        registry = obs_metrics.registry()
+        registry.counter(
+            "codec.frames_encoded", "frames pushed through the encoder"
+        ).inc()
+        registry.counter(
+            "codec.macroblocks_encoded", "macroblocks transform-coded"
+        ).inc(macroblocks)
+        registry.histogram(
+            "codec.encoded_bytes", "encoded payload size per frame"
+        ).observe(len(encoded.payload))
+        if tracer is not None:
+            assert frame_span is not None
+            tracer.end_span(
+                frame_span,
+                macroblocks=macroblocks,
+                payload_bytes=len(encoded.payload),
+            )
         return encoded, reconstructed
 
     # Intra 16x16 prediction modes: flat mid-grey, horizontal (extend
@@ -372,42 +405,81 @@ class Codec:
         future: np.ndarray | None = None,
     ) -> DecodedFrame:
         """Decode one frame from its bitstream."""
-        reader = BitReader(encoded.payload)
-        if reader.read_bits(8) != _MAGIC:
-            raise CodecError("bad magic: not a BurstLink codec stream")
-        type_code = reader.read_bits(2)
-        if type_code > 2:
-            raise CodecError(f"unknown frame-type code {type_code}")
-        frame_type = (FrameType.I, FrameType.P, FrameType.B)[type_code]
-        width = reader.read_bits(16)
-        height = reader.read_bits(16)
-        reader.read_bits(16)  # frame index (informational)
-        if (width, height) != (encoded.width, encoded.height):
-            raise CodecError(
-                "bitstream header dimensions disagree with frame metadata"
+        tracer = obs_trace.active()
+        frame_span = None
+        if tracer is not None:
+            frame_span = tracer.begin_span(
+                "codec.decode",
+                index=encoded.index,
+                type=encoded.frame_type.value,
+                payload_bytes=len(encoded.payload),
             )
-        if frame_type is not encoded.frame_type:
-            raise CodecError(
-                "bitstream frame type disagrees with frame metadata"
-            )
-        if frame_type.needs_past_reference and past is None:
-            raise CodecError(f"{frame_type.value} frame needs a past "
-                             "reference")
-        if frame_type.needs_future_reference and future is None:
-            raise CodecError("B frame needs a future reference")
-
-        pixels = np.empty((height, width, 3), dtype=np.uint8)
-        size = MACROBLOCK_SIZE
-        for top in range(0, height, size):
-            for left in range(0, width, size):
-                predictor = self._decode_prediction(
-                    reader, frame_type, past, future, top, left, pixels
+            tracer.event("codec.phase", phase="header")
+        try:
+            reader = BitReader(encoded.payload)
+            if reader.read_bits(8) != _MAGIC:
+                raise CodecError("bad magic: not a BurstLink codec stream")
+            type_code = reader.read_bits(2)
+            if type_code > 2:
+                raise CodecError(f"unknown frame-type code {type_code}")
+            frame_type = (
+                FrameType.I, FrameType.P, FrameType.B
+            )[type_code]
+            width = reader.read_bits(16)
+            height = reader.read_bits(16)
+            reader.read_bits(16)  # frame index (informational)
+            if (width, height) != (encoded.width, encoded.height):
+                raise CodecError(
+                    "bitstream header dimensions disagree with frame "
+                    "metadata"
                 )
-                block = self._decode_residual(reader)
-                reconstructed = np.clip(
-                    np.round(block + predictor), 0, 255
-                ).astype(np.uint8)
-                pixels[top:top + size, left:left + size] = reconstructed
+            if frame_type is not encoded.frame_type:
+                raise CodecError(
+                    "bitstream frame type disagrees with frame metadata"
+                )
+            if frame_type.needs_past_reference and past is None:
+                raise CodecError(f"{frame_type.value} frame needs a past "
+                                 "reference")
+            if frame_type.needs_future_reference and future is None:
+                raise CodecError("B frame needs a future reference")
+
+            if tracer is not None:
+                tracer.event("codec.phase", phase="macroblocks")
+            pixels = np.empty((height, width, 3), dtype=np.uint8)
+            size = MACROBLOCK_SIZE
+            for top in range(0, height, size):
+                for left in range(0, width, size):
+                    predictor = self._decode_prediction(
+                        reader, frame_type, past, future, top, left,
+                        pixels
+                    )
+                    block = self._decode_residual(reader)
+                    reconstructed = np.clip(
+                        np.round(block + predictor), 0, 255
+                    ).astype(np.uint8)
+                    pixels[top:top + size, left:left + size] = (
+                        reconstructed
+                    )
+        except Exception as error:
+            # Close the span so a caught decode error can't poison the
+            # tracer's nesting for every span that follows.
+            if tracer is not None:
+                assert frame_span is not None
+                tracer.end_span(frame_span, error=type(error).__name__)
+            raise
+        registry = obs_metrics.registry()
+        registry.counter(
+            "codec.frames_decoded", "frames pushed through the decoder"
+        ).inc()
+        registry.counter(
+            "codec.macroblocks_decoded", "macroblocks reconstructed"
+        ).inc((height // size) * (width // size))
+        if tracer is not None:
+            assert frame_span is not None
+            tracer.end_span(
+                frame_span,
+                macroblocks=(height // size) * (width // size),
+            )
         return DecodedFrame(encoded.index, frame_type, pixels)
 
     def _decode_prediction(

@@ -123,6 +123,116 @@ class TestDiskCache:
         assert rebuilt.stats == run.stats
         assert list(rebuilt.timeline) == list(run.timeline)
 
+    def test_payload_round_trip_vr_run(self):
+        """A VR run (projection work, headset config) must survive the
+        disk-cache serializers exactly."""
+        from repro.core import BurstLinkScheme
+        from repro.workloads.vr import VR_WORKLOADS, vr_streaming_run
+
+        with cache_disabled():
+            run = vr_streaming_run(
+                VR_WORKLOADS["Elephant"],
+                BurstLinkScheme(),
+                frame_count=3,
+                with_drfb=True,
+            )
+        payload = json.loads(json.dumps(run_to_payload(run)))
+        rebuilt = run_from_payload(payload)
+        assert rebuilt.scheme == run.scheme
+        assert rebuilt.config == run.config
+        assert rebuilt.stats == run.stats
+        assert rebuilt.video_fps == run.video_fps
+        assert list(rebuilt.timeline) == list(run.timeline)
+
+    def test_payload_round_trip_fallback_run(self):
+        """A run under the Sec. 4.1 fallback (selector forced back to
+        the conventional path) round-trips exactly, stats included."""
+        from repro.core import select_scheme
+        from repro.soc.registers import RegisterFile
+
+        registers = RegisterFile.full_screen_video()
+        registers.psr2_exited = True  # fallback trigger 2
+        scheme = select_scheme(registers)
+        assert scheme.name == "conventional"
+        config = skylake_tablet(FHD)
+        frames = AnalyticContentModel().frames(FHD, 4, seed=9)
+        with cache_disabled():
+            run = FrameWindowSimulator(config, scheme).run(frames, 30.0)
+        payload = json.loads(json.dumps(run_to_payload(run)))
+        rebuilt = run_from_payload(payload)
+        assert rebuilt.stats == run.stats
+        assert rebuilt.config == run.config
+        assert list(rebuilt.timeline) == list(run.timeline)
+
+    def test_payload_round_trip_psr_and_burst_stats(self):
+        """A BurstLink run exercises the psr/bypass/burst stat fields
+        the planar conventional round-trip leaves at zero."""
+        from repro.core import BurstLinkScheme
+
+        config = skylake_tablet(FHD).with_drfb()
+        frames = AnalyticContentModel().frames(FHD, 4, seed=2)
+        with cache_disabled():
+            run = FrameWindowSimulator(
+                config, BurstLinkScheme()
+            ).run(frames, 30.0)
+        assert run.stats.psr_windows > 0
+        payload = json.loads(json.dumps(run_to_payload(run)))
+        rebuilt = run_from_payload(payload)
+        assert rebuilt.stats == run.stats
+        assert list(rebuilt.timeline) == list(run.timeline)
+
+    def test_corrupt_entry_is_overwritten_by_next_store(self, tmp_path):
+        """A truncated entry (crashed worker) is ignored on load and
+        replaced by a clean one on the next store."""
+        cache = SimulationCache(directory=tmp_path)
+        previous = install_run_memo(cache)
+        try:
+            run = _simulate()
+            path = tmp_path / f"{run.cache_key}.json"
+            path.write_text('{"format": 1, "scheme": "conv', "utf-8")
+            fresh = SimulationCache(directory=tmp_path)
+            install_run_memo(fresh)
+            again = _simulate()  # corrupt entry -> miss -> re-store
+            assert fresh.stats.disk_hits == 0
+            assert fresh.stats.misses == 1
+            assert again.stats == run.stats
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            assert run_from_payload(payload).stats == run.stats
+        finally:
+            install_run_memo(previous)
+
+    def test_store_never_leaves_temp_files(self, tmp_path):
+        cache = SimulationCache(directory=tmp_path)
+        previous = install_run_memo(cache)
+        try:
+            _simulate()
+        finally:
+            install_run_memo(previous)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_failed_store_cleans_up_temp_file(self, tmp_path, monkeypatch):
+        """If the write itself dies, no temp or partial target file may
+        survive to poison later loads."""
+        cache = SimulationCache(directory=tmp_path)
+
+        def explode(payload, handle):
+            handle.write('{"format": 1, "scheme": "conv')  # partial...
+            raise OSError("disk full")
+
+        monkeypatch.setattr(runner.json, "dump", explode)
+        previous = install_run_memo(cache)
+        try:
+            run = _simulate()  # store's disk write fails silently
+        finally:
+            install_run_memo(previous)
+        assert run.cache_key is not None
+        assert list(tmp_path.iterdir()) == []  # no tmp, no partial json
+        monkeypatch.undo()
+        # And the cache still works end to end afterwards.
+        cache.store(run.cache_key, run)
+        assert (tmp_path / f"{run.cache_key}.json").exists()
+
     def test_corrupt_entry_reads_as_miss(self, tmp_path):
         cache = SimulationCache(directory=tmp_path)
         previous = install_run_memo(cache)

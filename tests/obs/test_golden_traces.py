@@ -1,0 +1,108 @@
+"""Golden-trace regression suite.
+
+Each canonical exhibit (one conventional run, one BurstLink run, one VR
+run — see :mod:`repro.obs.golden`) must regenerate a JSONL trace that is
+*byte-identical* to the artifact checked in under ``tests/golden/``.  A
+shifted timeline, a renamed span, a reordered event, or a wall-clock
+value sneaking into the stream all fail here.
+
+Regenerating the goldens (after an intentional change)::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/obs/test_golden_traces.py
+
+then review the diff of ``tests/golden/*.jsonl`` like any other code
+change before committing.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs.golden import GOLDEN_EXHIBITS, golden_trace_jsonl
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+EXHIBITS = sorted(GOLDEN_EXHIBITS)
+
+
+def _maybe_update(path: Path, text: str) -> bool:
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        path.write_text(text, encoding="utf-8")
+        return True
+    return False
+
+
+@pytest.mark.parametrize("exhibit", EXHIBITS)
+def test_trace_matches_golden_bytes(exhibit):
+    text = golden_trace_jsonl(exhibit)
+    path = GOLDEN_DIR / f"{exhibit}.jsonl"
+    _maybe_update(path, text)
+    assert path.exists(), (
+        f"missing golden {path}; regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+    assert path.read_bytes() == text.encode("utf-8"), (
+        f"{exhibit} trace drifted from tests/golden/{exhibit}.jsonl; "
+        "if the change is intentional, regenerate with "
+        "REPRO_UPDATE_GOLDEN=1 and review the diff"
+    )
+
+
+@pytest.mark.parametrize("exhibit", EXHIBITS)
+def test_trace_is_deterministic_across_captures(exhibit):
+    assert golden_trace_jsonl(exhibit) == golden_trace_jsonl(exhibit)
+
+
+@pytest.mark.parametrize("exhibit", EXHIBITS)
+def test_golden_is_wall_clock_free(exhibit):
+    """No event carries a wall-clock-ish attribute; every ``t`` lies
+    inside the simulated run (well under one minute)."""
+    for line in (GOLDEN_DIR / f"{exhibit}.jsonl").read_text(
+        encoding="utf-8"
+    ).splitlines():
+        event = json.loads(line)
+        if "t" in event:
+            assert 0.0 <= event["t"] < 60.0
+        for banned in ("wall", "elapsed", "perf_counter", "time_ns"):
+            assert banned not in event.get("attrs", {})
+
+
+@pytest.mark.parametrize("exhibit", EXHIBITS)
+def test_golden_spans_balance(exhibit):
+    """The checked-in artifact itself is a well-formed span tree."""
+    stack = []
+    for line in (GOLDEN_DIR / f"{exhibit}.jsonl").read_text(
+        encoding="utf-8"
+    ).splitlines():
+        event = json.loads(line)
+        if event["kind"] == "B":
+            stack.append(event["seq"])
+        elif event["kind"] == "E":
+            assert stack and stack.pop() == event["span"]
+    assert stack == []
+
+
+def test_cli_trace_choices_cover_every_exhibit():
+    """`repro trace` must offer exactly the golden exhibits."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["trace", "burstlink"])
+    assert args.exhibit == "burstlink"
+    for exhibit in EXHIBITS:
+        assert parser.parse_args(["trace", exhibit]).exhibit == exhibit
+    with pytest.raises(SystemExit):
+        parser.parse_args(["trace", "not-an-exhibit"])
+
+
+def test_cli_trace_writes_the_golden_bytes(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "t.jsonl"
+    assert main(["trace", "conventional", "--jsonl", str(out)]) == 0
+    assert out.read_bytes() == (
+        GOLDEN_DIR / "conventional.jsonl"
+    ).read_bytes()
+    stdout = capsys.readouterr().out
+    assert "sim.window" in stdout

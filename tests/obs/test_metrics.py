@@ -1,0 +1,157 @@
+"""The metrics registry: counters, gauges, histograms, reports."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ConfigurationError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.total == 55.5
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 50.0
+        assert histogram.mean == 18.5
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(10.0, 1.0))
+
+    def test_snapshot_buckets(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        histogram.observe(2.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {"le_1": 1, "le_inf": 1}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+        assert "a" in reg
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("a")
+
+    def test_snapshot_and_json(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc(2)
+        reg.gauge("a").set(1.5)
+        snapshot = reg.snapshot()
+        assert list(snapshot) == ["a", "z"]  # sorted
+        assert snapshot["z"] == {"type": "counter", "value": 2}
+        parsed = json.loads(reg.to_json())
+        assert parsed["a"]["value"] == 1.5
+
+    def test_table_report(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(3)
+        reg.histogram("wall_s").observe(0.5)
+        table = reg.table()
+        assert "cache.hits" in table
+        assert "counter" in table
+        assert "n=1" in table
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_process_wide_registry_is_shared(self):
+        assert registry() is registry()
+
+
+class TestInstrumentationFeedsRegistry:
+    def test_simulator_updates_counters(self):
+        from repro.analysis.runner import cache_disabled
+        from repro.config import FHD, skylake_tablet
+        from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+        from repro.video.source import AnalyticContentModel
+
+        reg = registry()
+        before = reg.counter("sim.windows").value
+        frames = AnalyticContentModel().frames(FHD, 2, seed=3)
+        with cache_disabled():
+            run = FrameWindowSimulator(
+                skylake_tablet(FHD), ConventionalScheme()
+            ).run(frames, 30.0)
+        assert (
+            reg.counter("sim.windows").value - before == run.stats.windows
+        )
+
+    def test_power_model_updates_counters(self):
+        from repro.analysis.runner import cache_disabled
+        from repro.config import FHD, skylake_tablet
+        from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+        from repro.power import PowerModel
+        from repro.video.source import AnalyticContentModel
+
+        reg = registry()
+        before = reg.counter("power.reports").value
+        frames = AnalyticContentModel().frames(FHD, 2, seed=3)
+        with cache_disabled():
+            run = FrameWindowSimulator(
+                skylake_tablet(FHD), ConventionalScheme()
+            ).run(frames, 30.0)
+        PowerModel().report(run)
+        assert reg.counter("power.reports").value == before + 1
+
+    def test_codec_updates_counters(self):
+        import numpy as np
+
+        from repro.video.codec import Codec
+        from repro.video.frames import FrameType
+
+        reg = registry()
+        before_enc = reg.counter("codec.frames_encoded").value
+        before_dec = reg.counter("codec.frames_decoded").value
+        frame = np.zeros((32, 32, 3), dtype=np.uint8)
+        codec = Codec()
+        encoded, _ = codec.encode_frame(0, frame, FrameType.I)
+        codec.decode_frame(encoded)
+        assert reg.counter("codec.frames_encoded").value == before_enc + 1
+        assert reg.counter("codec.frames_decoded").value == before_dec + 1
+        assert reg.counter("codec.macroblocks_encoded").value >= 4

@@ -1,0 +1,165 @@
+"""The event tracer: API semantics, JSONL stability, no-op default."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import trace
+from repro.obs.trace import Tracer, render_span_tree, tracing
+from repro.soc.cstates import PackageCState
+
+
+class TestTracerApi:
+    def test_disabled_by_default(self):
+        assert trace.active() is None
+        assert not trace.enabled()
+
+    def test_install_returns_previous(self):
+        tracer = Tracer()
+        assert trace.install(tracer) is None
+        try:
+            assert trace.active() is tracer
+            assert trace.enabled()
+        finally:
+            assert trace.install(None) is tracer
+        assert trace.active() is None
+
+    def test_tracing_context_restores(self):
+        with tracing() as tracer:
+            assert trace.active() is tracer
+        assert trace.active() is None
+
+    def test_span_nesting_and_ids(self):
+        tracer = Tracer()
+        outer = tracer.begin_span("outer", t=0.0)
+        inner = tracer.begin_span("inner", t=0.1)
+        tracer.end_span(inner, t=0.2)
+        tracer.end_span(outer, t=0.3)
+        kinds = [e["kind"] for e in tracer.events]
+        assert kinds == ["B", "B", "E", "E"]
+        assert tracer.events[1]["parent"] == outer
+        assert tracer.events[2]["span"] == inner
+        assert tracer.open_spans == 0
+
+    def test_mismatched_end_rejected(self):
+        tracer = Tracer()
+        outer = tracer.begin_span("outer")
+        tracer.begin_span("inner")
+        with pytest.raises(ConfigurationError):
+            tracer.end_span(outer)
+
+    def test_end_without_open_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tracer().end_span(0)
+
+    def test_span_context_manager(self):
+        tracer = Tracer()
+        with tracer.span("work", t=1.0, step=3):
+            tracer.event("inside")
+        assert tracer.open_spans == 0
+        assert tracer.events[1]["parent"] == tracer.events[0]["seq"]
+
+    def test_counter_records_delta(self):
+        tracer = Tracer()
+        tracer.counter("hits", 5, layer="memory")
+        event = tracer.events[0]
+        assert event["kind"] == "C"
+        assert event["attrs"] == {"value": 5, "layer": "memory"}
+
+    def test_sequence_numbers_are_ordinal(self):
+        tracer = Tracer()
+        for index in range(5):
+            tracer.event("tick")
+            assert tracer.events[index]["seq"] == index
+
+
+class TestSanitization:
+    def test_enum_becomes_name(self):
+        tracer = Tracer()
+        tracer.event("state", state=PackageCState.C8)
+        assert tracer.events[0]["attrs"]["state"] == "C8"
+
+    def test_numpy_scalar_becomes_string_not_crash(self):
+        tracer = Tracer()
+        tracer.event("x", n=np.int64(3))
+        json.dumps(tracer.events[0])  # must be JSON-serializable
+
+    def test_nested_containers(self):
+        tracer = Tracer()
+        tracer.event("x", items=(1, "a"), table={"k": PackageCState.C2})
+        attrs = tracer.events[0]["attrs"]
+        assert attrs["items"] == [1, "a"]
+        assert attrs["table"] == {"k": "C2"}
+
+
+class TestJsonl:
+    def test_one_line_per_event_sorted_keys(self):
+        tracer = Tracer()
+        with tracer.span("s", t=0.5, b=1, a=2):
+            pass
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert list(first) == sorted(first)
+
+    def test_identical_traces_identical_bytes(self):
+        def build():
+            tracer = Tracer()
+            with tracer.span("run", t=0.0, fps=30.0):
+                tracer.event("seg", t=1 / 60, state="C8")
+                tracer.counter("windows", 2)
+            return tracer.to_jsonl()
+
+        assert build() == build()
+
+    def test_write(self, tmp_path):
+        tracer = Tracer()
+        tracer.event("x")
+        path = tmp_path / "t.jsonl"
+        tracer.write(str(path))
+        assert path.read_text(encoding="utf-8") == tracer.to_jsonl()
+
+
+class TestRendering:
+    def test_tree_indents_and_merges_end_attrs(self):
+        tracer = Tracer()
+        span = tracer.begin_span("sim.window", t=0.0, index=0)
+        tracer.event("sim.segment", t=0.0, state="C0")
+        tracer.counter("windows")
+        tracer.end_span(span, t=0.016, deadline_missed=False)
+        text = render_span_tree(tracer)
+        lines = text.splitlines()
+        assert lines[0].startswith("sim.window [0.000000s -> 0.016000s]")
+        assert "deadline_missed=False" in lines[0]
+        assert lines[1].startswith("  . sim.segment")
+        assert lines[2].startswith("  + windows")
+
+    def test_events_can_be_suppressed(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.event("noise")
+        assert "noise" not in render_span_tree(
+            tracer, events_inline=False
+        )
+
+
+class TestEnvHook:
+    def test_no_env_var_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert trace.install_env_tracer() is None
+
+    def test_env_var_installs_once(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "out.jsonl"))
+        monkeypatch.setattr(trace, "_env_hook_registered", False)
+        previous = trace.active()
+        try:
+            tracer = trace.install_env_tracer()
+            assert tracer is not None
+            assert trace.active() is tracer
+            # Idempotent: a second call keeps the same tracer.
+            assert trace.install_env_tracer() is tracer
+        finally:
+            trace.install(previous)
+            monkeypatch.setattr(trace, "_env_hook_registered", False)

@@ -15,6 +15,7 @@ DOCS = [
     ROOT / "DESIGN.md",
     ROOT / "EXPERIMENTS.md",
     ROOT / "docs" / "MODEL.md",
+    ROOT / "docs" / "OBSERVABILITY.md",
 ]
 
 
