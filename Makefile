@@ -1,6 +1,7 @@
 # Developer entry points for the BurstLink reproduction.
 
-.PHONY: install test bench figures examples validate trace golden all
+.PHONY: install test bench figures examples validate trace golden \
+	profile drift all
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,6 +23,12 @@ validate:
 
 trace:
 	python -m repro trace burstlink --metrics
+
+profile:
+	python -m repro profile burstlink
+
+drift:
+	python -m repro validate --json
 
 golden:
 	REPRO_UPDATE_GOLDEN=1 pytest tests/obs/test_golden_traces.py -q

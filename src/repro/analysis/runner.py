@@ -261,33 +261,53 @@ class SimulationCache:
             f"cache.{event}", f"simulation cache {event} count"
         ).inc()
 
+    @staticmethod
+    def _latency(event: str) -> obs_metrics.Histogram:
+        return obs_metrics.registry().histogram(
+            f"cache.{event}_s",
+            f"simulation cache {event} round-trip latency (s)",
+            buckets=obs_metrics.LATENCY_BUCKETS,
+        )
+
     def load(self, key: str) -> RunResult | None:
         """The memoized run for ``key``, or ``None`` on a miss."""
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self.stats.hits += 1
-            self._observe("hit", key, layer="memory")
-            return self._detached(cached)
-        run = self._load_disk(key)
-        if run is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            self._remember(key, run)
-            self._observe("hit", key, layer="disk")
-            return self._detached(run)
-        self.stats.misses += 1
-        self._observe("miss", key)
-        return None
+        started = time.perf_counter()
+        try:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self._observe("hit", key, layer="memory")
+                return self._detached(cached)
+            run = self._load_disk(key)
+            if run is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._remember(key, run)
+                self._observe("hit", key, layer="disk")
+                return self._detached(run)
+            self.stats.misses += 1
+            self._observe("miss", key)
+            return None
+        finally:
+            self._latency("load").observe(
+                time.perf_counter() - started
+            )
 
     def store(self, key: str, run: RunResult) -> None:
         """Record a freshly simulated run."""
-        self.stats.stores += 1
-        self.stats.windows_simulated += run.stats.windows
-        self._observe("store", key, windows=run.stats.windows)
-        self._remember(key, self._detached(run))
-        if self.directory is not None:
-            self._store_disk(key, run)
+        started = time.perf_counter()
+        try:
+            self.stats.stores += 1
+            self.stats.windows_simulated += run.stats.windows
+            self._observe("store", key, windows=run.stats.windows)
+            self._remember(key, self._detached(run))
+            if self.directory is not None:
+                self._store_disk(key, run)
+        finally:
+            self._latency("store").observe(
+                time.perf_counter() - started
+            )
 
     # -- internals ------------------------------------------------------------
 

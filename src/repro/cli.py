@@ -68,7 +68,7 @@ _SCHEMES: dict[str, tuple[Callable, bool]] = {
 def cmd_list(_: argparse.Namespace) -> str:
     """Enumerate the available commands."""
     rows = [
-        ("validate", "Sec. 5.3 model-validation table (8 anchors)"),
+        ("validate", "Sec. 5.3 accuracy table + the paper-drift gate"),
         ("table2", "Table 2: per-C-state power/residency, both schemes"),
         ("fig01", "Fig. 1: baseline energy breakdown vs resolution"),
         ("fig09", "Fig. 9: 30 FPS reduction sweep"),
@@ -83,14 +83,48 @@ def cmd_list(_: argparse.Namespace) -> str:
         ("figures", "the headline figures as SVG files"),
         ("bench-all", "every exhibit, with timing + cache metrics"),
         ("trace", "a deterministic span tree for a canonical run"),
+        ("profile", "energy attribution + latency stats for a run"),
+        ("metrics", "the process-wide metrics registry"),
         ("constants", "the calibrated power library"),
     ]
     return format_table(("command", "what it regenerates"), rows)
 
 
-def cmd_validate(_: argparse.Namespace) -> str:
-    """The Sec. 5.3 validation table."""
-    return validate_against_paper().summary()
+def cmd_validate(args: argparse.Namespace) -> tuple[str, int]:
+    """The Sec. 5.3 accuracy table plus the paper-drift gate (exits
+    non-zero when any anchor leaves its tolerance band)."""
+    from .obs import drift
+
+    sections = (
+        tuple(args.section) if args.section else drift.DRIFT_SECTIONS
+    )
+    report = drift.check_drift(sections=sections)
+    validation = validate_against_paper() if not args.section else None
+    code = 0 if report.ok else 1
+    if args.json:
+        import json as json_module
+
+        payload: dict = {"drift": report.to_dict(), "ok": report.ok}
+        if validation is not None:
+            payload["validation"] = {
+                "mean_accuracy": validation.mean_accuracy,
+                "anchors": [
+                    {
+                        "name": anchor.name,
+                        "paper": anchor.paper_value,
+                        "model": anchor.model_value,
+                        "unit": anchor.unit,
+                        "accuracy": anchor.accuracy,
+                    }
+                    for anchor in validation.anchors
+                ],
+            }
+        return json_module.dumps(payload, indent=2, sort_keys=True), code
+    parts = []
+    if validation is not None:
+        parts.append(validation.summary())
+    parts.append(report.summary())
+    return "\n\n".join(parts), code
 
 
 def cmd_table2(_: argparse.Namespace) -> str:
@@ -327,10 +361,58 @@ def cmd_trace(args: argparse.Namespace) -> str:
         lines.append(
             f"wrote {args.jsonl} ({len(tracer.events)} events)"
         )
+    if args.chrome:
+        from .obs.export import write_chrome_trace
+
+        count = write_chrome_trace(tracer, args.chrome)
+        lines.append("")
+        lines.append(
+            f"wrote {args.chrome} ({count} trace events) — load it "
+            "at https://ui.perfetto.dev or chrome://tracing"
+        )
     if args.metrics:
         lines.append("")
         lines.append(obs_metrics.metrics_table())
     return "\n".join(lines)
+
+
+def cmd_profile(args: argparse.Namespace) -> str:
+    """Trace one canonical run and print its energy-attribution
+    ledger (component x C-state x window kind), span/window timing
+    percentiles, and the trace-vs-model reconciliation."""
+    from .obs.profile import (
+        profile_exhibit,
+        render_profile,
+    )
+
+    profile = profile_exhibit(args.exhibit)
+    if args.json:
+        return profile.to_json(indent=2)
+    return render_profile(profile)
+
+
+def cmd_metrics(args: argparse.Namespace) -> str:
+    """Dump the process-wide metrics registry (optionally populated by
+    one traced canonical run first)."""
+    from .obs import metrics as obs_metrics
+
+    if args.exhibit:
+        from .obs.golden import capture_trace
+
+        capture_trace(args.exhibit)
+    registry = obs_metrics.registry()
+    if args.prom:
+        from .obs.export import prometheus_text
+
+        return prometheus_text(registry).rstrip("\n")
+    if args.json:
+        return registry.to_json()
+    if not len(registry):
+        return (
+            "metrics registry is empty (run with --exhibit NAME to "
+            "populate it from a canonical traced run)"
+        )
+    return registry.table()
 
 
 def cmd_figures(args: argparse.Namespace) -> str:
@@ -368,24 +450,39 @@ def cmd_figures(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def cmd_bench_all(args: argparse.Namespace) -> str:
+def cmd_bench_all(args: argparse.Namespace) -> tuple[str, int]:
     """Regenerate every exhibit through the parallel engine, with
-    per-exhibit wall-clock and cache metrics."""
+    per-exhibit wall-clock and cache metrics; ``--record`` persists a
+    history snapshot, ``--check`` gates against the recorded
+    baseline."""
     from .analysis.runner import run_exhibits, metrics_table
 
     outcomes = run_exhibits(
+        names=args.only or None,
         jobs=args.jobs,
         cache_dir=None if args.no_cache_dir else args.cache_dir,
     )
     total = sum(o.metrics.wall_clock_s for o in outcomes)
-    return "\n".join(
-        [
-            metrics_table(outcomes),
-            "",
-            f"{len(outcomes)} exhibits in {total:.2f}s "
-            f"(jobs={args.jobs})",
-        ]
-    )
+    lines = [
+        metrics_table(outcomes),
+        "",
+        f"{len(outcomes)} exhibits in {total:.2f}s "
+        f"(jobs={args.jobs})",
+    ]
+    code = 0
+    if args.record:
+        from .obs.drift import record_bench
+
+        path = record_bench(outcomes, args.history_dir)
+        lines.append(f"recorded {path}")
+    if args.check:
+        from .obs.drift import check_bench
+
+        verdict = check_bench(outcomes, args.history_dir)
+        lines.append(verdict.summary())
+        if not verdict.ok:
+            code = 1
+    return "\n".join(lines), code
 
 
 def cmd_battery(args: argparse.Namespace) -> str:
@@ -429,10 +526,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    from .obs.drift import DRIFT_SECTIONS
+    from .obs.golden import GOLDEN_EXHIBITS
+
+    exhibit_names = sorted(GOLDEN_EXHIBITS)
+
     for name, handler in (
         ("list", cmd_list),
         ("constants", cmd_constants),
-        ("validate", cmd_validate),
         ("table2", cmd_table2),
         ("fig01", cmd_fig01),
         ("fig09", cmd_fig09),
@@ -444,6 +545,21 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub = commands.add_parser(name, help=handler.__doc__)
         sub.set_defaults(handler=handler)
+
+    validate = commands.add_parser(
+        "validate", help=cmd_validate.__doc__
+    )
+    validate.add_argument(
+        "--json", action="store_true",
+        help="emit the validation + drift reports as JSON",
+    )
+    validate.add_argument(
+        "--section", action="append", choices=DRIFT_SECTIONS,
+        metavar="SECTION", default=None,
+        help="check only these drift sections (repeatable; "
+             f"choices: {', '.join(DRIFT_SECTIONS)})",
+    )
+    validate.set_defaults(handler=cmd_validate)
 
     timeline = commands.add_parser(
         "timeline", help=cmd_timeline.__doc__
@@ -479,7 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = commands.add_parser("trace", help=cmd_trace.__doc__)
     trace.add_argument(
         "exhibit",
-        choices=("burstlink", "conventional", "vr"),
+        choices=exhibit_names,
         help="canonical traced run (see repro.obs.golden)",
     )
     trace.add_argument(
@@ -487,10 +603,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the byte-stable JSONL trace to PATH",
     )
     trace.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="also write a Chrome trace-event JSON (Perfetto / "
+             "chrome://tracing loadable)",
+    )
+    trace.add_argument(
         "--metrics", action="store_true",
         help="append the process-wide metrics registry report",
     )
     trace.set_defaults(handler=cmd_trace)
+
+    profile = commands.add_parser(
+        "profile", help=cmd_profile.__doc__
+    )
+    profile.add_argument(
+        "exhibit",
+        choices=exhibit_names,
+        help="canonical traced run (see repro.obs.golden)",
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the profile as JSON instead of aligned text",
+    )
+    profile.set_defaults(handler=cmd_profile)
+
+    metrics = commands.add_parser(
+        "metrics", help=cmd_metrics.__doc__
+    )
+    metrics.add_argument(
+        "--exhibit", choices=exhibit_names, default=None,
+        help="populate the registry by tracing this canonical run "
+             "first",
+    )
+    metrics.add_argument(
+        "--prom", action="store_true",
+        help="emit the Prometheus text exposition format",
+    )
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="emit the registry snapshot as JSON",
+    )
+    metrics.set_defaults(handler=cmd_metrics)
 
     bench_all = commands.add_parser(
         "bench-all", help=cmd_bench_all.__doc__
@@ -506,6 +659,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench_all.add_argument(
         "--no-cache-dir", action="store_true",
         help="keep the simulation cache in memory only",
+    )
+    bench_all.add_argument(
+        "--only", action="append", metavar="EXHIBIT", default=None,
+        help="bench only this exhibit (repeatable)",
+    )
+    bench_all.add_argument(
+        "--record", action="store_true",
+        help="persist this run as today's bench-history snapshot",
+    )
+    bench_all.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on a >15%% total wall-clock regression "
+             "vs the most recent recorded snapshot",
+    )
+    bench_all.add_argument(
+        "--history-dir", default="benchmarks/history",
+        help="bench-history directory",
     )
     bench_all.set_defaults(handler=cmd_bench_all)
 
@@ -538,12 +708,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Handlers return either the report text, or ``(text, code)`` when
+    the command doubles as a gate (``validate``, ``bench-all
+    --check``) and must drive the exit status.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        print(args.handler(args))
+        result = args.handler(args)
     except ReproError as error:
         print(f"error: {error}")
         return 1
+    if isinstance(result, tuple):
+        text, code = result
+        print(text)
+        return code
+    print(result)
     return 0

@@ -1,6 +1,6 @@
 """``repro.obs`` — the observability layer.
 
-Three pieces (see ``docs/OBSERVABILITY.md``):
+Producers (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`repro.obs.trace` — a low-overhead span/counter event tracer
   over *simulated* time with byte-stable JSONL export; a no-op unless a
@@ -9,8 +9,20 @@ Three pieces (see ``docs/OBSERVABILITY.md``):
 * :mod:`repro.obs.metrics` — a process-wide registry of counters,
   gauges and histograms with text-table and JSON reports.
 * :mod:`repro.obs.golden` — canonical traced runs whose JSONL bytes are
-  pinned under ``tests/golden/`` as regression artifacts (imported
-  lazily; not re-exported here to keep hot-path imports light).
+  pinned under ``tests/golden/`` as regression artifacts.
+
+Consumers, layered strictly on top of the producers (all imported
+lazily; not re-exported here to keep hot-path imports light):
+
+* :mod:`repro.obs.profile` — the energy-attribution profiler: joins a
+  run's trace with the power model into a per-component × C-state ×
+  window-kind ledger plus timing percentiles (``repro profile``).
+* :mod:`repro.obs.export` — interchange exporters: Chrome trace-event
+  JSON for Perfetto/``chrome://tracing`` (``repro trace --chrome``) and
+  the Prometheus text exposition (``repro metrics --prom``).
+* :mod:`repro.obs.drift` — the paper-drift regression gate (``repro
+  validate``) and the bench-history wall-clock gate (``repro bench-all
+  --record/--check``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,250 @@
+"""Trace and metrics exporters — interchange formats for external
+viewers.
+
+Two converters:
+
+* :func:`chrome_trace` — our JSONL event stream as the Chrome
+  trace-event format (the ``{"traceEvents": [...]}`` JSON object that
+  Perfetto and ``chrome://tracing`` load directly).  Simulated seconds
+  map to the format's microsecond ``ts`` axis; spans become complete
+  (``"ph": "X"``) events with a ``dur``, point events become instants,
+  counter bumps become cumulative counter tracks.  ``repro trace
+  <exhibit> --chrome out.json`` writes it.
+* :func:`prometheus_text` — the process-wide metrics registry in the
+  Prometheus text exposition format (``# HELP`` / ``# TYPE`` headers,
+  cumulative ``_bucket{le="..."}`` series for histograms).  ``repro
+  metrics --prom`` prints it.
+
+Both are pure functions of already-recorded data: exporting never
+mutates the tracer or the registry, and exporting a deterministic trace
+is itself deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import registry as default_registry
+from .trace import COUNTER, EVENT, SPAN_END, SPAN_START, Tracer
+
+#: Simulated seconds -> trace-event microseconds.
+MICROSECONDS_PER_SECOND = 1e6
+
+#: pid/tid the single simulated timeline reports under.
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+
+def _category(name: str) -> str:
+    """Event category: the dotted name's first segment."""
+    return name.split(".", 1)[0] if "." in name else name or "trace"
+
+
+def chrome_trace_events(
+    events: list[dict[str, Any]],
+    time_scale: float = MICROSECONDS_PER_SECOND,
+) -> list[dict[str, Any]]:
+    """Convert a flat event stream to trace-event dictionaries.
+
+    Spans emit one complete (``X``) event each, with ``dur`` from the
+    matching end event; an unclosed span gets the largest timestamp
+    seen anywhere in the stream as its implicit end.  Events without a
+    simulated timestamp inherit a cursor (the latest timestamp seen so
+    far), so every ``dur`` is >= 0.  Each *root* span opens its own
+    thread track (root spans may overlap in simulated time — the
+    simulator and the power model both walk the same timeline), and the
+    returned list is sorted by ``ts`` so the stream reads
+    monotonically.
+    """
+    # Pass 1: match span ends to starts and find the stream's horizon.
+    end_ts: dict[int, float | None] = {}
+    horizon = 0.0
+    for event in events:
+        t = event.get("t")
+        if t is not None:
+            horizon = max(horizon, float(t))
+        if event["kind"] == SPAN_END:
+            end_ts[event["span"]] = t
+
+    converted: list[dict[str, Any]] = []
+    thread_names: dict[int, str] = {}
+    cursor = 0.0
+    depth = 0
+    tid = TRACE_TID
+    next_tid = TRACE_TID
+    counters: dict[str, float] = {}
+    for event in events:
+        kind = event["kind"]
+        if kind == SPAN_END:
+            depth = max(0, depth - 1)
+            t = event.get("t")
+            if t is not None:
+                cursor = max(cursor, float(t))
+            continue
+        t = event.get("t")
+        start = float(t) if t is not None else cursor
+        cursor = max(cursor, start)
+        attrs = dict(event.get("attrs", {}))
+        if kind == SPAN_START and depth == 0:
+            tid = next_tid
+            next_tid += 1
+            thread_names.setdefault(tid, event["name"])
+        record: dict[str, Any] = {
+            "pid": TRACE_PID,
+            "tid": tid,
+            "ts": start * time_scale,
+            "name": event["name"],
+            "cat": _category(event["name"]),
+        }
+        if kind == SPAN_START:
+            depth += 1
+            end = end_ts.get(event["seq"])
+            end_s = float(end) if end is not None else max(
+                horizon, start
+            )
+            record["ph"] = "X"
+            record["dur"] = max(0.0, end_s - start) * time_scale
+            if attrs:
+                record["args"] = attrs
+        elif kind == EVENT:
+            record["ph"] = "i"
+            record["s"] = "t"
+            if attrs:
+                record["args"] = attrs
+        elif kind == COUNTER:
+            name = event["name"]
+            counters[name] = counters.get(name, 0.0) + float(
+                attrs.get("value", 1)
+            )
+            record["ph"] = "C"
+            record["args"] = {"value": counters[name]}
+        else:  # pragma: no cover - no other kinds exist
+            continue
+        converted.append(record)
+    converted.sort(key=lambda record: record["ts"])
+    metadata: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "ts": 0,
+            "name": "process_name",
+            "args": {"name": "repro (simulated time)"},
+        }
+    ]
+    for thread, label in sorted(thread_names.items()):
+        metadata.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": thread,
+                "ts": 0,
+                "name": "thread_name",
+                "args": {"name": label},
+            }
+        )
+    return metadata + converted
+
+
+def chrome_trace(
+    tracer: Tracer, time_scale: float = MICROSECONDS_PER_SECOND
+) -> dict[str, Any]:
+    """The tracer's events as a loadable Chrome trace object."""
+    return {
+        "traceEvents": chrome_trace_events(
+            tracer.events, time_scale=time_scale
+        ),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated",
+            "source": "repro.obs.trace",
+        },
+    }
+
+
+def chrome_trace_json(
+    tracer: Tracer, indent: int | None = None
+) -> str:
+    """The Chrome trace as a JSON string."""
+    return json.dumps(
+        chrome_trace(tracer), indent=indent, sort_keys=True
+    )
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the Chrome trace to ``path``; returns the event count."""
+    payload = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+    return len(payload["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str) -> str:
+    """Our dotted metric name as a Prometheus series name."""
+    return "repro_" + _NAME_SANITIZER.sub("_", name)
+
+
+def _format_value(value: float | int | None) -> str:
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    return f"{value:.10g}"
+
+
+def prometheus_text(
+    registry: MetricsRegistry | None = None,
+) -> str:
+    """The registry in the Prometheus text exposition format (0.0.4).
+
+    Counters and gauges emit one sample each; histograms emit the
+    conventional cumulative ``_bucket{le="..."}`` series (our internal
+    per-bucket occupancies are cumulated here) plus ``_sum`` and
+    ``_count``.
+    """
+    registry = registry if registry is not None else default_registry()
+    lines: list[str] = []
+    for name in sorted(registry.names()):
+        metric = registry.get(name)
+        series = prometheus_name(name)
+        help_text = metric.help or name
+        if isinstance(metric, Counter):
+            lines.append(f"# HELP {series} {help_text}")
+            lines.append(f"# TYPE {series} counter")
+            lines.append(f"{series} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# HELP {series} {help_text}")
+            lines.append(f"# TYPE {series} gauge")
+            lines.append(f"{series} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# HELP {series} {help_text}")
+            lines.append(f"# TYPE {series} histogram")
+            cumulative = 0
+            for bound, occupancy in zip(
+                metric.buckets + (float("inf"),), metric.bucket_counts
+            ):
+                cumulative += occupancy
+                lines.append(
+                    f'{series}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{series}_sum {_format_value(metric.total)}"
+            )
+            lines.append(f"{series}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -25,6 +25,13 @@ DEFAULT_BUCKETS = (
     0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0,
 )
 
+#: Bucket bounds for wall-clock latency histograms (seconds): cache
+#: load/store round trips sit in the µs-to-ms range, exhibit
+#: regenerations in the ms-to-seconds range.
+LATENCY_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
 
 @dataclass
 class Counter:
@@ -116,6 +123,46 @@ class Histogram:
         """Average observation (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1), linearly interpolated inside the
+        bucket the target rank lands in.
+
+        Bucket edges bound the estimate; the observed ``min``/``max``
+        tighten the first and last occupied buckets (and the +Inf
+        overflow bucket, which has no upper edge).  Returns 0.0 for an
+        empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(
+                f"quantile {q} outside [0, 1]"
+            )
+        if self.count == 0:
+            return 0.0
+        assert self.minimum is not None and self.maximum is not None
+        rank = q * self.count
+        seen = 0
+        for index, occupancy in enumerate(self.bucket_counts):
+            if occupancy == 0:
+                continue
+            if seen + occupancy < rank:
+                seen += occupancy
+                continue
+            lower = (
+                self.buckets[index - 1]
+                if index > 0 else self.minimum
+            )
+            upper = (
+                self.buckets[index]
+                if index < len(self.buckets) else self.maximum
+            )
+            lower = max(lower, self.minimum)
+            upper = min(upper, self.maximum)
+            if upper <= lower:
+                return lower
+            frac = (rank - seen) / occupancy
+            return lower + (upper - lower) * min(max(frac, 0.0), 1.0)
+        return self.maximum
+
     def snapshot(self) -> dict[str, object]:
         return {
             "type": "histogram",
@@ -196,6 +243,19 @@ class MetricsRegistry:
             Histogram,
             help,
         )
+
+    def names(self) -> list[str]:
+        """Every registered metric name, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        """The metric called ``name`` (must exist)."""
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown metric {name!r}"
+            ) from None
 
     # -- reporting ----------------------------------------------------------
 

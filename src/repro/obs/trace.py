@@ -155,9 +155,40 @@ class Tracer:
         )
 
     def write(self, path: str) -> None:
-        """Write the JSONL trace to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_jsonl())
+        """Write the JSONL trace to ``path`` atomically.
+
+        The payload lands in a temp file (same directory, so the rename
+        stays on one filesystem), is fsynced, then published with
+        ``os.replace`` — a reader (or a golden-trace diff) never sees a
+        half-written trace, and a crash mid-write leaves the previous
+        file intact.
+        """
+        import os
+        import tempfile
+
+        directory = os.path.dirname(os.path.abspath(path))
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            dir=directory,
+            prefix=f".{os.path.basename(path)}-",
+            suffix=".tmp",
+            delete=False,
+            encoding="utf-8",
+        )
+        tmp_name = handle.name
+        try:
+            with handle:
+                handle.write(self.to_jsonl())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+            tmp_name = None
+        finally:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
 
 
 # ---------------------------------------------------------------------------
@@ -288,9 +319,14 @@ def install_env_tracer() -> Tracer | None:
 
     @atexit.register
     def _flush() -> None:  # pragma: no cover - interpreter teardown
+        # Interpreter teardown can fail in ways beyond plain I/O errors
+        # (modules partially unloaded, cwd gone); a best-effort flush
+        # must never turn a clean exit into a traceback.  The write
+        # itself is atomic, so a failed flush cannot corrupt an
+        # existing trace either.
         try:
             tracer.write(path)
-        except OSError:
+        except Exception:
             pass
 
     return tracer

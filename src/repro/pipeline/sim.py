@@ -343,6 +343,10 @@ class FrameWindowSimulator:
         stats = RunStats()
         timelines: list[Timeline] = []
         state = PackageCState.C0
+        window_seconds = obs_metrics.registry().histogram(
+            "sim.window_s", "planned refresh-window durations (s)",
+            buckets=obs_metrics.LATENCY_BUCKETS,
+        )
         for plan in timing.windows(window_count):
             frame_index = min(plan.frame_index, len(frames) - 1)
             ctx = WindowContext(
@@ -362,6 +366,7 @@ class FrameWindowSimulator:
                     frame=frame_index,
                     initial_state=state,
                 )
+            window_seconds.observe(plan.duration)
             result = self.scheme.plan_window(ctx)
             self._validate_window(plan, result)
             if result.deadline_missed and self.config.strict_deadlines:

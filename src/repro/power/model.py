@@ -44,6 +44,42 @@ COMPONENT_KEYS = (
     "transition",
 )
 
+#: Stable component identifiers.  ``power.component`` trace events name
+#: components by these keys, and consumers (the attribution profiler,
+#: exporters) join on them — so the mapping is append-only: a component
+#: may be added, never renamed or renumbered.  Pinned by
+#: ``tests/obs/test_profile.py``.
+COMPONENT_IDS: dict[str, int] = {
+    key: index for index, key in enumerate(COMPONENT_KEYS)
+}
+
+
+def component_id(key: str) -> int:
+    """The stable numeric id of component ``key`` (raises on unknown —
+    a trace produced by a different schema)."""
+    try:
+        return COMPONENT_IDS[key]
+    except KeyError:
+        raise SimulationError(
+            f"unknown power component {key!r}; "
+            f"known: {', '.join(COMPONENT_KEYS)}"
+        ) from None
+
+
+def state_id(state: "PackageCState | str") -> str:
+    """The stable identifier of a package C-state as it appears in
+    ``power.state`` and ``sim.segment`` trace events (the enum member
+    name).  Accepts either the enum or an event's string form and
+    validates membership."""
+    if isinstance(state, PackageCState):
+        return state.name
+    try:
+        return PackageCState[state].name
+    except KeyError:
+        raise SimulationError(
+            f"unknown package C-state {state!r}"
+        ) from None
+
 
 @dataclass(frozen=True)
 class PlatformExtras:

@@ -1,0 +1,136 @@
+"""The observability CLI surface: profile, metrics, trace exports,
+the validate drift gate, and the bench-all history gate."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_text_report(self, capsys):
+        code, out = run_cli(capsys, "profile", "burstlink")
+        assert code == 0
+        assert "Energy attribution" in out
+        assert "reconciliation:" in out and "[OK]" in out
+
+    def test_json_report(self, capsys):
+        code, out = run_cli(capsys, "profile", "conventional", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["exhibit"] == "conventional"
+        assert payload["reconciliation"]["ok"] is True
+        # The acceptance bar: ledger vs Table 2 aggregate under 0.1%.
+        assert payload["reconciliation"]["total_rel_err"] < 1e-3
+
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["profile", "nope"])
+        assert excinfo.value.code != 0
+
+
+class TestMetricsCommand:
+    def test_prometheus_exposition(self, capsys):
+        code, out = run_cli(
+            capsys, "metrics", "--exhibit", "conventional", "--prom"
+        )
+        assert code == 0
+        assert "# TYPE repro_sim_windows counter" in out
+        assert "repro_sim_window_s_bucket" in out
+        assert 'le="+Inf"' in out
+
+    def test_json_snapshot(self, capsys):
+        code, out = run_cli(
+            capsys, "metrics", "--exhibit", "burstlink", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["sim.windows"]["type"] == "counter"
+
+    def test_table_default(self, capsys):
+        code, out = run_cli(
+            capsys, "metrics", "--exhibit", "conventional"
+        )
+        assert code == 0
+        assert "sim.windows" in out
+
+
+class TestTraceExports:
+    def test_chrome_export_is_loadable(self, capsys, tmp_path):
+        target = tmp_path / "chrome.json"
+        code, out = run_cli(
+            capsys, "trace", "conventional", "--chrome", str(target)
+        )
+        assert code == 0
+        assert "perfetto" in out.lower()
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        stamps = [
+            e["ts"] for e in payload["traceEvents"]
+            if e.get("ph") != "M"
+        ]
+        assert stamps and stamps == sorted(stamps)
+
+    def test_unknown_exhibit_exits_nonzero_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "fig99"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        # The error must name the valid exhibits.
+        for exhibit in ("burstlink", "conventional", "vr"):
+            assert exhibit in err
+
+
+class TestValidateGate:
+    def test_clean_tree_passes(self, capsys):
+        code, out = run_cli(capsys, "validate", "--section", "table2")
+        assert code == 0
+        assert "drift gate: PASS" in out
+
+    def test_json_payload(self, capsys):
+        code, out = run_cli(
+            capsys, "validate", "--section", "fig01", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["drift"]["anchors"]
+
+    def test_full_run_includes_accuracy_table(self, capsys):
+        code, out = run_cli(capsys, "validate", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["validation"]["mean_accuracy"] > 0.9
+        assert len(payload["drift"]["anchors"]) == 19
+
+
+class TestBenchAllGate:
+    def test_record_then_check(self, capsys, tmp_path):
+        history = tmp_path / "history"
+        code, out = run_cli(
+            capsys, "bench-all", "--only", "table2", "--no-cache-dir",
+            "--record", "--history-dir", str(history),
+        )
+        assert code == 0
+        assert "recorded" in out
+        assert list(history.glob("BENCH_*.json"))
+        code, out = run_cli(
+            capsys, "bench-all", "--only", "table2", "--no-cache-dir",
+            "--check", "--history-dir", str(history),
+        )
+        # A back-to-back re-run of the same exhibit stays well inside
+        # the 15% band (and would exit 1 with a gate message if not).
+        assert "bench gate:" in out
+
+    def test_check_without_baseline_errors(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "bench-all", "--only", "table2", "--no-cache-dir",
+            "--check", "--history-dir", str(tmp_path / "empty"),
+        )
+        assert code == 1
+        assert "no bench baseline" in out

@@ -1,0 +1,126 @@
+"""The bench-history recorder and wall-clock regression gate."""
+
+import json
+import types
+
+import pytest
+
+from repro.analysis.runner import ExperimentMetrics
+from repro.errors import ConfigurationError, SimulationError
+from repro.obs.drift import (
+    bench_snapshot,
+    check_bench,
+    latest_baseline,
+    record_bench,
+)
+
+
+def outcome(name: str, wall_s: float, hits: int = 4, misses: int = 1):
+    return types.SimpleNamespace(
+        name=name,
+        metrics=ExperimentMetrics(
+            name=name,
+            wall_clock_s=wall_s,
+            cache_hits=hits,
+            cache_misses=misses,
+            windows_simulated=60,
+        ),
+    )
+
+
+class TestSnapshot:
+    def test_totals_and_per_exhibit_detail(self):
+        snapshot = bench_snapshot(
+            [outcome("a", 1.0), outcome("b", 2.0)], date="2026-08-06"
+        )
+        assert snapshot["date"] == "2026-08-06"
+        assert snapshot["total_wall_s"] == 3.0
+        assert snapshot["total_cache_hits"] == 8
+        assert snapshot["exhibits"]["b"]["wall_s"] == 2.0
+        assert snapshot["exhibits"]["a"]["windows"] == 60
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(SimulationError):
+            bench_snapshot([])
+
+
+class TestRecord:
+    def test_writes_dated_file(self, tmp_path):
+        path = record_bench(
+            [outcome("a", 1.0)], tmp_path, date="2026-08-06"
+        )
+        assert path.name == "BENCH_2026-08-06.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["format"] == 1
+
+    def test_same_day_rerun_overwrites(self, tmp_path):
+        record_bench([outcome("a", 1.0)], tmp_path, date="2026-08-06")
+        record_bench([outcome("a", 9.0)], tmp_path, date="2026-08-06")
+        assert len(list(tmp_path.glob("BENCH_*.json"))) == 1
+        _, payload = latest_baseline(tmp_path)
+        assert payload["total_wall_s"] == 9.0
+
+
+class TestLatestBaseline:
+    def test_picks_most_recent_date(self, tmp_path):
+        record_bench([outcome("a", 1.0)], tmp_path, date="2026-08-01")
+        record_bench([outcome("a", 2.0)], tmp_path, date="2026-08-05")
+        path, payload = latest_baseline(tmp_path)
+        assert path.name == "BENCH_2026-08-05.json"
+        assert payload["total_wall_s"] == 2.0
+
+    def test_empty_directory_is_none(self, tmp_path):
+        assert latest_baseline(tmp_path) is None
+        assert latest_baseline(tmp_path / "missing") is None
+
+    def test_corrupt_entry_skipped(self, tmp_path):
+        record_bench([outcome("a", 1.0)], tmp_path, date="2026-08-01")
+        (tmp_path / "BENCH_2026-08-09.json").write_text(
+            "{not json", encoding="utf-8"
+        )
+        path, _ = latest_baseline(tmp_path)
+        assert path.name == "BENCH_2026-08-01.json"
+
+
+class TestCheckBench:
+    def test_within_threshold_passes(self, tmp_path):
+        record_bench([outcome("a", 1.0)], tmp_path, date="2026-08-01")
+        verdict = check_bench([outcome("a", 1.1)], tmp_path)
+        assert verdict.ok
+        assert "PASS" in verdict.summary()
+
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        record_bench([outcome("a", 1.0)], tmp_path, date="2026-08-01")
+        verdict = check_bench([outcome("a", 1.2)], tmp_path)
+        assert not verdict.ok
+        assert verdict.growth == pytest.approx(0.2)
+        assert "FAIL" in verdict.summary()
+
+    def test_per_exhibit_regressions_noted(self, tmp_path):
+        record_bench(
+            [outcome("a", 1.0), outcome("b", 1.0)],
+            tmp_path, date="2026-08-01",
+        )
+        verdict = check_bench(
+            [outcome("a", 2.0), outcome("b", 0.05)], tmp_path,
+        )
+        assert any("a" in note for note in verdict.notes)
+        assert "note" in verdict.summary()
+
+    def test_cache_hit_drop_noted(self, tmp_path):
+        record_bench(
+            [outcome("a", 1.0, hits=10)], tmp_path, date="2026-08-01"
+        )
+        verdict = check_bench([outcome("a", 1.0, hits=2)], tmp_path)
+        assert verdict.ok  # informational, not gating
+        assert any("cache hits" in note for note in verdict.notes)
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            check_bench([outcome("a", 1.0)], tmp_path)
+
+    def test_custom_threshold(self, tmp_path):
+        record_bench([outcome("a", 1.0)], tmp_path, date="2026-08-01")
+        assert not check_bench(
+            [outcome("a", 1.1)], tmp_path, threshold=0.05
+        ).ok

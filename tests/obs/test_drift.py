@@ -1,0 +1,124 @@
+"""The paper-drift regression gate."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.drift import (
+    DRIFT_SECTIONS,
+    PAPER_EXPECTATIONS,
+    Expectation,
+    check_drift,
+    expectations_for,
+    measure_expectations,
+)
+from repro.power.calibration import SKYLAKE_TABLET_POWER
+
+
+class TestExpectation:
+    def test_band_from_absolute_tolerance(self):
+        e = Expectation("k", "table2", "d", 40.0, "%", tol_abs=3.0)
+        assert (e.low, e.high) == (37.0, 43.0)
+
+    def test_band_from_relative_tolerance(self):
+        e = Expectation("k", "table2", "d", 2000.0, "mW", tol_rel=0.05)
+        assert e.tolerance == 100.0
+
+    def test_requires_exactly_one_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            Expectation("k", "s", "d", 1.0, "mW")
+        with pytest.raises(ConfigurationError):
+            Expectation(
+                "k", "s", "d", 1.0, "mW", tol_abs=1.0, tol_rel=0.1
+            )
+
+    def test_check_flags_out_of_band(self):
+        e = Expectation("k", "s", "d", 10.0, "%", tol_abs=1.0)
+        assert e.check(10.5).ok
+        assert not e.check(12.0).ok
+        assert not e.check(float("nan")).ok
+
+    def test_table_is_well_formed(self):
+        keys = [e.key for e in PAPER_EXPECTATIONS]
+        assert len(keys) == len(set(keys))
+        assert {e.section for e in PAPER_EXPECTATIONS} == set(
+            DRIFT_SECTIONS
+        )
+
+
+class TestSections:
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expectations_for(("table3",))
+        with pytest.raises(ConfigurationError):
+            measure_expectations(("nope",))
+
+    def test_selection_filters(self):
+        selected = expectations_for(("fig01",))
+        assert selected and all(
+            e.section == "fig01" for e in selected
+        )
+
+
+class TestCheckDrift:
+    def test_supplied_actuals_pass(self):
+        actuals = {e.key: e.paper for e in PAPER_EXPECTATIONS}
+        report = check_drift(actuals=actuals)
+        assert report.ok and not report.skipped
+        assert len(report.rows) == len(PAPER_EXPECTATIONS)
+
+    def test_supplied_actuals_fail_out_of_band(self):
+        actuals = {e.key: e.paper for e in PAPER_EXPECTATIONS}
+        actuals["table2.reduction_pct"] = 0.0
+        report = check_drift(actuals=actuals)
+        assert not report.ok
+        assert [
+            r.expectation.key for r in report.failures
+        ] == ["table2.reduction_pct"]
+        assert "FAIL" in report.summary()
+
+    def test_missing_actuals_reported_as_skipped(self):
+        report = check_drift(
+            actuals={}, sections=("fig01",)
+        )
+        assert report.ok  # nothing measured, nothing failed
+        assert set(report.skipped) == {
+            e.key for e in expectations_for(("fig01",))
+        }
+        assert "skipped" in report.summary()
+
+    def test_to_dict_shape(self):
+        actuals = {e.key: e.paper for e in PAPER_EXPECTATIONS}
+        payload = check_drift(actuals=actuals).to_dict()
+        assert payload["ok"] is True
+        anchor = payload["anchors"][0]
+        assert {
+            "key", "section", "paper", "low", "high", "actual",
+            "deviation", "ok",
+        } <= set(anchor)
+
+
+class TestLiveMeasurement:
+    def test_table2_anchors_in_band(self):
+        report = check_drift(sections=("table2",))
+        assert report.ok, report.summary()
+        assert len(report.rows) == 8
+
+    def test_perturbed_power_constant_caught(self):
+        # The acceptance demonstration: perturbing one calibrated
+        # constant must trip the gate.
+        perturbed = dataclasses.replace(
+            SKYLAKE_TABLET_POWER,
+            cpu_active=SKYLAKE_TABLET_POWER.cpu_active * 3,
+        )
+        report = check_drift(
+            sections=("table2", "fig04"), library=perturbed
+        )
+        assert not report.ok
+        assert report.failures
+        assert "DRIFT" in report.summary()
+
+    def test_summary_mentions_pass(self):
+        report = check_drift(sections=("table2",))
+        assert "drift gate: PASS" in report.summary()

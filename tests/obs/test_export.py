@@ -1,0 +1,133 @@
+"""The exporters: Chrome trace-event JSON and Prometheus text."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    chrome_trace_json,
+    prometheus_name,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.golden import capture_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def small_tracer() -> Tracer:
+    tracer = Tracer()
+    outer = tracer.begin_span("sim.run", t=0.0, scheme="x")
+    tracer.event("sim.segment", t=0.25, state="C0")
+    tracer.counter("cache.hit", value=2)
+    tracer.counter("cache.hit", value=3)
+    tracer.end_span(outer, t=1.0)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_span_becomes_complete_event(self):
+        events = chrome_trace_events(small_tracer().events)
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert len(complete) == 1
+        (span,) = complete
+        assert span["name"] == "sim.run"
+        assert span["ts"] == 0.0
+        assert span["dur"] == 1.0e6  # one simulated second in µs
+        assert span["cat"] == "sim"
+        assert span["args"]["scheme"] == "x"
+
+    def test_instant_and_counter_events(self):
+        events = chrome_trace_events(small_tracer().events)
+        (instant,) = [e for e in events if e.get("ph") == "i"]
+        assert instant["s"] == "t" and instant["ts"] == 0.25e6
+        counters = [e for e in events if e.get("ph") == "C"]
+        # Counter samples are cumulative totals, not deltas.
+        assert [c["args"]["value"] for c in counters] == [2.0, 5.0]
+
+    def test_metadata_names_process_and_threads(self):
+        events = chrome_trace_events(small_tracer().events)
+        metadata = [e for e in events if e.get("ph") == "M"]
+        names = {e["name"] for e in metadata}
+        assert names == {"process_name", "thread_name"}
+
+    def test_unclosed_span_extends_to_horizon(self):
+        tracer = Tracer()
+        tracer.begin_span("a", t=0.0)
+        tracer.event("tick", t=3.0)
+        events = chrome_trace_events(tracer.events)
+        (span,) = [e for e in events if e.get("ph") == "X"]
+        assert span["dur"] == 3.0e6
+
+    def test_exhibit_trace_is_valid_and_monotonic(self, tmp_path):
+        # The acceptance check: the exported conventional trace is
+        # valid JSON with monotonically consistent ts/dur.
+        tracer, _ = capture_trace("conventional")
+        target = tmp_path / "trace.json"
+        count = write_chrome_trace(tracer, str(target))
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert len(events) == count > 0
+        stamps = [e["ts"] for e in events if e.get("ph") != "M"]
+        assert stamps == sorted(stamps)
+        for event in events:
+            assert event["ts"] >= 0
+            if event.get("ph") == "X":
+                assert event["dur"] >= 0
+
+    def test_overlapping_roots_get_distinct_threads(self):
+        # sim.run and power.report both walk the same simulated
+        # timeline; they must land on different thread tracks.
+        tracer, _ = capture_trace("conventional")
+        payload = chrome_trace(tracer)
+        roots = [
+            e for e in payload["traceEvents"]
+            if e.get("ph") == "X" and e["name"] in (
+                "sim.run", "power.report"
+            )
+        ]
+        assert len({e["tid"] for e in roots}) == len(roots) >= 2
+
+    def test_json_export_is_deterministic(self):
+        tracer, _ = capture_trace("conventional")
+        assert chrome_trace_json(tracer) == chrome_trace_json(tracer)
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.runs", "runs").inc(3)
+        registry.gauge("queue.depth").set(7)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_sim_runs counter" in text
+        assert "repro_sim_runs 3" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 7" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat.s", "latency", buckets=(1.0, 10.0)
+        )
+        for value in (0.5, 0.7, 5.0, 50.0):
+            histogram.observe(value)
+        text = prometheus_text(registry)
+        assert 'repro_lat_s_bucket{le="1"} 2' in text
+        assert 'repro_lat_s_bucket{le="10"} 3' in text
+        assert 'repro_lat_s_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_s_sum 56.2" in text
+        assert "repro_lat_s_count 4" in text
+
+    def test_name_sanitized(self):
+        assert prometheus_name("cache.load_s") == "repro_cache_load_s"
+        assert prometheus_name("a-b c") == "repro_a_b_c"
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_help_lines_precede_types(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "what x counts").inc()
+        lines = prometheus_text(registry).splitlines()
+        assert lines[0] == "# HELP repro_x what x counts"
+        assert lines[1] == "# TYPE repro_x counter"

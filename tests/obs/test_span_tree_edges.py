@@ -1,0 +1,86 @@
+"""render_span_tree edge cases: unclosed spans, deep nesting, root
+events."""
+
+from repro.obs.trace import Tracer, render_span_tree
+
+
+class TestUnclosedSpans:
+    def test_unclosed_span_renders_without_time_window(self):
+        tracer = Tracer()
+        tracer.begin_span("sim.run", t=0.0, scheme="x")
+        text = render_span_tree(tracer)
+        assert "sim.run" in text
+        assert "->" not in text  # no [t0 -> t1] window without an end
+
+    def test_children_of_unclosed_span_still_indent(self):
+        tracer = Tracer()
+        tracer.begin_span("outer", t=0.0)
+        inner = tracer.begin_span("inner", t=0.1)
+        tracer.end_span(inner, t=0.2)
+        lines = render_span_tree(tracer).splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "[0.100000s -> 0.200000s]" in lines[1]
+
+    def test_export_with_open_spans_is_stable(self):
+        # Exporting mid-run must not mutate tracer state.
+        tracer = Tracer()
+        span = tracer.begin_span("work", t=0.0)
+        before = render_span_tree(tracer)
+        assert render_span_tree(tracer) == before
+        assert tracer.open_spans == 1
+        tracer.end_span(span, t=1.0)
+        assert "[0.000000s -> 1.000000s]" in render_span_tree(tracer)
+
+
+class TestDeepNesting:
+    def test_fifty_levels_indent_linearly(self):
+        tracer = Tracer()
+        spans = [
+            tracer.begin_span(f"level{i}", t=float(i))
+            for i in range(50)
+        ]
+        for i, span in enumerate(reversed(spans)):
+            tracer.end_span(span, t=100.0 - i)
+        lines = render_span_tree(tracer).splitlines()
+        assert len(lines) == 50
+        for depth, line in enumerate(lines):
+            assert line.startswith("  " * depth + f"level{depth}")
+
+    def test_depth_never_goes_negative(self):
+        # More ends than begins (a spliced stream) must clamp at the
+        # left margin instead of raising.
+        tracer = Tracer()
+        span = tracer.begin_span("a", t=0.0)
+        tracer.end_span(span, t=1.0)
+        tracer.events.append(
+            {"seq": 99, "kind": "E", "name": "", "span": 0}
+        )
+        tracer.events.append(
+            {"seq": 100, "kind": "I", "name": "after", "t": 2.0}
+        )
+        lines = render_span_tree(tracer).splitlines()
+        assert lines[-1] == ". after @2.000000s"
+
+
+class TestRootEvents:
+    def test_events_outside_any_span_render_at_margin(self):
+        tracer = Tracer()
+        tracer.event("boot", t=0.0, phase="init")
+        tracer.counter("imports", value=3)
+        with tracer.span("body", t=1.0):
+            pass
+        lines = render_span_tree(tracer).splitlines()
+        assert lines[0] == ". boot @0.000000s  phase=init"
+        assert lines[1] == "+ imports  value=3"
+        assert lines[2].startswith("body")
+
+    def test_events_can_be_suppressed(self):
+        tracer = Tracer()
+        tracer.event("noise", t=0.0)
+        tracer.counter("more.noise")
+        with tracer.span("signal", t=1.0):
+            tracer.event("inner.noise", t=1.5)
+        text = render_span_tree(tracer, events_inline=False)
+        assert "noise" not in text
+        assert text.startswith("signal")
