@@ -38,7 +38,11 @@ import os
 import tempfile
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -56,6 +60,7 @@ from ..config import (
     VideoDecoderConfig,
 )
 from ..errors import ConfigurationError
+from ..obs import dist
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..pipeline import sim
@@ -528,20 +533,60 @@ def run_exhibit(name: str) -> ExhibitOutcome:
     )
 
 
-def _exhibit_task(name: str, cache_dir: str | None) -> ExhibitOutcome:
-    """Worker-process entry point: point the worker's cache at the
-    shared disk directory (when given) and regenerate one exhibit."""
-    if cache_dir is not None:
-        cache = active_cache()
-        if cache is None or cache.directory != Path(cache_dir):
-            configure_cache(directory=cache_dir)
-    return run_exhibit(name)
+def _apply_cache_dir(cache_dir: str | Path | None) -> None:
+    """Point the process-wide cache at ``cache_dir`` (idempotent; a
+    ``None`` directory leaves the current cache untouched).  Shared by
+    the sequential path and the worker entry point, which must agree on
+    the layout or parallel runs would silently go cold."""
+    if cache_dir is None:
+        return
+    cache = active_cache()
+    if cache is None or cache.directory != Path(cache_dir):
+        configure_cache(directory=cache_dir)
+
+
+def _metrics_heartbeat(outcome: ExhibitOutcome) -> dict[str, Any]:
+    """The done-heartbeat payload for one outcome (the live-progress
+    fields: wall clock, cache hit/miss, windows simulated)."""
+    m = outcome.metrics
+    return {
+        "wall_s": m.wall_clock_s,
+        "hits": m.cache_hits,
+        "misses": m.cache_misses,
+        "windows": m.windows_simulated,
+    }
+
+
+def _exhibit_task(
+    name: str,
+    cache_dir: str | None,
+    context: "dist.TraceContext | None" = None,
+    task_index: int = 0,
+) -> ExhibitOutcome:
+    """Worker-process entry point: configure the worker's cache (or
+    disable memoization when the parent traced with it disabled),
+    then regenerate one exhibit under the shard protocol so its spans,
+    metrics and heartbeats reach the parent."""
+    if context is not None and context.disable_memo:
+        sim.install_run_memo(None)
+    else:
+        _apply_cache_dir(cache_dir)
+    if context is None:
+        return run_exhibit(name)
+    return dist.run_worker_task(
+        context,
+        task_index,
+        name,
+        lambda: run_exhibit(name),
+        summarize=_metrics_heartbeat,
+    )
 
 
 def run_exhibits(
     names: tuple[str, ...] | list[str] | None = None,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
 ) -> list[ExhibitOutcome]:
     """Regenerate exhibits, fanning out over ``jobs`` worker processes.
 
@@ -549,6 +594,15 @@ def run_exhibits(
     request order and are bit-identical to a sequential run (every
     exhibit function is pure and deterministic).  ``cache_dir`` points
     all workers (and the sequential path) at one shared on-disk cache.
+
+    Telemetry survives the fan-out: when a tracer is installed in the
+    calling process, workers record per-task trace shards that merge
+    back into it (one coherent stream, request order — see
+    :mod:`repro.obs.dist`), and every worker's metrics registry folds
+    into the parent registry, so aggregated counters match a
+    sequential run.  ``progress``, when given, receives one line per
+    exhibit start/finish (streamed live from worker heartbeats under
+    fan-out).
     """
     registry = exhibit_registry()
     selected = list(names) if names is not None else list(registry)
@@ -559,31 +613,75 @@ def run_exhibits(
         )
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    sequential = jobs == 1 or len(selected) <= 1
+    # The worker count actually spawned, not the requested --jobs.
+    workers = 1 if sequential else min(jobs, len(selected))
     tracer = obs_trace.active()
     if tracer is not None:
         tracer.event(
-            "exhibits.fanout", jobs=jobs, selected=len(selected)
+            "exhibits.fanout", workers=workers, selected=len(selected)
         )
     obs_metrics.registry().counter(
         "exhibits.fanouts", "run_exhibits invocations"
     ).inc()
-    if jobs == 1 or len(selected) <= 1:
-        if cache_dir is not None:
-            cache = active_cache()
-            if cache is None or cache.directory != Path(cache_dir):
-                configure_cache(directory=cache_dir)
-        return [run_exhibit(name) for name in selected]
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(selected))
-    ) as pool:
-        return list(
-            pool.map(
-                _exhibit_task,
-                selected,
-                [None if cache_dir is None else str(cache_dir)]
-                * len(selected),
-            )
-        )
+    monitor = (
+        dist.ProgressMonitor(progress, total=len(selected))
+        if progress is not None
+        else None
+    )
+    if sequential:
+        _apply_cache_dir(cache_dir)
+        outcomes = []
+        for index, name in enumerate(selected):
+            if monitor is not None:
+                monitor.feed(
+                    dist.progress_record("start", index, name)
+                )
+            outcome = run_exhibit(name)
+            if monitor is not None:
+                monitor.feed(
+                    dist.progress_record(
+                        "done",
+                        index,
+                        name,
+                        **_metrics_heartbeat(outcome),
+                    )
+                )
+            outcomes.append(outcome)
+        return outcomes
+    context = dist.new_context(
+        collect_trace=tracer is not None,
+        disable_memo=sim.active_run_memo() is None,
+        heartbeat=monitor is not None,
+    )
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _exhibit_task,
+                    name,
+                    None if cache_dir is None else str(cache_dir),
+                    context,
+                    index,
+                )
+                for index, name in enumerate(selected)
+            ]
+            if monitor is not None:
+                pending = set(futures)
+                while pending:
+                    _, pending = futures_wait(
+                        pending, timeout=0.1,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    monitor.poll(context)
+                monitor.poll(context)
+            outcomes = [future.result() for future in futures]
+        if tracer is not None:
+            dist.absorb_trace(tracer, context)
+        dist.merge_worker_metrics(obs_metrics.registry(), context)
+        return outcomes
+    finally:
+        dist.cleanup(context)
 
 
 def metrics_table(outcomes: list[ExhibitOutcome]) -> str:

@@ -158,15 +158,18 @@ def write_figures(
     output_dir: str | Path,
     jobs: int = 1,
     metrics_sink: list | None = None,
+    progress=None,
 ) -> list[Path]:
     """Regenerate the headline evaluation figures as SVG files.
 
     Returns the written paths.  Each chart is driven by the same
     experiment functions the benches use, regenerated through the
     parallel engine: ``jobs > 1`` fans the exhibits out over worker
-    processes (outputs are bit-identical either way), and
+    processes (outputs are bit-identical either way),
     ``metrics_sink``, when given, receives each exhibit's
-    :class:`~repro.analysis.runner.ExperimentMetrics`.
+    :class:`~repro.analysis.runner.ExperimentMetrics`, and
+    ``progress``, when given, receives one live status line per
+    exhibit start/finish.
     """
     from .runner import run_exhibits
 
@@ -174,7 +177,9 @@ def write_figures(
     output.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
 
-    outcomes = run_exhibits(FIGURE_EXHIBITS, jobs=jobs)
+    outcomes = run_exhibits(
+        FIGURE_EXHIBITS, jobs=jobs, progress=progress
+    )
     results = {outcome.name: outcome.result for outcome in outcomes}
     if metrics_sink is not None:
         metrics_sink.extend(outcome.metrics for outcome in outcomes)

@@ -85,6 +85,8 @@ def cmd_list(_: argparse.Namespace) -> str:
         ("trace", "a deterministic span tree for a canonical run"),
         ("profile", "energy attribution + latency stats for a run"),
         ("metrics", "the process-wide metrics registry"),
+        ("obs diff", "structural diff of two traces or profiles"),
+        ("obs chrome", "a JSONL trace as Perfetto-loadable JSON"),
         ("constants", "the calibrated power library"),
     ]
     return format_table(("command", "what it regenerates"), rows)
@@ -420,19 +422,35 @@ def cmd_figures(args: argparse.Namespace) -> str:
     from .analysis.svg import write_figures
 
     metrics: list = []
+    progress = None
+    if args.progress:
+        import sys
+
+        def progress(line: str) -> None:
+            print(line, file=sys.stderr, flush=True)
+
     if args.trace:
+        from .analysis.runner import cache_disabled
         from .obs.trace import tracing
 
-        # Tracing captures this process only, so the regeneration runs
-        # sequentially regardless of --jobs.
-        with tracing() as tracer:
+        # Workers ship per-task trace shards home (repro.obs.dist), so
+        # --trace composes with --jobs.  Memoization is disabled for
+        # the capture: cache hits skip simulation (and its spans), so
+        # an uncached run is the only jobs-invariant trace.
+        with cache_disabled(), tracing() as tracer:
             written = write_figures(
-                args.out, jobs=1, metrics_sink=metrics
+                args.out,
+                jobs=args.jobs,
+                metrics_sink=metrics,
+                progress=progress,
             )
         tracer.write(args.trace)
     else:
         written = write_figures(
-            args.out, jobs=args.jobs, metrics_sink=metrics
+            args.out,
+            jobs=args.jobs,
+            metrics_sink=metrics,
+            progress=progress,
         )
     lines = [f"wrote {path}" for path in written]
     lines.append(f"{len(written)} figures in {args.out}")
@@ -483,6 +501,48 @@ def cmd_bench_all(args: argparse.Namespace) -> tuple[str, int]:
         if not verdict.ok:
             code = 1
     return "\n".join(lines), code
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> tuple[str, int]:
+    """Structurally diff two traces (JSONL) or profiles (JSON):
+    added/removed/count-shifted spans, counter deltas, simulated
+    duration shifts.  Exits non-zero when anything drifted."""
+    from .obs.diff import diff_artifacts
+
+    diff = diff_artifacts(args.a, args.b, tolerance=args.tolerance)
+    code = 0 if diff.ok else 1
+    if args.json:
+        import json as json_module
+
+        return (
+            json_module.dumps(
+                diff.to_dict(), indent=2, sort_keys=True
+            ),
+            code,
+        )
+    return diff.summary(), code
+
+
+def cmd_obs_chrome(args: argparse.Namespace) -> str:
+    """Convert a JSONL trace (including a merged ``--jobs N`` trace,
+    which renders one thread track per worker) to Chrome trace-event
+    JSON for Perfetto / chrome://tracing."""
+    import json as json_module
+
+    from .obs.diff import load_artifact
+    from .obs.export import chrome_trace_from_events
+
+    kind, events = load_artifact(args.trace)
+    if kind != "trace":
+        raise ReproError(f"{args.trace} is not a JSONL trace")
+    payload = chrome_trace_from_events(events)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json_module.dump(payload, handle, sort_keys=True)
+    return (
+        f"wrote {args.out} ({len(payload['traceEvents'])} trace "
+        "events) — load it at https://ui.perfetto.dev or "
+        "chrome://tracing"
+    )
 
 
 def cmd_battery(args: argparse.Namespace) -> str:
@@ -587,8 +647,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument(
         "--trace", default=None, metavar="PATH",
-        help="write a JSONL trace of the regeneration (forces one "
-             "in-process worker)",
+        help="write a JSONL trace of the regeneration (composes with "
+             "--jobs: worker shards merge into one stream; runs "
+             "uncached so the trace is jobs-invariant)",
+    )
+    figures.add_argument(
+        "--progress", action="store_true",
+        help="stream per-exhibit progress lines to stderr (live "
+             "worker heartbeats under --jobs)",
     )
     figures.set_defaults(handler=cmd_figures)
 
@@ -644,6 +710,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the registry snapshot as JSON",
     )
     metrics.set_defaults(handler=cmd_metrics)
+
+    obs = commands.add_parser(
+        "obs",
+        help="observability utilities: trace/profile diffing, "
+             "Chrome conversion of merged traces",
+    )
+    obs_commands = obs.add_subparsers(
+        dest="obs_command", required=True
+    )
+    obs_diff = obs_commands.add_parser(
+        "diff", help=cmd_obs_diff.__doc__
+    )
+    obs_diff.add_argument(
+        "a", help="baseline trace (.jsonl) or profile (.json)"
+    )
+    obs_diff.add_argument(
+        "b", help="candidate trace (.jsonl) or profile (.json)"
+    )
+    obs_diff.add_argument(
+        "--json", action="store_true",
+        help="emit the diff as JSON",
+    )
+    obs_diff.add_argument(
+        "--tolerance", type=float, default=1e-9,
+        help="relative tolerance for duration / numeric shifts "
+             "(default 1e-9)",
+    )
+    obs_diff.set_defaults(handler=cmd_obs_diff)
+    obs_chrome = obs_commands.add_parser(
+        "chrome", help=cmd_obs_chrome.__doc__
+    )
+    obs_chrome.add_argument("trace", help="JSONL trace to convert")
+    obs_chrome.add_argument(
+        "out", help="Chrome trace-event JSON to write"
+    )
+    obs_chrome.set_defaults(handler=cmd_obs_chrome)
 
     bench_all = commands.add_parser(
         "bench-all", help=cmd_bench_all.__doc__

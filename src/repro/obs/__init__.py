@@ -23,6 +23,14 @@ lazily; not re-exported here to keep hot-path imports light):
 * :mod:`repro.obs.drift` — the paper-drift regression gate (``repro
   validate``) and the bench-history wall-clock gate (``repro bench-all
   --record/--check``).
+* :mod:`repro.obs.dist` — cross-process propagation: a serializable
+  trace context, per-worker JSONL trace shards merged back into the
+  parent tracer, worker metrics-registry snapshots folded into the
+  parent registry, and live fan-out heartbeats (``repro figures
+  --jobs N --trace/--progress``).
+* :mod:`repro.obs.diff` — structural trace/profile diffing (``repro
+  obs diff``): added/removed/count-shifted spans, counter deltas,
+  simulated-duration shifts.
 """
 
 from __future__ import annotations

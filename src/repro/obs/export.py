@@ -63,7 +63,16 @@ def chrome_trace_events(
     simulator and the power model both walk the same timeline), and the
     returned list is sorted by ``ts`` so the stream reads
     monotonically.
+
+    A *merged* cross-process trace (events tagged with a ``w`` worker
+    index by :mod:`repro.obs.dist`) renders instead as one thread
+    track per worker: each worker's tasks tile left-to-right along its
+    track (every task restarts simulated time near zero, so task
+    groups are offset to lay out sequentially), and untagged parent
+    events keep the main track.
     """
+    if any("w" in event for event in events):
+        return _chrome_worker_tracks(events, time_scale)
     # Pass 1: match span ends to starts and find the stream's horizon.
     end_ts: dict[int, float | None] = {}
     horizon = 0.0
@@ -154,13 +163,130 @@ def chrome_trace_events(
     return metadata + converted
 
 
-def chrome_trace(
-    tracer: Tracer, time_scale: float = MICROSECONDS_PER_SECOND
+def _chrome_worker_tracks(
+    events: list[dict[str, Any]],
+    time_scale: float,
+) -> list[dict[str, Any]]:
+    """Render a merged cross-process trace: the parent's events on the
+    main track, each worker's events on its own track with task groups
+    tiled sequentially (each task restarts simulated time at zero)."""
+    parent_stream: list[dict[str, Any]] = []
+    worker_tasks: dict[int, dict[int, list[dict[str, Any]]]] = {}
+    for event in events:
+        worker = event.get("w")
+        if worker is None:
+            parent_stream.append(event)
+        else:
+            worker_tasks.setdefault(int(worker), {}).setdefault(
+                int(event.get("task", 0)), []
+            ).append(event)
+
+    converted: list[dict[str, Any]] = []
+    counters: dict[str, float] = {}
+
+    def convert(
+        stream: list[dict[str, Any]], tid: int, offset: float
+    ) -> float:
+        end_ts = {
+            event["span"]: event.get("t")
+            for event in stream
+            if event["kind"] == SPAN_END
+        }
+        horizon = 0.0
+        for event in stream:
+            t = event.get("t")
+            if t is not None:
+                horizon = max(horizon, float(t))
+        cursor = 0.0
+        for event in stream:
+            kind = event["kind"]
+            t = event.get("t")
+            if kind == SPAN_END:
+                if t is not None:
+                    cursor = max(cursor, float(t))
+                continue
+            start = float(t) if t is not None else cursor
+            cursor = max(cursor, start)
+            attrs = dict(event.get("attrs", {}))
+            record: dict[str, Any] = {
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": (start + offset) * time_scale,
+                "name": event["name"],
+                "cat": _category(event["name"]),
+            }
+            if kind == SPAN_START:
+                end = end_ts.get(event["seq"])
+                end_s = float(end) if end is not None else max(
+                    horizon, start
+                )
+                record["ph"] = "X"
+                record["dur"] = max(0.0, end_s - start) * time_scale
+                if attrs:
+                    record["args"] = attrs
+            elif kind == EVENT:
+                record["ph"] = "i"
+                record["s"] = "t"
+                if attrs:
+                    record["args"] = attrs
+            elif kind == COUNTER:
+                name = event["name"]
+                counters[name] = counters.get(name, 0.0) + float(
+                    attrs.get("value", 1)
+                )
+                record["ph"] = "C"
+                record["args"] = {"value": counters[name]}
+            else:  # pragma: no cover - no other kinds exist
+                continue
+            converted.append(record)
+        return horizon
+
+    convert(parent_stream, TRACE_TID, 0.0)
+    thread_names: dict[int, str] = {TRACE_TID: "main"}
+    for worker in sorted(worker_tasks):
+        tid = TRACE_TID + worker
+        thread_names[tid] = f"worker {worker}"
+        track_cursor = 0.0
+        for task in sorted(worker_tasks[worker]):
+            horizon = convert(
+                worker_tasks[worker][task], tid, track_cursor
+            )
+            # Tile the next task after this one, with a visible gap.
+            track_cursor += horizon + max(horizon * 0.05, 1e-6)
+    converted.sort(key=lambda record: record["ts"])
+    metadata: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "ts": 0,
+            "name": "process_name",
+            "args": {"name": "repro (simulated time)"},
+        }
+    ]
+    for tid, label in sorted(thread_names.items()):
+        metadata.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "ts": 0,
+                "name": "thread_name",
+                "args": {"name": label},
+            }
+        )
+    return metadata + converted
+
+
+def chrome_trace_from_events(
+    events: list[dict[str, Any]],
+    time_scale: float = MICROSECONDS_PER_SECOND,
 ) -> dict[str, Any]:
-    """The tracer's events as a loadable Chrome trace object."""
+    """A flat event stream (e.g. a merged shard trace read back from
+    JSONL) as a loadable Chrome trace object."""
     return {
         "traceEvents": chrome_trace_events(
-            tracer.events, time_scale=time_scale
+            events, time_scale=time_scale
         ),
         "displayTimeUnit": "ms",
         "otherData": {
@@ -168,6 +294,15 @@ def chrome_trace(
             "source": "repro.obs.trace",
         },
     }
+
+
+def chrome_trace(
+    tracer: Tracer, time_scale: float = MICROSECONDS_PER_SECOND
+) -> dict[str, Any]:
+    """The tracer's events as a loadable Chrome trace object."""
+    return chrome_trace_from_events(
+        tracer.events, time_scale=time_scale
+    )
 
 
 def chrome_trace_json(

@@ -52,6 +52,10 @@ class Counter:
     def snapshot(self) -> dict[str, object]:
         return {"type": "counter", "value": self.value}
 
+    def merge_snapshot(self, state: dict) -> None:
+        """Fold another process's snapshot in (counts sum)."""
+        self.inc(float(state["value"]))
+
     def render(self) -> str:
         return f"{self.value:g}"
 
@@ -75,6 +79,11 @@ class Gauge:
 
     def snapshot(self) -> dict[str, object]:
         return {"type": "gauge", "value": self.value}
+
+    def merge_snapshot(self, state: dict) -> None:
+        """Fold another process's snapshot in (contributions sum —
+        worker gauges are treated as additive shares of one total)."""
+        self.value += float(state["value"])
 
     def render(self) -> str:
         return f"{self.value:g}"
@@ -170,6 +179,8 @@ class Histogram:
             "sum": self.total,
             "min": self.minimum,
             "max": self.maximum,
+            "bounds": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
             "buckets": {
                 (f"le_{bound:g}" if index < len(self.buckets)
                  else "le_inf"): count
@@ -179,6 +190,46 @@ class Histogram:
                 )
             },
         }
+
+    def merge_snapshot(self, state: dict) -> None:
+        """Fold another process's snapshot in: bucket occupancies add
+        element-wise, count/sum add, min/max widen.  The two histograms
+        must share bucket bounds — merging incompatible layouts would
+        silently misfile observations."""
+        bounds = tuple(state.get("bounds", ()))
+        if bounds != self.buckets:
+            raise ConfigurationError(
+                f"histogram {self.name!r} bucket bounds differ: "
+                f"{self.buckets} vs {bounds}"
+            )
+        incoming = state.get("bucket_counts", [])
+        if len(incoming) != len(self.bucket_counts):
+            raise ConfigurationError(
+                f"histogram {self.name!r} has {len(self.bucket_counts)}"
+                f" buckets, snapshot has {len(incoming)}"
+            )
+        self.bucket_counts = [
+            mine + int(theirs)
+            for mine, theirs in zip(self.bucket_counts, incoming)
+        ]
+        self.count += int(state["count"])
+        self.total += float(state["sum"])
+        for bound_key, fold in (("min", min), ("max", max)):
+            theirs = state.get(bound_key)
+            if theirs is None:
+                continue
+            mine = getattr(
+                self, "minimum" if bound_key == "min" else "maximum"
+            )
+            merged = (
+                float(theirs) if mine is None
+                else fold(mine, float(theirs))
+            )
+            setattr(
+                self,
+                "minimum" if bound_key == "min" else "maximum",
+                merged,
+            )
 
     def render(self) -> str:
         if not self.count:
@@ -265,6 +316,43 @@ class MetricsRegistry:
             name: self._metrics[name].snapshot()
             for name in sorted(self._metrics)
         }
+
+    # -- cross-process merging ----------------------------------------------
+
+    def merge_snapshot(
+        self, snapshot: dict[str, dict[str, object]]
+    ) -> int:
+        """Fold a :meth:`snapshot` (possibly JSON-round-tripped from
+        another process) into this registry.
+
+        Counters and gauges sum; histograms add bucket-wise (same
+        bounds required).  Metrics absent here are created, so merging
+        into an empty registry reconstructs the snapshot exactly.
+        Merging is commutative and associative — the worker shard
+        merge in :mod:`repro.obs.dist` relies on both.  Returns the
+        number of metrics merged.
+        """
+        for name in sorted(snapshot):
+            state = snapshot[name]
+            kind = state.get("type")
+            if kind == "counter":
+                self.counter(name).merge_snapshot(state)
+            elif kind == "gauge":
+                self.gauge(name).merge_snapshot(state)
+            elif kind == "histogram":
+                bounds = tuple(state.get("bounds", DEFAULT_BUCKETS))
+                self.histogram(
+                    name, buckets=bounds
+                ).merge_snapshot(state)
+            else:
+                raise ConfigurationError(
+                    f"metric {name!r} has unknown type {kind!r}"
+                )
+        return len(snapshot)
+
+    def merge(self, other: "MetricsRegistry") -> int:
+        """Fold another registry in (see :meth:`merge_snapshot`)."""
+        return self.merge_snapshot(other.snapshot())
 
     def to_json(self, indent: int | None = 2) -> str:
         """The snapshot as JSON."""

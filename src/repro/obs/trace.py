@@ -145,6 +145,35 @@ class Tracer:
         """Number of spans begun but not yet ended."""
         return len(self._stack)
 
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next emitted event will get — the
+        base :func:`repro.obs.dist.absorb_trace` renumbers worker
+        shards against."""
+        return self._seq
+
+    @property
+    def innermost_open_span(self) -> int | None:
+        """The id of the innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def ingest(self, events: list[dict[str, Any]]) -> None:
+        """Append pre-renumbered events (a merged worker shard).
+
+        Every event's ``seq`` must continue this tracer's own
+        numbering — the shard merger renumbers against
+        :attr:`next_seq` before calling this, so the combined stream
+        stays one strictly ordered sequence.
+        """
+        for event in events:
+            if event.get("seq") != self._seq:
+                raise ConfigurationError(
+                    f"ingested event seq {event.get('seq')!r} does not "
+                    f"continue the stream at {self._seq}"
+                )
+            self.events.append(event)
+            self._seq += 1
+
     def to_jsonl(self) -> str:
         """The trace as JSON Lines (one event per line, keys sorted —
         the canonical byte-stable golden format)."""

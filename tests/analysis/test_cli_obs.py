@@ -134,3 +134,94 @@ class TestBenchAllGate:
         )
         assert code == 1
         assert "no bench baseline" in out
+
+
+class TestObsDiffCommand:
+    def _profile(self, path, total):
+        path.write_text(
+            json.dumps({"ledger": {"total_mj": total}}),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_identical_profiles_exit_zero(self, capsys, tmp_path):
+        a = self._profile(tmp_path / "a.json", 10.0)
+        b = self._profile(tmp_path / "b.json", 10.0)
+        code, out = run_cli(capsys, "obs", "diff", a, b)
+        assert code == 0
+        assert "no drift" in out
+
+    def test_drifted_profiles_exit_one_with_json(self, capsys, tmp_path):
+        a = self._profile(tmp_path / "a.json", 10.0)
+        b = self._profile(tmp_path / "b.json", 11.0)
+        code, out = run_cli(capsys, "obs", "diff", a, b, "--json")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        assert payload["deltas"]["ledger.total_mj"]["delta"] == 1.0
+
+
+class TestParallelTraceSmoke:
+    """End to end: a parallel traced regeneration diffs clean against
+    the sequential one, and the merged trace converts to Chrome JSON
+    with one thread track per worker."""
+
+    def test_jobs_trace_matches_sequential(self, capsys, tmp_path):
+        merged = tmp_path / "merged.jsonl"
+        sequential = tmp_path / "seq.jsonl"
+        code = main(
+            [
+                "figures", "--out", str(tmp_path / "figs"),
+                "--jobs", "2", "--trace", str(merged), "--progress",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "wrote trace" in captured.out
+        # Live worker heartbeats rendered on stderr.
+        assert "done in" in captured.err
+        code = main(
+            [
+                "figures", "--out", str(tmp_path / "figs-seq"),
+                "--trace", str(sequential),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+
+        code, out = run_cli(
+            capsys, "obs", "diff", str(merged), str(sequential)
+        )
+        assert code == 0
+        assert "no structural drift" in out
+
+        # A perturbed trace (one span dropped) must fail the diff.
+        lines = merged.read_text(encoding="utf-8").splitlines()
+        for index, line in enumerate(lines):
+            event = json.loads(line)
+            if event["kind"] == "B" and event["name"] == "sim.window":
+                del lines[index]
+                break
+        perturbed = tmp_path / "perturbed.jsonl"
+        perturbed.write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"
+        )
+        code, out = run_cli(
+            capsys, "obs", "diff", str(perturbed), str(sequential)
+        )
+        assert code == 1
+        assert "sim.window" in out
+
+        # Chrome conversion: one track per worker plus the main track.
+        chrome = tmp_path / "chrome.json"
+        code, out = run_cli(
+            capsys, "obs", "chrome", str(merged), str(chrome)
+        )
+        assert code == 0
+        payload = json.loads(chrome.read_text(encoding="utf-8"))
+        names = {
+            record["args"]["name"]
+            for record in payload["traceEvents"]
+            if record["ph"] == "M" and record["name"] == "thread_name"
+        }
+        assert {"main", "worker 1", "worker 2"} <= names

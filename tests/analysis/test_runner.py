@@ -309,3 +309,90 @@ class TestExhibitEngine:
 
     def test_default_cache_installed_on_import(self):
         assert runner.active_cache() is not None
+
+
+@pytest.fixture
+def preserved_registry():
+    """Snapshot and restore the process-wide metrics registry (the
+    fan-out merges worker metrics into it)."""
+    from repro.obs import metrics as obs_metrics
+
+    saved = obs_metrics.registry().snapshot()
+    obs_metrics.registry().reset()
+    yield obs_metrics.registry()
+    obs_metrics.registry().reset()
+    obs_metrics.registry().merge_snapshot(saved)
+
+
+class TestParallelTraceParity:
+    """The shard-merge regression gate: a traced ``jobs=2`` run must be
+    telemetry-equivalent to the sequential run — same span multiset,
+    same normalized byte stream, same aggregated counters."""
+
+    EXHIBITS = ("fig01", "table2")
+
+    def _traced_run(self, jobs):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        obs_metrics.registry().reset()
+        with cache_disabled(), obs_trace.tracing() as tracer:
+            outcomes = run_exhibits(self.EXHIBITS, jobs=jobs)
+        counters = {
+            name: state["value"]
+            for name, state in obs_metrics.registry()
+            .snapshot()
+            .items()
+            if state["type"] == "counter"
+        }
+        return outcomes, tracer.events, counters
+
+    def test_parallel_trace_matches_sequential(
+        self, preserved_registry
+    ):
+        from repro.obs.dist import normalized_jsonl
+
+        seq_outcomes, seq_events, seq_counters = self._traced_run(1)
+        par_outcomes, par_events, par_counters = self._traced_run(2)
+
+        # Same results, in request order.
+        assert [o.name for o in par_outcomes] == [
+            o.name for o in seq_outcomes
+        ]
+        assert [o.result for o in par_outcomes] == [
+            o.result for o in seq_outcomes
+        ]
+
+        # Same span multiset...
+        def span_multiset(events):
+            names = {}
+            for event in events:
+                if event["kind"] == "B":
+                    names[event["name"]] = (
+                        names.get(event["name"], 0) + 1
+                    )
+            return names
+
+        assert span_multiset(par_events) == span_multiset(seq_events)
+        # ...and in fact byte-identical after normalization.
+        assert normalized_jsonl(par_events) == normalized_jsonl(
+            seq_events
+        )
+        # Aggregated counters match exactly.
+        assert par_counters == seq_counters
+        assert par_counters  # non-trivial: the run did count things
+
+    def test_fanout_event_records_actual_worker_count(
+        self, preserved_registry
+    ):
+        from repro.obs import trace as obs_trace
+
+        with cache_disabled(), obs_trace.tracing() as tracer:
+            run_exhibits(self.EXHIBITS, jobs=8)
+        (fanout,) = [
+            e for e in tracer.events
+            if e.get("name") == "exhibits.fanout"
+        ]
+        # 8 jobs requested, but only 2 exhibits selected.
+        assert fanout["attrs"]["workers"] == 2
+        assert fanout["attrs"]["selected"] == 2

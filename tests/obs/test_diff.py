@@ -1,0 +1,170 @@
+"""Structural diffing of traces and profiles (`repro obs diff`)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.diff import (
+    diff_artifacts,
+    diff_profiles,
+    diff_traces,
+    load_artifact,
+)
+from repro.obs.trace import Tracer
+
+
+def _sample_events(windows=3, misses=2):
+    tracer = Tracer()
+    with tracer.span("exhibit", exhibit="fig01"):
+        for index in range(windows):
+            span = tracer.begin_span("sim.window", t=index * 0.5)
+            tracer.event("sim.segment", t=index * 0.5 + 0.1)
+            tracer.end_span(span, t=index * 0.5 + 0.4)
+        tracer.counter("cache.miss", value=misses)
+    return tracer.events
+
+
+def _write_trace(path, events):
+    path.write_text(
+        "".join(
+            json.dumps(e, sort_keys=True, separators=(",", ":")) + "\n"
+            for e in events
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestLoadArtifact:
+    def test_sniffs_trace(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl", _sample_events())
+        kind, events = load_artifact(path)
+        assert kind == "trace"
+        assert events[0]["name"] == "exhibit"
+
+    def test_sniffs_profile(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(
+            json.dumps({"ledger": {"total_mj": 12.5}}),
+            encoding="utf-8",
+        )
+        kind, payload = load_artifact(path)
+        assert kind == "profile"
+        assert payload["ledger"]["total_mj"] == 12.5
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_artifact(path)
+
+    def test_rejects_non_trace_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "an event"}\n', encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_artifact(path)
+
+
+class TestTraceDiff:
+    def test_identical_traces_are_clean(self):
+        diff = diff_traces(_sample_events(), _sample_events())
+        assert diff.ok
+        assert diff.structural_changes == 0
+        assert "no structural drift" in diff.summary()
+
+    def test_worker_tags_do_not_count_as_drift(self):
+        plain = _sample_events()
+        tagged = [{**e, "w": 2, "task": 1} for e in plain]
+        assert diff_traces(plain, tagged).ok
+
+    def test_missing_span_reports_change(self):
+        diff = diff_traces(
+            _sample_events(windows=3), _sample_events(windows=2)
+        )
+        assert not diff.ok
+        assert any(
+            d.name == "sim.window" and d.changed for d in diff.spans
+        )
+        assert "~ span sim.window: 3 -> 2" in diff.summary()
+
+    def test_counter_shift_reports_delta(self):
+        diff = diff_traces(
+            _sample_events(misses=2), _sample_events(misses=5)
+        )
+        assert not diff.ok
+        (delta,) = diff.counters
+        assert (delta.name, delta.delta) == ("cache.miss", 3.0)
+
+    def test_duration_shift_not_structural(self):
+        slow = _sample_events()
+        fast = json.loads(json.dumps(slow))
+        for event in fast:
+            if "t" in event:
+                event["t"] = event["t"] * 0.5
+        diff = diff_traces(slow, fast)
+        assert diff.structural_changes == 0
+        assert not diff.ok  # duration shifts still fail `ok`
+        assert diff.duration_shifts
+
+    def test_tolerance_absorbs_small_shifts(self):
+        base = _sample_events()
+        nudged = json.loads(json.dumps(base))
+        for event in nudged:
+            if "t" in event:
+                event["t"] = event["t"] * (1 + 1e-12)
+        assert diff_traces(base, nudged, tolerance=1e-6).ok
+
+    def test_to_dict_shape(self):
+        diff = diff_traces(
+            _sample_events(windows=1), _sample_events(windows=2)
+        )
+        payload = diff.to_dict()
+        assert payload["kind"] == "trace"
+        assert payload["ok"] is False
+        assert payload["spans"]["sim.window"] == {"a": 1, "b": 2}
+
+
+class TestProfileDiff:
+    A = {"ledger": {"total_mj": 10.0, "display_mj": 4.0}, "name": "x"}
+
+    def test_identical_profiles_are_clean(self):
+        assert diff_profiles(self.A, json.loads(json.dumps(self.A))).ok
+
+    def test_moved_leaf_reported_with_path(self):
+        b = json.loads(json.dumps(self.A))
+        b["ledger"]["total_mj"] = 11.0
+        diff = diff_profiles(self.A, b)
+        (delta,) = diff.deltas
+        assert delta.path == "ledger.total_mj"
+        assert delta.delta == 1.0
+        assert "~ ledger.total_mj: 10 -> 11 (+1)" in diff.summary()
+
+    def test_added_and_removed_leaves(self):
+        b = json.loads(json.dumps(self.A))
+        del b["ledger"]["display_mj"]
+        b["ledger"]["decode_mj"] = 2.0
+        diff = diff_profiles(self.A, b)
+        paths = {d.path for d in diff.deltas}
+        assert paths == {"ledger.display_mj", "ledger.decode_mj"}
+
+
+class TestDiffArtifacts:
+    def test_trace_vs_profile_is_an_error(self, tmp_path):
+        trace = _write_trace(tmp_path / "t.jsonl", _sample_events())
+        profile = tmp_path / "p.json"
+        profile.write_text(json.dumps({"ledger": {}}), encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            diff_artifacts(trace, profile)
+
+    def test_round_trip_through_files(self, tmp_path):
+        a = _write_trace(tmp_path / "a.jsonl", _sample_events())
+        b = _write_trace(
+            tmp_path / "b.jsonl", _sample_events(windows=1)
+        )
+        diff = diff_artifacts(a, b)
+        assert not diff.ok
+        assert diff.to_dict()["spans"]["sim.window"] == {
+            "a": 3,
+            "b": 1,
+        }

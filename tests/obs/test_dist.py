@@ -1,0 +1,277 @@
+"""Cross-process observability: shard protocol, merges, progress."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import dist
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.dist import (
+    ProgressMonitor,
+    TraceContext,
+    absorb_trace,
+    merge_groups,
+    merge_worker_metrics,
+    new_context,
+    normalize_events,
+    normalized_jsonl,
+    progress_record,
+    read_shards,
+    read_worker_metrics,
+    run_worker_task,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def context(tmp_path):
+    ctx = new_context(
+        collect_trace=True, heartbeat=True,
+        shard_root=tmp_path / "shards",
+    )
+    yield ctx
+    dist.cleanup(ctx)
+
+
+@pytest.fixture
+def fresh_worker_state():
+    """Reset the per-process worker-run marker and global registry so
+    each test behaves like a freshly forked worker."""
+    saved = dist._worker_run_id
+    snapshot = obs_metrics.registry().snapshot()
+    dist._worker_run_id = None
+    obs_metrics.registry().reset()
+    yield
+    dist._worker_run_id = saved
+    obs_metrics.registry().reset()
+    obs_metrics.registry().merge_snapshot(snapshot)
+
+
+def _task(name="alpha", windows=2):
+    """A traced unit of work: one span, one nested event, a counter."""
+    tracer = obs_trace.active()
+    if tracer is not None:
+        with tracer.span("exhibit", exhibit=name):
+            for index in range(windows):
+                with tracer.span(
+                    "sim.window", t=index * 0.1, index=index
+                ):
+                    tracer.event("sim.segment", t=index * 0.1 + 0.05)
+    obs_metrics.registry().counter("sim.windows").inc(windows)
+    return name
+
+
+class TestTraceContext:
+    def test_payload_round_trip(self, context):
+        rebuilt = TraceContext.from_payload(context.to_payload())
+        assert rebuilt == context
+
+    def test_context_is_picklable(self, context):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(context)) == context
+
+
+class TestWorkerSide:
+    def test_shard_and_metrics_written(
+        self, context, fresh_worker_state
+    ):
+        result = run_worker_task(
+            context, 0, "alpha", lambda: _task("alpha")
+        )
+        assert result == "alpha"
+        groups = read_shards(context)
+        assert len(groups) == 1
+        names = [
+            e["name"] for e in groups[0].events if e["kind"] == "B"
+        ]
+        assert names == ["exhibit", "sim.window", "sim.window"]
+        snapshots = read_worker_metrics(context)
+        assert snapshots[0]["sim.windows"]["value"] == 2
+
+    def test_worker_registry_reset_once_per_run(
+        self, context, fresh_worker_state
+    ):
+        # Simulate fork inheritance: pre-existing registry state must
+        # not leak into the worker's published snapshot.
+        obs_metrics.registry().counter("inherited.noise").inc(99)
+        run_worker_task(context, 0, "a", lambda: _task("a"))
+        run_worker_task(context, 1, "b", lambda: _task("b"))
+        (snapshot,) = read_worker_metrics(context)
+        assert "inherited.noise" not in snapshot
+        # Two tasks accumulate in one worker snapshot.
+        assert snapshot["sim.windows"]["value"] == 4
+
+    def test_heartbeats_stream_start_and_done(
+        self, context, fresh_worker_state
+    ):
+        run_worker_task(
+            context, 0, "alpha", lambda: _task("alpha"),
+            summarize=lambda result: {"wall_s": 0.5},
+        )
+        files = sorted(
+            Path(context.shard_dir).glob("*.hb.jsonl")
+        )
+        assert len(files) == 1
+        records = [
+            json.loads(line)
+            for line in files[0].read_text().splitlines()
+        ]
+        assert [r["event"] for r in records] == ["start", "done"]
+        assert records[1]["wall_s"] == 0.5
+
+    def test_no_shard_without_collect_trace(
+        self, tmp_path, fresh_worker_state
+    ):
+        ctx = new_context(
+            collect_trace=False, shard_root=tmp_path / "s"
+        )
+        run_worker_task(ctx, 0, "alpha", lambda: _task("alpha"))
+        assert read_shards(ctx) == []
+        # Metrics still publish — the merge path works untraced.
+        assert read_worker_metrics(ctx)
+
+
+class TestMerge:
+    def _record_two_tasks(self, context):
+        run_worker_task(context, 1, "beta", lambda: _task("beta", 1))
+        run_worker_task(
+            context, 0, "alpha", lambda: _task("alpha", 2)
+        )
+
+    def test_groups_ordered_by_task_index(
+        self, context, fresh_worker_state
+    ):
+        self._record_two_tasks(context)
+        groups = read_shards(context)
+        assert [g.task for g in groups] == [0, 1]
+
+    def test_absorb_renumbers_into_parent(
+        self, context, fresh_worker_state
+    ):
+        self._record_two_tasks(context)
+        parent = Tracer()
+        parent.event("exhibits.fanout", workers=2)
+        absorbed = absorb_trace(parent, context)
+        assert absorbed == len(parent.events) - 1
+        seqs = [e["seq"] for e in parent.events]
+        assert seqs == list(range(len(parent.events)))
+        # Worker events carry the w tag; the parent's own do not.
+        assert "w" not in parent.events[0]
+        assert all("w" in e for e in parent.events[1:])
+        # Span ends still reference their renumbered starts.
+        for event in parent.events:
+            if event["kind"] == "E":
+                start = parent.events[event["span"]]
+                assert start["kind"] == "B"
+
+    def test_absorb_nests_under_open_parent_span(
+        self, context, fresh_worker_state
+    ):
+        run_worker_task(context, 0, "alpha", lambda: _task("alpha"))
+        parent = Tracer()
+        outer = parent.begin_span("suite")
+        absorb_trace(parent, context)
+        parent.end_span(outer)
+        roots = [
+            e for e in parent.events
+            if e["kind"] == "B" and e["name"] == "exhibit"
+        ]
+        assert all(e["parent"] == outer for e in roots)
+
+    def test_merge_groups_assigns_stable_worker_indexes(self):
+        def group(worker, task):
+            tracer = Tracer()
+            with tracer.span("exhibit", exhibit=f"t{task}"):
+                pass
+            return dist.TaskGroup(worker, task, tracer.events)
+
+        merged = merge_groups(
+            [group(4242, 0), group(1111, 1)]
+        )
+        by_task = {e["task"]: e["w"] for e in merged}
+        # Worker ids sort (1111 < 4242) into 1-based indexes.
+        assert by_task == {0: 2, 1: 1}
+
+    def test_metrics_merge_sums_workers(
+        self, context, fresh_worker_state
+    ):
+        self._record_two_tasks(context)
+        registry = obs_metrics.MetricsRegistry()
+        merged = merge_worker_metrics(registry, context)
+        assert merged == 1  # same pid -> one worker snapshot
+        assert registry.counter("sim.windows").value == 3
+
+
+class TestNormalization:
+    def test_strips_worker_tags_and_renumbers(self):
+        tracer = Tracer()
+        with tracer.span("exhibit", exhibit="x"):
+            tracer.counter("cache.miss")
+        tagged = [
+            {**event, "w": 3, "task": 7} for event in tracer.events
+        ]
+        # Offset the ids as a merge would.
+        for event in tagged:
+            event["seq"] += 100
+            if "span" in event:
+                event["span"] += 100
+            if "parent" in event:
+                event["parent"] += 100
+        assert normalized_jsonl(tagged) == tracer.to_jsonl()
+
+    def test_strips_volatile_attrs(self):
+        a = Tracer()
+        a.event("exhibits.fanout", workers=1, selected=3)
+        b = Tracer()
+        b.event("exhibits.fanout", workers=4, selected=3)
+        assert normalized_jsonl(a.events) == normalized_jsonl(b.events)
+
+    def test_drops_dangling_parent_references(self):
+        events = [
+            {"seq": 5, "kind": "I", "name": "orphan", "parent": 2}
+        ]
+        (normalized,) = normalize_events(events)
+        assert normalized["seq"] == 0
+        assert "parent" not in normalized
+
+
+class TestProgressMonitor:
+    def test_feed_renders_start_and_done(self):
+        lines = []
+        monitor = ProgressMonitor(lines.append, total=2)
+        monitor.feed(progress_record("start", 0, "fig01"))
+        monitor.feed(
+            progress_record(
+                "done", 0, "fig01",
+                wall_s=0.25, hits=1, misses=2, windows=8,
+            )
+        )
+        assert lines[0] == "fig01 started [worker 0]"
+        assert lines[1] == (
+            "[1/2] fig01 done in 0.25s "
+            "(hits=1 misses=2 windows=8) [worker 0]"
+        )
+
+    def test_poll_reads_incrementally(
+        self, context, fresh_worker_state
+    ):
+        lines = []
+        monitor = ProgressMonitor(lines.append, total=2)
+        run_worker_task(context, 0, "a", lambda: _task("a"))
+        assert monitor.poll(context) == 2
+        run_worker_task(context, 1, "b", lambda: _task("b"))
+        # Only the new records render on the second poll.
+        assert monitor.poll(context) == 2
+        assert monitor.poll(context) == 0
+        assert monitor.done == 2
+
+
+class TestIngestGuards:
+    def test_ingest_rejects_discontinuous_seq(self):
+        tracer = Tracer()
+        with pytest.raises(ConfigurationError):
+            tracer.ingest([{"seq": 5, "kind": "I", "name": "x"}])
