@@ -1,7 +1,7 @@
 # Developer entry points for the BurstLink reproduction.
 
 .PHONY: install test bench figures examples validate trace golden \
-	profile drift all
+	profile drift long-trace all
 
 install:
 	pip install -e . || python setup.py develop
@@ -32,6 +32,13 @@ drift:
 
 golden:
 	REPRO_UPDATE_GOLDEN=1 pytest tests/obs/test_golden_traces.py -q
+
+# A 10-minute ambient-standby trace through the streaming path
+# (summary retention + repeat-window collapsing): O(1) memory at any
+# duration.  The paired memory gate lives in
+# tests/integration/test_long_trace_memory.py.
+long-trace:
+	python -m repro standby --duration 600
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -14,7 +14,7 @@ from ..pipeline.sim import (
     VrWork,
 )
 from ..power.model import EnergyReport, PlatformExtras, PowerModel
-from ..video.source import FrameDescriptor
+from ..video.source import FrameDescriptor, FrameSource
 
 
 def energy_reduction(baseline: EnergyReport,
@@ -51,22 +51,27 @@ class SchemeComparison:
 
 def compare_schemes(
     config: SystemConfig,
-    frames: list[FrameDescriptor],
+    frames: list[FrameDescriptor] | FrameSource,
     fps: float,
     schemes: dict[str, tuple[DisplayScheme, bool]],
     baseline: DisplayScheme,
     vr_work: list[VrWork] | None = None,
     extras: PlatformExtras | None = None,
     workload: str = "",
+    max_windows: int | None = None,
+    retain: str | None = None,
 ) -> SchemeComparison:
     """Run ``frames`` under the baseline and every candidate scheme.
 
     ``schemes`` maps a label to ``(scheme, needs_drfb)``; DRFB-requiring
-    schemes run against the DRFB-extended panel.
+    schemes run against the DRFB-extended panel.  ``frames`` may be a
+    materialised list or any :class:`FrameSource`; ``retain`` selects
+    full timelines vs streaming :class:`TimelineSummary` aggregation.
     """
     model = PowerModel(extras=extras) if extras else PowerModel()
     base_run = FrameWindowSimulator(config, baseline).run(
-        frames, fps, vr_work=vr_work
+        frames, fps, vr_work=vr_work, max_windows=max_windows,
+        retain=retain,
     )
     base_report = model.report(base_run)
     candidates: dict[str, EnergyReport] = {}
@@ -74,7 +79,8 @@ def compare_schemes(
     for label, (scheme, needs_drfb) in schemes.items():
         scheme_config = config.with_drfb() if needs_drfb else config
         run = FrameWindowSimulator(scheme_config, scheme).run(
-            frames, fps, vr_work=vr_work
+            frames, fps, vr_work=vr_work, max_windows=max_windows,
+            retain=retain,
         )
         candidates[label] = model.report(run)
         runs[label] = run

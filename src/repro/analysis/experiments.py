@@ -20,6 +20,7 @@ Fig. 13   :func:`fig13_fbc_comparison`
 Sec. 6.4  :func:`sec64_related_work`
 Fig. 14a  :func:`fig14a_local_playback`
 Fig. 14b  :func:`fig14b_mobile_workloads`
+Standby   :func:`standby_ambient` (ambient screen-on extension)
 ========  ==========================================================
 
 The benchmark harness (``benchmarks/``) wraps these and prints the same
@@ -59,6 +60,7 @@ from ..soc.cstates import PackageCState
 from ..video.source import AnalyticContentModel
 from ..workloads.browsing import browsing_timeline
 from ..workloads.mobile import MOBILE_WORKLOADS, mobile_workload_run
+from ..workloads.standby import AmbientStandbyWorkload, ambient_standby_run
 from ..workloads.video import PlanarVideoWorkload, local_playback_run
 from ..workloads.vr import VR_WORKLOADS, vr_streaming_run
 from .energy import compare_schemes, energy_reduction
@@ -137,7 +139,11 @@ def _timeline_result(scheme_factory, needs_drfb: bool) -> TimelineResult:
     residencies = {}
     for fps in (30.0, 60.0):
         scheme = scheme_factory()
-        run = FrameWindowSimulator(config, scheme).run(frames, fps)
+        # These figures draw individual segments, so the run must keep
+        # its full timeline regardless of the process retain default.
+        run = FrameWindowSimulator(config, scheme).run(
+            frames, fps, retain="full"
+        )
         runs[fps] = run
         # Pattern over the first two windows, the unit Fig. 3/6/7 draw.
         two_windows = [
@@ -500,17 +506,84 @@ def sec64_related_work(fps: float = 30.0) -> Sec64Result:
         workload="sec64-4k",
     )
     base_bw = (
-        comparison.runs["baseline"].timeline.dram_total_bytes
+        comparison.runs["baseline"].dram_total_bytes
         / comparison.runs["baseline"].duration
     )
     bw_reduction = {}
     for label in ("zhang", "vip", "burstlink"):
         run = comparison.runs[label]
-        bw = run.timeline.dram_total_bytes / run.duration
+        bw = run.dram_total_bytes / run.duration
         bw_reduction[label] = 1.0 - bw / base_bw
     return Sec64Result(
         reductions=comparison.reductions(),
         dram_bw_reduction=bw_reduction,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Standby — ambient screen-on extension (streaming summary + collapsing)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StandbyAmbientResult:
+    """Ambient (screen-on, rarely-updating) standby under both schemes.
+
+    Runs in ``retain="summary"`` mode with repeat-window collapsing —
+    the exhibit that exercises the streaming path end to end.
+    """
+
+    duration_s: float
+    update_fps: float
+    power_mw: dict[str, float]
+    residencies: dict[str, dict[PackageCState, float]]
+    #: Fraction of windows that were repeats (collapse candidates).
+    repeat_fraction: dict[str, float]
+
+    @property
+    def reduction(self) -> float:
+        """BurstLink's fractional power reduction vs conventional."""
+        return 1.0 - self.power_mw["burstlink"] / self.power_mw["conventional"]
+
+
+def standby_ambient(
+    duration_s: float = 60.0,
+    update_fps: float = 0.2,
+) -> StandbyAmbientResult:
+    """Ambient standby: a static FHD screen updating every few seconds.
+
+    Nearly every window repeats the previous one, so this is the
+    repeat-window-collapsing showcase: conventional vs BurstLink average
+    power from :class:`~repro.pipeline.TimelineSummary` aggregation
+    alone (no full timeline is ever materialised).
+    """
+    workload = AmbientStandbyWorkload(
+        duration_s=duration_s, update_fps=update_fps
+    )
+    model = PowerModel(
+        extras=PlatformExtras(streaming=False, local_playback=False)
+    )
+    power: dict[str, float] = {}
+    residencies: dict[str, dict[PackageCState, float]] = {}
+    repeat_fraction: dict[str, float] = {}
+    for label, scheme, with_drfb in (
+        ("conventional", ConventionalScheme(), False),
+        ("burstlink", BurstLinkScheme(), True),
+    ):
+        run = ambient_standby_run(
+            workload, scheme, with_drfb=with_drfb, retain="summary"
+        )
+        power[label] = model.report(run).average_power_mw
+        residencies[label] = run.residency_fractions()
+        repeat_fraction[label] = (
+            run.stats.repeat_windows / run.stats.windows
+        )
+    return StandbyAmbientResult(
+        duration_s=duration_s,
+        update_fps=update_fps,
+        power_mw=power,
+        residencies=residencies,
+        repeat_fraction=repeat_fraction,
     )
 
 

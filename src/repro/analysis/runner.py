@@ -65,12 +65,22 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..pipeline import sim
 from ..pipeline.sim import RunResult, RunStats
-from ..pipeline.timeline import PanelMode, Segment, Timeline, VdMode
+from ..pipeline.timeline import (
+    ClassTotals,
+    PanelMode,
+    Segment,
+    SegmentClass,
+    Timeline,
+    TimelineSummary,
+    VdMode,
+)
 from ..soc.cstates import PackageCState
 
 #: On-disk payload schema version; bump on any layout change so stale
-#: cache files read as misses instead of garbage.
-_DISK_FORMAT = 1
+#: cache files read as misses instead of garbage.  Format 2 added the
+#: online timeline summary and made the segment list optional
+#: (``retain="summary"`` runs persist without one).
+_DISK_FORMAT = 2
 
 #: Default number of runs the in-process LRU retains.
 DEFAULT_CAPACITY = 128
@@ -157,10 +167,94 @@ def _segment_from_record(record: list[Any]) -> Segment:
     )
 
 
+def _class_to_record(
+    cls_key: SegmentClass, totals: ClassTotals
+) -> list[Any]:
+    return [
+        cls_key.state.name,
+        cls_key.transition,
+        cls_key.cpu_active,
+        cls_key.gpu_active,
+        cls_key.vd_mode.name,
+        cls_key.dc_active,
+        cls_key.panel_mode.name,
+        cls_key.drfb_active,
+        cls_key.edp_active,
+        cls_key.label,
+        cls_key.window_kind,
+        totals.seconds,
+        totals.segments,
+        totals.dram_read_bytes,
+        totals.dram_write_bytes,
+        totals.edp_bytes,
+    ]
+
+
+def _class_from_record(
+    record: list[Any],
+) -> tuple[SegmentClass, ClassTotals]:
+    cls_key = SegmentClass(
+        state=PackageCState[record[0]],
+        transition=record[1],
+        cpu_active=record[2],
+        gpu_active=record[3],
+        vd_mode=VdMode[record[4]],
+        dc_active=record[5],
+        panel_mode=PanelMode[record[6]],
+        drfb_active=record[7],
+        edp_active=record[8],
+        label=record[9],
+        window_kind=record[10],
+    )
+    totals = ClassTotals(
+        seconds=record[11],
+        segments=record[12],
+        dram_read_bytes=record[13],
+        dram_write_bytes=record[14],
+        edp_bytes=record[15],
+    )
+    return cls_key, totals
+
+
+def _summary_to_payload(summary: TimelineSummary) -> dict[str, Any]:
+    return {
+        "start": summary.start,
+        "end": summary.end,
+        "windows": summary.windows,
+        "window_counts": dict(summary.window_counts),
+        # JSON object keys must be strings; durations ride as pairs.
+        "window_durations": [
+            [duration, count]
+            for duration, count in summary.window_durations.items()
+        ],
+        "buckets": [
+            _class_to_record(cls_key, totals)
+            for cls_key, totals in summary.buckets.items()
+        ],
+    }
+
+
+def _summary_from_payload(payload: dict[str, Any]) -> TimelineSummary:
+    return TimelineSummary(
+        start=payload["start"],
+        end=payload["end"],
+        windows=payload["windows"],
+        window_counts=dict(payload["window_counts"]),
+        window_durations={
+            duration: count
+            for duration, count in payload["window_durations"]
+        },
+        buckets=dict(
+            _class_from_record(record) for record in payload["buckets"]
+        ),
+    )
+
+
 def run_to_payload(run: RunResult) -> dict[str, Any]:
     """A :class:`RunResult` as a JSON-ready dictionary that
     :func:`run_from_payload` restores exactly (floats round-trip
-    bit-for-bit through JSON's shortest-repr encoding)."""
+    bit-for-bit through JSON's shortest-repr encoding).  Summary-only
+    runs serialize with ``segments: null``."""
     return {
         "format": _DISK_FORMAT,
         "scheme": run.scheme,
@@ -168,9 +262,16 @@ def run_to_payload(run: RunResult) -> dict[str, Any]:
         "cache_key": run.cache_key,
         "config": _config_to_payload(run.config),
         "stats": dataclasses.asdict(run.stats),
-        "segments": [
-            _segment_to_record(segment) for segment in run.timeline
-        ],
+        "segments": (
+            None
+            if run.timeline is None
+            else [_segment_to_record(s) for s in run.timeline]
+        ),
+        "summary": (
+            None
+            if run.summary is None
+            else _summary_to_payload(run.summary)
+        ),
     }
 
 
@@ -181,14 +282,21 @@ def run_from_payload(payload: dict[str, Any]) -> RunResult:
         raise ConfigurationError(
             f"unsupported cache payload format {payload.get('format')!r}"
         )
+    segments = payload["segments"]
+    summary = payload.get("summary")
     return RunResult(
         scheme=payload["scheme"],
         config=_config_from_payload(payload["config"]),
-        timeline=Timeline(
-            [_segment_from_record(r) for r in payload["segments"]]
+        timeline=(
+            None
+            if segments is None
+            else Timeline([_segment_from_record(r) for r in segments])
         ),
         stats=RunStats(**payload["stats"]),
         video_fps=payload["video_fps"],
+        summary=(
+            None if summary is None else _summary_from_payload(summary)
+        ),
         cache_key=payload["cache_key"],
     )
 
@@ -247,9 +355,16 @@ class SimulationCache:
         return RunResult(
             scheme=run.scheme,
             config=run.config,
-            timeline=Timeline(list(run.timeline.segments)),
+            timeline=(
+                None
+                if run.timeline is None
+                else Timeline(list(run.timeline.segments))
+            ),
             stats=dataclasses.replace(run.stats),
             video_fps=run.video_fps,
+            summary=(
+                None if run.summary is None else run.summary.copy()
+            ),
             cache_key=run.cache_key,
         )
 
@@ -467,6 +582,7 @@ def exhibit_registry() -> dict[str, Callable[[], Any]]:
         "sec64": experiments.sec64_related_work,
         "fig14a": experiments.fig14a_local_playback,
         "fig14b": experiments.fig14b_mobile_workloads,
+        "standby": experiments.standby_ambient,
     }
 
 
@@ -562,15 +678,18 @@ def _exhibit_task(
     cache_dir: str | None,
     context: "dist.TraceContext | None" = None,
     task_index: int = 0,
+    retain: str | None = None,
 ) -> ExhibitOutcome:
     """Worker-process entry point: configure the worker's cache (or
-    disable memoization when the parent traced with it disabled),
-    then regenerate one exhibit under the shard protocol so its spans,
-    metrics and heartbeats reach the parent."""
+    disable memoization when the parent traced with it disabled) and
+    the retain default, then regenerate one exhibit under the shard
+    protocol so its spans, metrics and heartbeats reach the parent."""
     if context is not None and context.disable_memo:
         sim.install_run_memo(None)
     else:
         _apply_cache_dir(cache_dir)
+    if retain is not None:
+        sim.set_default_retain(retain)
     if context is None:
         return run_exhibit(name)
     return dist.run_worker_task(
@@ -587,6 +706,7 @@ def run_exhibits(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
+    retain: str | None = None,
 ) -> list[ExhibitOutcome]:
     """Regenerate exhibits, fanning out over ``jobs`` worker processes.
 
@@ -594,6 +714,9 @@ def run_exhibits(
     request order and are bit-identical to a sequential run (every
     exhibit function is pure and deterministic).  ``cache_dir`` points
     all workers (and the sequential path) at one shared on-disk cache.
+    ``retain`` sets the simulator's retain default for the batch
+    (``"summary"`` drops per-segment timelines; exhibits that render
+    segment-level figures pin ``retain="full"`` on their own runs).
 
     Telemetry survives the fan-out: when a tracer is installed in the
     calling process, workers record per-task trace shards that merge
@@ -631,24 +754,31 @@ def run_exhibits(
     )
     if sequential:
         _apply_cache_dir(cache_dir)
-        outcomes = []
-        for index, name in enumerate(selected):
-            if monitor is not None:
-                monitor.feed(
-                    dist.progress_record("start", index, name)
-                )
-            outcome = run_exhibit(name)
-            if monitor is not None:
-                monitor.feed(
-                    dist.progress_record(
-                        "done",
-                        index,
-                        name,
-                        **_metrics_heartbeat(outcome),
+        previous_retain = (
+            sim.set_default_retain(retain) if retain is not None else None
+        )
+        try:
+            outcomes = []
+            for index, name in enumerate(selected):
+                if monitor is not None:
+                    monitor.feed(
+                        dist.progress_record("start", index, name)
                     )
-                )
-            outcomes.append(outcome)
-        return outcomes
+                outcome = run_exhibit(name)
+                if monitor is not None:
+                    monitor.feed(
+                        dist.progress_record(
+                            "done",
+                            index,
+                            name,
+                            **_metrics_heartbeat(outcome),
+                        )
+                    )
+                outcomes.append(outcome)
+            return outcomes
+        finally:
+            if previous_retain is not None:
+                sim.set_default_retain(previous_retain)
     context = dist.new_context(
         collect_trace=tracer is not None,
         disable_memo=sim.active_run_memo() is None,
@@ -663,6 +793,7 @@ def run_exhibits(
                     None if cache_dir is None else str(cache_dir),
                     context,
                     index,
+                    retain,
                 )
                 for index, name in enumerate(selected)
             ]

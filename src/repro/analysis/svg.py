@@ -159,6 +159,7 @@ def write_figures(
     jobs: int = 1,
     metrics_sink: list | None = None,
     progress=None,
+    retain: str | None = None,
 ) -> list[Path]:
     """Regenerate the headline evaluation figures as SVG files.
 
@@ -178,7 +179,7 @@ def write_figures(
     written: list[Path] = []
 
     outcomes = run_exhibits(
-        FIGURE_EXHIBITS, jobs=jobs, progress=progress
+        FIGURE_EXHIBITS, jobs=jobs, progress=progress, retain=retain
     )
     results = {outcome.name: outcome.result for outcome in outcomes}
     if metrics_sink is not None:

@@ -33,6 +33,10 @@ class VipScheme:
     #: VIP trims CPU orchestration by chaining IP invocations.
     orchestration_scale: float = 0.8
 
+    def plan_key(self) -> tuple:
+        """Collapse key: VIP keeps no per-window state."""
+        return (self.name, self.orchestration_scale)
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Plan one refresh window under VIP."""
         if not ctx.window.is_new_frame:

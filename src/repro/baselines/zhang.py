@@ -53,6 +53,12 @@ class ZhangScheme(ConventionalScheme):
         self.writeback_scale = 1.0 - self.content_cache_saving
         self.fetch_scale = 1.0 - self.display_cache_saving
 
+    def plan_key(self) -> tuple:
+        """Collapse key: the batch geometry joins the inherited traffic
+        knobs (the batch *position* is window state and is covered by
+        the collapse key's frame index)."""
+        return super().plan_key() + (self.batch_size, self.boost)
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Batch decode: every ``batch_size``-th new frame decodes the
         whole batch at boosted frequency; the other new-frame windows

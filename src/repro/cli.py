@@ -77,6 +77,7 @@ def cmd_list(_: argparse.Namespace) -> str:
         ("fig13", "Fig. 13: frame-buffer compression comparison"),
         ("fig14", "Fig. 14: local playback + mobile workloads"),
         ("sec64", "Sec. 6.4: Zhang et al. and VIP at 4K"),
+        ("standby", "ambient standby via the streaming summary path"),
         ("timeline", "Fig. 3/6/7-style text timeline for a scheme"),
         ("battery", "battery-life impact for a streaming session"),
         ("export", "a simulated run as JSON/CSV for plotting"),
@@ -265,6 +266,33 @@ def cmd_sec64(_: argparse.Namespace) -> str:
     )
 
 
+def cmd_standby(args: argparse.Namespace) -> str:
+    """Ambient (screen-on, rarely-updating) standby under conventional
+    vs BurstLink, simulated through the streaming summary path with
+    repeat-window collapsing."""
+    result = experiments.standby_ambient(
+        duration_s=args.duration, update_fps=args.update_fps
+    )
+    rows = [
+        (
+            label,
+            f"{result.power_mw[label]:.0f}",
+            f"{result.repeat_fraction[label] * 100:.1f}%",
+        )
+        for label in ("conventional", "burstlink")
+    ]
+    return "\n\n".join(
+        [
+            f"ambient standby: {args.duration:g}s at "
+            f"{args.update_fps:g} updates/s (FHD, 60 Hz)",
+            format_table(
+                ("scheme", "avg mW", "repeat windows"), rows
+            ),
+            f"reduction: {result.reduction:.1%}",
+        ]
+    )
+
+
 def cmd_timeline(args: argparse.Namespace) -> str:
     """A Fig. 3/6/7-style drawing of a scheme's first windows."""
     factory, needs_drfb = _SCHEMES[args.scheme]
@@ -387,7 +415,7 @@ def cmd_profile(args: argparse.Namespace) -> str:
         render_profile,
     )
 
-    profile = profile_exhibit(args.exhibit)
+    profile = profile_exhibit(args.exhibit, retain=args.retain)
     if args.json:
         return profile.to_json(indent=2)
     return render_profile(profile)
@@ -443,6 +471,7 @@ def cmd_figures(args: argparse.Namespace) -> str:
                 jobs=args.jobs,
                 metrics_sink=metrics,
                 progress=progress,
+                retain=args.retain,
             )
         tracer.write(args.trace)
     else:
@@ -451,6 +480,7 @@ def cmd_figures(args: argparse.Namespace) -> str:
             jobs=args.jobs,
             metrics_sink=metrics,
             progress=progress,
+            retain=args.retain,
         )
     lines = [f"wrote {path}" for path in written]
     lines.append(f"{len(written)} figures in {args.out}")
@@ -633,6 +663,17 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--fps", type=float, default=30.0)
     timeline.set_defaults(handler=cmd_timeline)
 
+    standby = commands.add_parser("standby", help=cmd_standby.__doc__)
+    standby.add_argument(
+        "--duration", type=float, default=60.0,
+        help="simulated seconds (default 60)",
+    )
+    standby.add_argument(
+        "--update-fps", type=float, default=0.2,
+        help="content updates per second (default 0.2: every 5 s)",
+    )
+    standby.set_defaults(handler=cmd_standby)
+
     figures = commands.add_parser("figures", help=cmd_figures.__doc__)
     figures.add_argument(
         "--out", default="figures", help="output directory"
@@ -655,6 +696,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="stream per-exhibit progress lines to stderr (live "
              "worker heartbeats under --jobs)",
+    )
+    figures.add_argument(
+        "--retain", choices=("full", "summary"), default=None,
+        help="simulator retain mode for the batch (default: current "
+             "process behavior; 'summary' streams runs through the "
+             "online timeline summary — exhibits that draw individual "
+             "segments still pin full retention on their own runs)",
     )
     figures.set_defaults(handler=cmd_figures)
 
@@ -690,6 +738,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--json", action="store_true",
         help="emit the profile as JSON instead of aligned text",
+    )
+    profile.add_argument(
+        "--retain", choices=("full", "summary"), default="full",
+        help="capture retain mode (default full; 'summary' profiles "
+             "the streaming-aggregation path, folding the ledger from "
+             "the online timeline summary)",
     )
     profile.set_defaults(handler=cmd_profile)
 

@@ -45,6 +45,10 @@ class FrameBurstingScheme:
             )
         )
 
+    def plan_key(self) -> tuple:
+        """Collapse key: stateless (fixed firmware)."""
+        return (self.name,)
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Plan one refresh window with Frame Bursting only."""
         if not ctx.window.is_new_frame:

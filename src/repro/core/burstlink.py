@@ -40,6 +40,11 @@ class BurstLinkScheme:
 
     # ------------------------------------------------------------------
 
+    def plan_key(self) -> tuple:
+        """Collapse key: the scheme is stateless (the PMU firmware is
+        fixed at construction), so identical windows plan identically."""
+        return (self.name,)
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Plan one refresh window under full BurstLink."""
         if not ctx.window.is_new_frame:

@@ -46,6 +46,10 @@ class FrameBufferBypassScheme:
             )
         )
 
+    def plan_key(self) -> tuple:
+        """Collapse key: stateless (fixed firmware)."""
+        return (self.name,)
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Plan one refresh window with Frame Buffer Bypass only."""
         if not ctx.window.is_new_frame:

@@ -17,7 +17,12 @@ from typing import Callable
 
 from ..config import FHD, skylake_tablet
 from ..errors import ConfigurationError
-from ..pipeline.sim import FrameWindowSimulator, RunResult, install_run_memo
+from ..pipeline.sim import (
+    FrameWindowSimulator,
+    RunResult,
+    install_run_memo,
+    set_default_retain,
+)
 from ..power.model import PowerModel
 from ..video.source import AnalyticContentModel
 from .trace import Tracer, tracing
@@ -71,22 +76,32 @@ GOLDEN_EXHIBITS: dict[str, Callable[[], RunResult]] = {
 }
 
 
-def capture_trace(exhibit: str) -> tuple[Tracer, RunResult]:
+def capture_trace(
+    exhibit: str, retain: str = "full"
+) -> tuple[Tracer, RunResult]:
     """Trace one canonical exhibit: simulate it and evaluate the power
     model with a fresh tracer installed and memoization disabled, so
-    the captured event stream is complete and reproducible."""
+    the captured event stream is complete and reproducible.
+
+    Full timeline retention is pinned for the capture by default: the
+    golden JSONL bytes must not depend on whatever retain default the
+    surrounding process happens to run with.  Pass
+    ``retain="summary"`` to capture the streaming-aggregation path
+    instead (``repro profile --retain summary``)."""
     if exhibit not in GOLDEN_EXHIBITS:
         raise ConfigurationError(
             f"unknown trace exhibit {exhibit!r}; "
             f"known: {', '.join(GOLDEN_EXHIBITS)}"
         )
     previous_memo = install_run_memo(None)
+    previous_retain = set_default_retain(retain)
     try:
         with tracing() as tracer:
             run = GOLDEN_EXHIBITS[exhibit]()
             PowerModel().report(run)
     finally:
         install_run_memo(previous_memo)
+        set_default_retain(previous_retain)
     return tracer, run
 
 

@@ -323,8 +323,15 @@ def energy_ledger(
     from :meth:`PowerModel.segment_component_powers` — the same
     composition the model's run-level report integrates, so the ledger
     reconciles with it exactly.
+
+    Summary-only runs (``retain="summary"``) have no per-segment
+    timeline to join against; their ledger comes straight from the
+    :class:`~repro.pipeline.timeline.TimelineSummary` buckets, whose
+    ``window_kind`` axis the simulator recorded online.
     """
     model = model if model is not None else PowerModel()
+    if run.timeline is None:
+        return _summary_ledger(run, model)
     starts = [w.start_t for w in windows]
     cells: dict[tuple[str, str, str], float] = {}
     total = 0.0
@@ -342,6 +349,35 @@ def energy_ledger(
             segment, run.config.panel
         ).items():
             energy = power * duration
+            if energy == 0.0:
+                continue
+            cells[(key, state, kind)] = (
+                cells.get((key, state, kind), 0.0) + energy
+            )
+            total += energy
+    rows = [
+        LedgerRow(component=c, state=s, window_kind=k, energy_mj=e)
+        for (c, s, k), e in sorted(cells.items())
+    ]
+    return EnergyLedger(rows=rows, total_mj=total)
+
+
+def _summary_ledger(run: RunResult, model: PowerModel) -> EnergyLedger:
+    """The ledger of a summary-only run, folded from its
+    :class:`~repro.pipeline.timeline.TimelineSummary` buckets via the
+    same per-class composition the model's summary report integrates."""
+    if run.summary is None:
+        raise SimulationError(
+            "run retains neither a timeline nor a summary"
+        )
+    cells: dict[tuple[str, str, str], float] = {}
+    total = 0.0
+    for cls_key, totals in run.summary.buckets.items():
+        state = state_id(cls_key.state.reporting_state)
+        kind = cls_key.window_kind or OUTSIDE_WINDOWS
+        for key, energy in model.class_component_energies(
+            cls_key, totals, run.config.panel
+        ).items():
             if energy == 0.0:
                 continue
             cells[(key, state, kind)] = (
@@ -550,11 +586,17 @@ def profile_capture(
     )
 
 
-def profile_exhibit(exhibit: str) -> ExhibitProfile:
-    """Capture one canonical exhibit and profile it end to end."""
+def profile_exhibit(
+    exhibit: str, retain: str = "full"
+) -> ExhibitProfile:
+    """Capture one canonical exhibit and profile it end to end.
+
+    ``retain="summary"`` profiles the streaming-aggregation path: the
+    run keeps no per-segment timeline and the ledger folds from the
+    online summary's buckets instead of the trace/timeline join."""
     from .golden import capture_trace
 
-    tracer, run = capture_trace(exhibit)
+    tracer, run = capture_trace(exhibit, retain=retain)
     return profile_capture(exhibit, tracer, run)
 
 

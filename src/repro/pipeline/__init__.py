@@ -2,7 +2,14 @@
 scheduler, the run-level simulator, and the conventional (PSR-baseline)
 display scheme (paper Secs. 2.5 and 3)."""
 
-from .timeline import PanelMode, Segment, Timeline, VdMode
+from .timeline import (
+    PanelMode,
+    Segment,
+    SegmentClass,
+    Timeline,
+    TimelineSummary,
+    VdMode,
+)
 from .builder import TimelineBuilder
 from .sim import (
     DisplayScheme,
@@ -11,6 +18,8 @@ from .sim import (
     RunStats,
     WindowContext,
     WindowResult,
+    default_retain,
+    set_default_retain,
 )
 from .conventional import ConventionalScheme
 
@@ -22,9 +31,13 @@ __all__ = [
     "RunResult",
     "RunStats",
     "Segment",
+    "SegmentClass",
     "Timeline",
     "TimelineBuilder",
+    "TimelineSummary",
     "VdMode",
     "WindowContext",
     "WindowResult",
+    "default_retain",
+    "set_default_retain",
 ]

@@ -61,6 +61,20 @@ class ConventionalScheme:
 
     # ------------------------------------------------------------------
 
+    def plan_key(self) -> tuple:
+        """The scheme's mutable planning state, for repeat-window
+        collapsing: two windows plan identically (up to a time shift)
+        whenever this key, the window kind, the frame, and the entry
+        state all match.  Derived baselines that mutate the traffic
+        knobs (e.g. FBC re-deriving ``extra_c0_per_frame`` per frame)
+        are covered because the knobs are part of the key."""
+        return (
+            self.name,
+            self.writeback_scale,
+            self.fetch_scale,
+            self.extra_c0_per_frame,
+        )
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Plan one refresh window of the conventional pipeline."""
         if ctx.window.is_new_frame:

@@ -14,7 +14,7 @@ import dataclasses
 import enum
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Protocol
+from typing import Any, Protocol, Sequence
 
 from ..config import SystemConfig
 from ..display.timing import RefreshTiming, WindowPlan
@@ -22,8 +22,12 @@ from ..errors import DeadlineMissError, SimulationError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..soc.cstates import PackageCState
-from ..video.source import FrameDescriptor
-from .timeline import Timeline
+from ..video.source import FrameDescriptor, FrameSource, as_frame_source
+from .timeline import Timeline, TimelineSummary
+
+#: What a run keeps: the full per-segment timeline, or only the online
+#: summary (O(1) memory for hours-long traces).
+RETAIN_MODES = ("full", "summary")
 
 
 @dataclass(frozen=True)
@@ -113,10 +117,18 @@ class RunStats:
     bypassed_windows: int = 0
     burst_windows: int = 0
 
-    def record(self, plan: WindowPlan, result: WindowResult) -> None:
-        """Fold one window into the totals."""
+    def record(self, plan: WindowPlan, result: WindowResult,
+               new_frame: bool | None = None) -> None:
+        """Fold one window into the totals.
+
+        ``new_frame``, when given, overrides the plan's own kind: the
+        simulator passes the *effective* kind, so a clamped window that
+        re-presents the exhausted stream's last frame counts as a repeat
+        even though the cadence called for a new frame (otherwise
+        ``effective_fps`` would be inflated).
+        """
         self.windows += 1
-        if plan.is_new_frame:
+        if plan.is_new_frame if new_frame is None else new_frame:
             self.new_frame_windows += 1
         else:
             self.repeat_windows += 1
@@ -129,22 +141,44 @@ class RunStats:
 
 @dataclass
 class RunResult:
-    """A complete simulated run: timeline, stats, and identity."""
+    """A complete simulated run: timeline and/or summary, stats, and
+    identity.
+
+    ``timeline`` is ``None`` for ``retain="summary"`` runs; ``summary``
+    is always populated by the simulator.  Aggregate accessors
+    (duration, residencies, byte totals) read whichever representation
+    is present, so downstream consumers need not care about the retain
+    mode.
+    """
 
     scheme: str
     config: SystemConfig
-    timeline: Timeline
+    timeline: Timeline | None
     stats: RunStats
     video_fps: float
+    #: Online aggregation of the run (always built by the simulator).
+    summary: TimelineSummary | None = None
     #: Content hash of the run's full input descriptor (config, scheme
     #: identity + state, frames, cadence); ``None`` when the inputs were
     #: not fingerprintable.  Set by the simulator; memo layers key on it.
     cache_key: str | None = field(default=None, compare=False)
 
     @property
+    def aggregate(self) -> "Timeline | TimelineSummary":
+        """Whichever run-level aggregate is retained (the full timeline
+        when present, else the online summary)."""
+        if self.timeline is not None:
+            return self.timeline
+        if self.summary is not None:
+            return self.summary
+        raise SimulationError(
+            "run retains neither a timeline nor a summary"
+        )
+
+    @property
     def duration(self) -> float:
         """Simulated wall-clock seconds."""
-        return self.timeline.duration
+        return self.aggregate.duration
 
     @property
     def effective_fps(self) -> float:
@@ -160,7 +194,27 @@ class RunResult:
 
     def residency_fractions(self) -> dict[PackageCState, float]:
         """Package C-state residency over the whole run."""
-        return self.timeline.residency_fractions()
+        return self.aggregate.residency_fractions()
+
+    @property
+    def dram_read_bytes(self) -> float:
+        """Total bytes read from DRAM."""
+        return self.aggregate.dram_read_bytes
+
+    @property
+    def dram_write_bytes(self) -> float:
+        """Total bytes written to DRAM."""
+        return self.aggregate.dram_write_bytes
+
+    @property
+    def dram_total_bytes(self) -> float:
+        """Total DRAM traffic both directions."""
+        return self.aggregate.dram_total_bytes
+
+    @property
+    def edp_bytes(self) -> float:
+        """Total bytes moved over the eDP link."""
+        return self.aggregate.edp_bytes
 
 
 # ---------------------------------------------------------------------------
@@ -226,25 +280,47 @@ def freeze(value: Any) -> Any:
 def run_fingerprint(
     config: SystemConfig,
     scheme: DisplayScheme,
-    frames: list[FrameDescriptor],
+    frames: "FrameSource | Sequence[FrameDescriptor]",
     video_fps: float,
     vr_work: list[VrWork] | None = None,
     max_windows: int | None = None,
+    retain: str = "full",
 ) -> str | None:
     """A stable content hash identifying one simulator run, or ``None``
     when some input cannot be canonically frozen (such runs simply
-    bypass any installed memo)."""
+    bypass any installed memo).
+
+    ``frames`` may be a materialized list or any :class:`FrameSource`;
+    sources are fingerprinted through their ``fingerprint_token`` (O(1)
+    for generated streams).  ``retain`` is part of the key so a
+    summary-only cached run never serves a full-timeline caller.
+    Collapse state is deliberately *not* part of the key: collapsed and
+    fresh plans agree to float-shift precision (well inside the 1e-9
+    parity budget), and keying on it would make traced runs (collapse
+    off) miss the memo populated by untraced ones.
+    """
+    if isinstance(frames, (list, tuple)):
+        frames_token: Any = ("frames/list", tuple(frames))
+    else:
+        token = getattr(frames, "fingerprint_token", None)
+        if token is None:
+            return None
+        try:
+            frames_token = token()
+        except TypeError:
+            return None
     try:
         descriptor = freeze(
             (
-                "run/v1",
+                "run/v2",
                 config,
                 type(scheme).__qualname__,
                 scheme,
-                frames,
+                frames_token,
                 float(video_fps),
                 vr_work,
                 max_windows,
+                retain,
             )
         )
     except TypeError:
@@ -283,6 +359,40 @@ def active_run_memo() -> RunMemo | None:
     return _active_memo
 
 
+#: Process-wide retain default used when ``run(retain=None)``.
+_default_retain = "full"
+
+
+def set_default_retain(mode: str) -> str:
+    """Set the process-wide retain default; returns the previous mode.
+
+    Workers running summary-only exhibits set this once instead of
+    threading ``retain=`` through every call site.
+    """
+    global _default_retain
+    if mode not in RETAIN_MODES:
+        raise SimulationError(f"unknown retain mode {mode!r}")
+    previous = _default_retain
+    _default_retain = mode
+    return previous
+
+
+def default_retain() -> str:
+    """The process-wide retain default."""
+    return _default_retain
+
+
+@dataclass
+class _CollapseEntry:
+    """The memoized previous window for repeat-window collapsing."""
+
+    key: tuple
+    start: float
+    result: WindowResult
+    digest: TimelineSummary
+    final_state: PackageCState
+
+
 @dataclass
 class FrameWindowSimulator:
     """Walks the refresh cadence and applies a scheme window by window."""
@@ -293,42 +403,81 @@ class FrameWindowSimulator:
 
     def run(
         self,
-        frames: list[FrameDescriptor],
+        frames: "FrameSource | Sequence[FrameDescriptor]",
         video_fps: float,
         vr_work: list[VrWork] | None = None,
         max_windows: int | None = None,
+        retain: str | None = None,
+        collapse: bool | None = None,
     ) -> RunResult:
         """Simulate displaying ``frames`` at ``video_fps``.
 
-        ``vr_work`` (parallel to ``frames``) marks a VR run.  The run
-        covers every window needed to present all frames, or
-        ``max_windows`` if given.
+        ``frames`` may be a materialized list or any
+        :class:`~repro.video.source.FrameSource`; the simulator pulls at
+        most one frame per new-frame window, so streaming sources run in
+        O(1) frame memory.  ``vr_work`` (parallel to ``frames``) marks a
+        VR run.  The run covers every window needed to present all
+        frames, or ``max_windows`` if given (mandatory for length-less
+        sources).
+
+        ``retain`` selects what the result keeps: ``"full"`` (the
+        per-segment timeline, the historical behavior) or ``"summary"``
+        (only the online :class:`TimelineSummary`); ``None`` defers to
+        :func:`default_retain`.  ``collapse`` enables repeat-window
+        collapsing — consecutive windows identical in (scheme state,
+        kind, frame, entry state) replay the memoized previous plan,
+        time-shifted — and defaults to on whenever the scheme exposes
+        ``plan_key()``.  Collapsing is always disabled while a tracer is
+        active, keeping golden traces byte-stable.
         """
-        if not frames:
+        retain_mode = _default_retain if retain is None else retain
+        if retain_mode not in RETAIN_MODES:
+            raise SimulationError(f"unknown retain mode {retain_mode!r}")
+        source = as_frame_source(frames)
+        try:
+            frame_count: int | None = len(source)  # type: ignore[arg-type]
+        except TypeError:
+            frame_count = None
+        if frame_count == 0:
             raise SimulationError("cannot simulate an empty frame list")
-        if vr_work is not None and len(vr_work) != len(frames):
+        if (
+            vr_work is not None
+            and frame_count is not None
+            and len(vr_work) != frame_count
+        ):
             raise SimulationError(
                 "vr_work must parallel frames "
-                f"({len(vr_work)} vs {len(frames)})"
+                f"({len(vr_work)} vs {frame_count})"
             )
+        tracer = obs_trace.active()
+        collapse_enabled = (
+            tracer is None
+            and getattr(self.scheme, "plan_key", None) is not None
+            and (collapse is None or collapse)
+        )
         memo = _active_memo
         key = None
         if memo is not None:
             key = run_fingerprint(
-                self.config, self.scheme, frames, video_fps,
+                self.config, self.scheme, source, video_fps,
                 vr_work=vr_work, max_windows=max_windows,
+                retain=retain_mode,
             )
             if key is not None:
                 cached = memo.load(key)
                 if cached is not None:
                     return cached
         timing = RefreshTiming(self.config.panel.refresh_hz, video_fps)
-        window_count = (
-            max_windows
-            if max_windows is not None
-            else int(round(len(frames) * timing.windows_per_frame))
-        )
-        tracer = obs_trace.active()
+        if max_windows is not None:
+            window_count = max_windows
+        elif frame_count is not None:
+            window_count = int(
+                round(frame_count * timing.windows_per_frame)
+            )
+        else:
+            raise SimulationError(
+                "a frame source without a length needs max_windows"
+            )
         run_span = None
         if tracer is not None:
             run_span = tracer.begin_span(
@@ -336,24 +485,58 @@ class FrameWindowSimulator:
                 t=0.0,
                 scheme=self.scheme.name,
                 video_fps=float(video_fps),
-                frames=len(frames),
+                frames=frame_count if frame_count is not None else -1,
                 windows=window_count,
                 vr=vr_work is not None,
             )
         stats = RunStats()
         timelines: list[Timeline] = []
+        summary = TimelineSummary()
         state = PackageCState.C0
         window_seconds = obs_metrics.registry().histogram(
             "sim.window_s", "planned refresh-window durations (s)",
             buckets=obs_metrics.LATENCY_BUCKETS,
         )
+        frame_iter = iter(source)
+        vr_iter = iter(vr_work) if vr_work is not None else None
+        try:
+            current_frame = next(frame_iter)
+        except StopIteration:
+            raise SimulationError(
+                "cannot simulate an empty frame list"
+            ) from None
+        current_vr = next(vr_iter) if vr_iter is not None else None
+        pulled = 1
+        collapse_entry: _CollapseEntry | None = None
+        collapse_hits = 0
+        collapse_misses = 0
         for plan in timing.windows(window_count):
-            frame_index = min(plan.frame_index, len(frames) - 1)
+            while pulled <= plan.frame_index:
+                try:
+                    current_frame = next(frame_iter)
+                except StopIteration:
+                    break
+                if vr_iter is not None:
+                    try:
+                        current_vr = next(vr_iter)
+                    except StopIteration:
+                        raise SimulationError(
+                            "vr_work exhausted before frames "
+                            f"(frame {pulled})"
+                        ) from None
+                pulled += 1
+            #: The stream ran out and this window re-presents the last
+            #: frame: effectively a repeat regardless of the cadence.
+            clamped = plan.frame_index > pulled - 1
+            effective_new_frame = plan.is_new_frame and not clamped
+            effective_kind = (
+                "new_frame" if effective_new_frame else "repeat"
+            )
             ctx = WindowContext(
                 config=self.config,
                 window=plan,
-                frame=frames[frame_index],
-                vr=vr_work[frame_index] if vr_work is not None else None,
+                frame=current_frame,
+                vr=current_vr,
                 initial_state=state,
             )
             window_span = None
@@ -363,10 +546,43 @@ class FrameWindowSimulator:
                     t=plan.start,
                     index=plan.index,
                     kind="new_frame" if plan.is_new_frame else "repeat",
-                    frame=frame_index,
+                    frame=pulled - 1,
                     initial_state=state,
                 )
             window_seconds.observe(plan.duration)
+            window_key: tuple | None = None
+            if collapse_enabled:
+                window_key = (
+                    self.scheme.plan_key(),
+                    plan.kind,
+                    plan.frame_index if plan.is_new_frame else None,
+                    current_frame,
+                    current_vr,
+                    state,
+                    plan.duration,
+                )
+            if (
+                collapse_entry is not None
+                and window_key is not None
+                and collapse_entry.key == window_key
+            ):
+                collapse_hits += 1
+                result = collapse_entry.result
+                digest = collapse_entry.digest
+                if retain_mode == "full":
+                    delta = plan.start - collapse_entry.start
+                    timelines.append(
+                        Timeline(
+                            [
+                                segment.shifted(delta)
+                                for segment in result.timeline.segments
+                            ]
+                        )
+                    )
+                stats.record(plan, result, new_frame=effective_new_frame)
+                summary.absorb(digest)
+                state = collapse_entry.final_state
+                continue
             result = self.scheme.plan_window(ctx)
             self._validate_window(plan, result)
             if result.deadline_missed and self.config.strict_deadlines:
@@ -374,9 +590,23 @@ class FrameWindowSimulator:
                     f"{self.scheme.name}: window {plan.index} missed its "
                     f"deadline"
                 )
-            stats.record(plan, result)
-            timelines.append(result.timeline)
+            stats.record(plan, result, new_frame=effective_new_frame)
+            digest = TimelineSummary.window_digest(
+                result.timeline, effective_kind, plan.duration
+            )
+            summary.absorb(digest)
+            if retain_mode == "full":
+                timelines.append(result.timeline)
             state = result.timeline.segments[-1].state
+            if collapse_enabled:
+                collapse_misses += 1
+                collapse_entry = _CollapseEntry(
+                    key=window_key,  # type: ignore[arg-type]
+                    start=plan.start,
+                    result=result,
+                    digest=digest,
+                    final_state=state,
+                )
             if tracer is not None:
                 for segment in result.timeline:
                     tracer.event(
@@ -401,9 +631,14 @@ class FrameWindowSimulator:
         run = RunResult(
             scheme=self.scheme.name,
             config=self.config,
-            timeline=Timeline.concatenate(timelines),
+            timeline=(
+                Timeline.concatenate(timelines)
+                if retain_mode == "full"
+                else None
+            ),
             stats=stats,
             video_fps=video_fps,
+            summary=summary,
             cache_key=key,
         )
         registry = obs_metrics.registry()
@@ -416,11 +651,24 @@ class FrameWindowSimulator:
         registry.counter(
             "sim.deadline_misses", "windows that missed their deadline"
         ).inc(stats.deadline_misses)
+        if collapse_enabled:
+            registry.counter(
+                "sim.collapse.hit",
+                "windows replayed from the repeat-window memo",
+            ).inc(collapse_hits)
+            registry.counter(
+                "sim.collapse.miss",
+                "windows planned fresh with collapsing enabled",
+            ).inc(collapse_misses)
         if tracer is not None:
             assert run_span is not None
             tracer.end_span(
                 run_span,
-                t=run.timeline.end,
+                t=(
+                    run.timeline.end
+                    if run.timeline is not None
+                    else summary.end
+                ),
                 windows=stats.windows,
                 new_frame_windows=stats.new_frame_windows,
                 repeat_windows=stats.repeat_windows,

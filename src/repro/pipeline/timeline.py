@@ -263,3 +263,258 @@ class Timeline:
         if not residencies:
             raise SimulationError("empty timeline has no dominant state")
         return max(residencies, key=lambda s: residencies[s])
+
+
+# ---------------------------------------------------------------------------
+# Online aggregation: the streaming alternative to a materialized timeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SegmentClass:
+    """The equivalence class of a segment for power purposes.
+
+    Two segments in the same class draw identical constant component
+    powers; everything else the power model charges is linear in the
+    class's accumulated seconds and byte totals.  ``edp_active`` captures
+    the ``edp_rate > 0`` discontinuity (link base power and panel receive
+    power apply only while the link carries payload).  ``window_kind``
+    keeps new-frame and repeat-window time separable for the profiler.
+    """
+
+    state: PackageCState
+    transition: bool
+    cpu_active: bool
+    gpu_active: bool
+    vd_mode: VdMode
+    dc_active: bool
+    panel_mode: PanelMode
+    drfb_active: bool
+    edp_active: bool
+    label: str = ""
+    window_kind: str = ""
+
+    @classmethod
+    def of(cls, segment: Segment, window_kind: str = "") -> "SegmentClass":
+        """The class of ``segment``."""
+        return cls(
+            state=segment.state,
+            transition=segment.transition,
+            cpu_active=segment.cpu_active,
+            gpu_active=segment.gpu_active,
+            vd_mode=segment.vd_mode,
+            dc_active=segment.dc_active,
+            panel_mode=segment.panel_mode,
+            drfb_active=segment.drfb_active,
+            edp_active=segment.edp_rate > 0,
+            label=segment.label,
+            window_kind=window_kind,
+        )
+
+
+@dataclass
+class ClassTotals:
+    """Accumulated quantities for one segment class."""
+
+    seconds: float = 0.0
+    segments: int = 0
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+    edp_bytes: float = 0.0
+
+    def add(self, other: "ClassTotals") -> None:
+        """Fold another totals record into this one."""
+        self.seconds += other.seconds
+        self.segments += other.segments
+        self.dram_read_bytes += other.dram_read_bytes
+        self.dram_write_bytes += other.dram_write_bytes
+        self.edp_bytes += other.edp_bytes
+
+    def copy(self) -> "ClassTotals":
+        return ClassTotals(
+            seconds=self.seconds,
+            segments=self.segments,
+            dram_read_bytes=self.dram_read_bytes,
+            dram_write_bytes=self.dram_write_bytes,
+            edp_bytes=self.edp_bytes,
+        )
+
+
+@dataclass
+class TimelineSummary:
+    """Online aggregation of a run: everything the power model and the
+    analysis layer read from a timeline, in O(classes) memory.
+
+    The simulator folds each window into a summary as it is planned, so
+    hours-long traces never materialize their segments.  Quantities
+    mirror :class:`Timeline`: residencies, transition count/time, DRAM
+    and eDP byte totals, plus a window-duration histogram.
+    """
+
+    start: float = 0.0
+    end: float = 0.0
+    windows: int = 0
+    #: window kind ("new_frame"/"repeat") -> count.
+    window_counts: dict[str, int] = field(default_factory=dict)
+    #: planned window duration (s) -> count.
+    window_durations: dict[float, int] = field(default_factory=dict)
+    buckets: dict[SegmentClass, ClassTotals] = field(default_factory=dict)
+
+    # -- accumulation ---------------------------------------------------------
+
+    def add_segment(self, segment: Segment, window_kind: str = "") -> None:
+        """Fold one segment into the totals (does not advance ``end``;
+        pair with :meth:`close_window` / :meth:`from_timeline`)."""
+        totals = self.buckets.setdefault(
+            SegmentClass.of(segment, window_kind), ClassTotals()
+        )
+        totals.seconds += segment.duration
+        totals.segments += 1
+        totals.dram_read_bytes += segment.dram_read_bytes
+        totals.dram_write_bytes += segment.dram_write_bytes
+        totals.edp_bytes += segment.edp_bytes
+
+    def close_window(self, kind: str, duration: float,
+                     covered: float) -> None:
+        """Record one completed window: its kind, its planned duration
+        (histogram), and the ``covered`` seconds its timeline spanned
+        (advances ``end``)."""
+        self.windows += 1
+        self.window_counts[kind] = self.window_counts.get(kind, 0) + 1
+        self.window_durations[duration] = (
+            self.window_durations.get(duration, 0) + 1
+        )
+        self.end += covered
+
+    def absorb(self, other: "TimelineSummary") -> None:
+        """Fold another summary (e.g. a memoized one-window digest) into
+        this one; ``other``'s time extent is appended after ``end``."""
+        for cls_key, totals in other.buckets.items():
+            mine = self.buckets.setdefault(cls_key, ClassTotals())
+            mine.add(totals)
+        self.windows += other.windows
+        for kind, count in other.window_counts.items():
+            self.window_counts[kind] = (
+                self.window_counts.get(kind, 0) + count
+            )
+        for duration, count in other.window_durations.items():
+            self.window_durations[duration] = (
+                self.window_durations.get(duration, 0) + count
+            )
+        self.end += other.end - other.start
+
+    @classmethod
+    def from_timeline(
+        cls, timeline: Timeline, window_kind: str = ""
+    ) -> "TimelineSummary":
+        """Summarise a materialized timeline exactly (same start/end)."""
+        summary = cls(start=timeline.start, end=timeline.start)
+        for segment in timeline:
+            summary.add_segment(segment, window_kind)
+        summary.end = timeline.end
+        return summary
+
+    @classmethod
+    def window_digest(
+        cls, timeline: Timeline, kind: str, duration: float
+    ) -> "TimelineSummary":
+        """A one-window digest suitable for :meth:`absorb` replay."""
+        digest = cls()
+        for segment in timeline:
+            digest.add_segment(segment, kind)
+        digest.close_window(kind, duration, timeline.duration)
+        return digest
+
+    def copy(self) -> "TimelineSummary":
+        """An independent deep copy."""
+        return TimelineSummary(
+            start=self.start,
+            end=self.end,
+            windows=self.windows,
+            window_counts=dict(self.window_counts),
+            window_durations=dict(self.window_durations),
+            buckets={
+                cls_key: totals.copy()
+                for cls_key, totals in self.buckets.items()
+            },
+        )
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Total covered time."""
+        return self.end - self.start
+
+    @property
+    def segment_count(self) -> int:
+        """Number of segments folded in."""
+        return sum(t.segments for t in self.buckets.values())
+
+    # -- residency accounting --------------------------------------------------
+
+    def residencies(
+        self, fold_prime: bool = True
+    ) -> dict[PackageCState, float]:
+        """Seconds per package C-state, mirroring
+        :meth:`Timeline.residencies`."""
+        seconds: dict[PackageCState, float] = {}
+        for cls_key, totals in self.buckets.items():
+            state = (
+                cls_key.state.reporting_state if fold_prime
+                else cls_key.state
+            )
+            seconds[state] = seconds.get(state, 0.0) + totals.seconds
+        return seconds
+
+    def residency_fractions(
+        self, fold_prime: bool = True
+    ) -> dict[PackageCState, float]:
+        """Fraction of total time per package C-state."""
+        total = self.duration
+        if total <= 0:
+            raise SimulationError(
+                "residency fractions need a non-empty summary"
+            )
+        return {
+            state: seconds / total
+            for state, seconds in self.residencies(fold_prime).items()
+        }
+
+    def transition_time(self) -> float:
+        """Total time spent inside entry/exit excursions."""
+        return sum(
+            totals.seconds
+            for cls_key, totals in self.buckets.items()
+            if cls_key.transition
+        )
+
+    def transition_count(self) -> int:
+        """Number of entry/exit excursions."""
+        return sum(
+            totals.segments
+            for cls_key, totals in self.buckets.items()
+            if cls_key.transition
+        )
+
+    # -- traffic ---------------------------------------------------------------
+
+    @property
+    def dram_read_bytes(self) -> float:
+        """Total bytes read from DRAM."""
+        return sum(t.dram_read_bytes for t in self.buckets.values())
+
+    @property
+    def dram_write_bytes(self) -> float:
+        """Total bytes written to DRAM."""
+        return sum(t.dram_write_bytes for t in self.buckets.values())
+
+    @property
+    def dram_total_bytes(self) -> float:
+        """Total DRAM traffic both directions."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def edp_bytes(self) -> float:
+        """Total bytes moved over the eDP link."""
+        return sum(t.edp_bytes for t in self.buckets.values())

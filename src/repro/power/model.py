@@ -23,7 +23,16 @@ from ..errors import SimulationError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..pipeline.sim import RunResult
-from ..pipeline.timeline import PanelMode, Segment, Timeline, VdMode
+from ..pipeline.timeline import (
+    ClassTotals,
+    PanelMode,
+    Segment,
+    SegmentClass,
+    Timeline,
+    TimelineSummary,
+    VdMode,
+)
+from ..units import to_gbps
 from ..soc.cstates import PackageCState
 from .calibration import SKYLAKE_TABLET_POWER, ComponentPowerLibrary
 
@@ -206,13 +215,189 @@ class PowerModel:
         """Total instantaneous power during ``segment`` (mW)."""
         return sum(self.segment_component_powers(segment, panel).values())
 
+    # -- per-class composition -----------------------------------------------------
+
+    def class_component_energies(
+        self,
+        cls_key: SegmentClass,
+        totals: ClassTotals,
+        panel: PanelConfig,
+    ) -> dict[str, float]:
+        """Energy per component (mJ) for one summary bucket.
+
+        Every component power is either constant over a segment class
+        (charged as power × accumulated seconds) or linear in a rate
+        whose time integral the bucket carries exactly (eDP payload
+        bytes, DRAM read/write bytes) — so summary-mode reports equal
+        timeline-mode reports up to float re-association.
+        """
+        lib = self.library
+        seconds = totals.seconds
+        energies = dict.fromkeys(COMPONENT_KEYS, 0.0)
+        energies["soc_floor"] = lib.floor(cls_key.state) * seconds
+        energies["always_on"] = lib.always_on * seconds
+        if cls_key.transition:
+            energies["transition"] = lib.transition_extra * seconds
+        if cls_key.cpu_active:
+            energies["cpu"] = lib.cpu_active * seconds
+        if cls_key.vd_mode is VdMode.ACTIVE:
+            energies["vd"] = lib.vd_active * seconds
+        elif cls_key.vd_mode is VdMode.LOW_POWER:
+            energies["vd"] = lib.vd_low_power * seconds
+        elif cls_key.vd_mode is VdMode.HALTED:
+            energies["vd"] = lib.vd_clock_gated * seconds
+        if cls_key.gpu_active:
+            energies["gpu"] = lib.gpu_active * seconds
+        if cls_key.dc_active:
+            # dc_power(rate) = dc_base + dc_mw_per_gbs * rate / 1e9;
+            # integrating the rate term over the bucket leaves its bytes.
+            energies["dc"] = (
+                lib.dc_base * seconds
+                + lib.dc_mw_per_gbs * totals.edp_bytes / 1e9
+            )
+        if cls_key.edp_active:
+            # edp_power is discontinuous at rate 0 (the link power-gates
+            # between transfers), which is why the class key carries the
+            # edp_active indicator.
+            energies["edp"] = (
+                lib.edp_base * seconds
+                + lib.edp_mw_per_gbps * to_gbps(totals.edp_bytes)
+            )
+        energies["panel"] = lib.panel_power(
+            panel,
+            displaying=cls_key.panel_mode is not PanelMode.OFF,
+            receiving=cls_key.edp_active,
+        ) * seconds
+        if cls_key.drfb_active:
+            energies["drfb"] = lib.drfb_active * seconds
+        energies["dram_background"] = (
+            lib.dram_background(cls_key.state) * seconds
+        )
+        energies["dram_traffic"] = lib.dram.traffic_energy(
+            totals.dram_read_bytes, totals.dram_write_bytes
+        )
+        energies["platform"] = self.extras.power(lib) * seconds
+        return energies
+
     # -- run-level evaluation ------------------------------------------------------
 
     def report(self, run: RunResult) -> EnergyReport:
-        """Evaluate the model over a simulated run."""
-        return self.report_timeline(
-            run.timeline, run.config.panel, scheme=run.scheme
+        """Evaluate the model over a simulated run (the full timeline
+        when retained, otherwise the online summary)."""
+        if run.timeline is not None:
+            return self.report_timeline(
+                run.timeline, run.config.panel, scheme=run.scheme
+            )
+        if run.summary is not None:
+            return self.report_summary(
+                run.summary, run.config.panel, scheme=run.scheme
+            )
+        raise SimulationError(
+            "run retains neither a timeline nor a summary"
         )
+
+    def report_summary(
+        self,
+        summary: TimelineSummary,
+        panel: PanelConfig,
+        scheme: str = "",
+    ) -> EnergyReport:
+        """Evaluate the model over an online timeline summary.
+
+        Emits the same trace events and metrics as
+        :meth:`report_timeline` and produces the same
+        :class:`EnergyReport` quantities (to float re-association) in
+        O(segment classes) work instead of O(segments).
+        """
+        if not summary.buckets:
+            raise SimulationError("cannot evaluate an empty summary")
+        tracer = obs_trace.active()
+        report_span = None
+        if tracer is not None:
+            report_span = tracer.begin_span(
+                "power.report",
+                t=summary.start,
+                scheme=scheme,
+                segments=summary.segment_count,
+            )
+        by_component = dict.fromkeys(COMPONENT_KEYS, 0.0)
+        state_energy: dict[PackageCState, float] = {}
+        state_seconds: dict[PackageCState, float] = {}
+        transition_energy = 0.0
+        for cls_key, totals in summary.buckets.items():
+            energies = self.class_component_energies(
+                cls_key, totals, panel
+            )
+            class_energy = 0.0
+            for key, energy in energies.items():
+                by_component[key] += energy
+                class_energy += energy
+            state = cls_key.state.reporting_state
+            state_energy[state] = (
+                state_energy.get(state, 0.0) + class_energy
+            )
+            state_seconds[state] = (
+                state_seconds.get(state, 0.0) + totals.seconds
+            )
+            if cls_key.transition:
+                transition_energy += class_energy
+        total = sum(by_component.values())
+        duration = summary.duration
+        if duration <= 0:
+            raise SimulationError("summary covers no time")
+        by_state = {
+            state: CStateSummary(
+                state=state,
+                residency_s=seconds,
+                residency_fraction=seconds / duration,
+                average_power_mw=(
+                    state_energy[state] / seconds if seconds > 0 else 0.0
+                ),
+                energy_mj=state_energy[state],
+            )
+            for state, seconds in state_seconds.items()
+        }
+        report = EnergyReport(
+            scheme=scheme,
+            duration_s=duration,
+            total_energy_mj=total,
+            by_component_mj=by_component,
+            by_state=by_state,
+            transition_energy_mj=transition_energy,
+            dram_read_bytes=summary.dram_read_bytes,
+            dram_write_bytes=summary.dram_write_bytes,
+        )
+        registry = obs_metrics.registry()
+        registry.counter(
+            "power.reports", "energy reports evaluated"
+        ).inc()
+        registry.histogram(
+            "power.avg_mw", "run-average system power per report"
+        ).observe(report.average_power_mw)
+        if tracer is not None:
+            for key in COMPONENT_KEYS:
+                tracer.event(
+                    "power.component", component=key,
+                    energy_mj=by_component[key],
+                )
+            for row in report.table2_rows():
+                tracer.event(
+                    "power.state",
+                    state=row.state,
+                    residency_s=row.residency_s,
+                    residency_fraction=row.residency_fraction,
+                    average_power_mw=row.average_power_mw,
+                    energy_mj=row.energy_mj,
+                )
+            assert report_span is not None
+            tracer.end_span(
+                report_span,
+                t=summary.end,
+                total_mj=total,
+                average_mw=report.average_power_mw,
+                transition_mj=transition_energy,
+            )
+        return report
 
     def report_timeline(
         self,

@@ -14,10 +14,24 @@ from .codec import Codec, CodecConfig
 from .decoder import Destination, VideoDecoderIP
 from .gpu import GpuIP, Viewport
 from .metrics import SequenceQuality, psnr, sequence_quality, ssim
-from .source import AnalyticContentModel, ContentClass, StreamSource
+from .source import (
+    AnalyticContentModel,
+    AnalyticFrameSource,
+    ContentClass,
+    FrameSource,
+    ListFrameSource,
+    RepeatingFrameSource,
+    StreamSource,
+    as_frame_source,
+)
 
 __all__ = [
     "AnalyticContentModel",
+    "AnalyticFrameSource",
+    "FrameSource",
+    "ListFrameSource",
+    "RepeatingFrameSource",
+    "as_frame_source",
     "Codec",
     "CodecConfig",
     "ContentClass",

@@ -19,7 +19,8 @@ Two content paths feed the pipeline:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -95,9 +96,15 @@ class AnalyticContentModel:
         scale = frames / total
         return {t: _TYPE_WEIGHTS[t] * scale for t in FrameType}
 
-    def frames(self, resolution: Resolution, count: int,
-               seed: int = 0) -> list[FrameDescriptor]:
-        """``count`` frame descriptors for a stream at ``resolution``."""
+    def iter_frames(self, resolution: Resolution, count: int,
+                    seed: int = 0) -> Iterator[FrameDescriptor]:
+        """Lazily yield ``count`` frame descriptors for a stream at
+        ``resolution``.
+
+        One RNG draw per frame in index order, so the stream is
+        reproducible and materializing it with :meth:`frames` gives the
+        identical sequence.
+        """
         if count < 0:
             raise ConfigurationError("frame count must be >= 0")
         rng = np.random.default_rng(seed)
@@ -106,7 +113,6 @@ class AnalyticContentModel:
             self.content.bits_per_pixel * resolution.pixels / 8.0
         )
         decoded = float(resolution.frame_bytes())
-        descriptors = []
         for index in range(count):
             frame_type = self.gop.frame_type(index)
             noise = (
@@ -114,19 +120,141 @@ class AnalyticContentModel:
                 if self.variability else 1.0
             )
             size = max(64.0, mean_bytes * weights[frame_type] * noise)
-            descriptors.append(
-                FrameDescriptor(
-                    index=index,
-                    frame_type=frame_type,
-                    encoded_bytes=size,
-                    decoded_bytes=decoded,
-                )
+            yield FrameDescriptor(
+                index=index,
+                frame_type=frame_type,
+                encoded_bytes=size,
+                decoded_bytes=decoded,
             )
-        return descriptors
+
+    def frames(self, resolution: Resolution, count: int,
+               seed: int = 0) -> list[FrameDescriptor]:
+        """``count`` frame descriptors for a stream at ``resolution``."""
+        return list(self.iter_frames(resolution, count, seed=seed))
 
     def average_encoded_bytes(self, resolution: Resolution) -> float:
         """Long-run mean encoded frame size at ``resolution``."""
         return self.content.bits_per_pixel * resolution.pixels / 8.0
+
+
+# ---------------------------------------------------------------------------
+# Frame sources: streaming input to the simulator
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class FrameSource(Protocol):
+    """An iterable stream of frame descriptors.
+
+    The simulator pulls one frame per new-frame window, so a source only
+    ever needs O(1) frames in memory.  Sources with a known length also
+    implement ``__len__`` (frame count); unbounded/opaque sources require
+    the caller to pass ``max_windows``.  ``fingerprint_token`` returns a
+    compact canonical description of the stream for run memoization, or
+    raises ``TypeError`` when the stream cannot be fingerprinted without
+    materializing it.
+    """
+
+    def __iter__(self) -> Iterator[FrameDescriptor]:
+        ...  # pragma: no cover - protocol
+
+    def fingerprint_token(self) -> Any:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class ListFrameSource:
+    """A fully materialized frame list viewed as a source."""
+
+    frames: tuple[FrameDescriptor, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "frames", tuple(self.frames))
+
+    def __iter__(self) -> Iterator[FrameDescriptor]:
+        return iter(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def fingerprint_token(self) -> Any:
+        return ("frames/list", self.frames)
+
+
+@dataclass(frozen=True)
+class RepeatingFrameSource:
+    """The same frame presented ``count`` times (standby, static UI).
+
+    Yields copies re-indexed 0..count-1 so downstream consumers see a
+    well-formed stream, while the run fingerprint stays O(1).
+    """
+
+    frame: FrameDescriptor
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError("repeat count must be >= 1")
+
+    def __iter__(self) -> Iterator[FrameDescriptor]:
+        for index in range(self.count):
+            yield replace(self.frame, index=index)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def fingerprint_token(self) -> Any:
+        return ("frames/repeat", self.frame, self.count)
+
+
+@dataclass(frozen=True)
+class AnalyticFrameSource:
+    """A lazily generated analytic content stream.
+
+    Streams :meth:`AnalyticContentModel.iter_frames` without
+    materializing it, so hour-long synthetic traces cost O(1) memory.
+    The fingerprint covers the generator parameters, not the frames.
+    """
+
+    model: AnalyticContentModel
+    resolution: Resolution
+    count: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigurationError("frame count must be >= 0")
+
+    def __iter__(self) -> Iterator[FrameDescriptor]:
+        return self.model.iter_frames(
+            self.resolution, self.count, seed=self.seed
+        )
+
+    def __len__(self) -> int:
+        return self.count
+
+    def fingerprint_token(self) -> Any:
+        return (
+            "frames/analytic",
+            self.model,
+            self.resolution,
+            self.count,
+            self.seed,
+        )
+
+
+def as_frame_source(
+    frames: "FrameSource | Sequence[FrameDescriptor]",
+) -> FrameSource:
+    """Coerce a frame list (the historical input type) or any
+    :class:`FrameSource` to a source."""
+    if isinstance(frames, (list, tuple)):
+        return ListFrameSource(tuple(frames))
+    if isinstance(frames, FrameSource):
+        return frames
+    raise ConfigurationError(
+        f"cannot stream frames from {type(frames).__qualname__}"
+    )
 
 
 @dataclass

@@ -4,7 +4,12 @@ five 360-degree VR streams (Fig. 11), the Fig. 14b mobile workloads, and
 the Fig. 4 web-browsing phase."""
 
 from .capture import CaptureWorkload, capture_run
-from .standby import standby_power_mw, standby_timeline
+from .standby import (
+    AmbientStandbyWorkload,
+    ambient_standby_run,
+    standby_power_mw,
+    standby_timeline,
+)
 from .scenario import Phase, Scenario, ScenarioResult, streaming_session
 from .traces import HeadTrace, HeadTraceParams, generate_head_trace
 from .video import (
@@ -17,6 +22,8 @@ from .mobile import MOBILE_WORKLOADS, MobileWorkload, mobile_workload_run
 from .browsing import browsing_timeline
 
 __all__ = [
+    "AmbientStandbyWorkload",
+    "ambient_standby_run",
     "CaptureWorkload",
     "HeadTrace",
     "Phase",

@@ -13,12 +13,20 @@ display-path optimisation like BurstLink can matter overall.
 
 from __future__ import annotations
 
-from ..config import SystemConfig
+from dataclasses import dataclass
+
+from ..config import FHD, Resolution, SystemConfig, skylake_tablet
 from ..errors import ConfigurationError
 from ..pipeline.builder import TimelineBuilder
+from ..pipeline.sim import DisplayScheme, FrameWindowSimulator, RunResult
 from ..pipeline.timeline import PanelMode, Timeline
 from ..soc.cstates import PackageCState
 from ..units import mib
+from ..video.source import (
+    AnalyticContentModel,
+    ContentClass,
+    RepeatingFrameSource,
+)
 
 
 def standby_timeline(
@@ -73,6 +81,89 @@ def standby_timeline(
             )
             elapsed += work
     return builder.build()
+
+
+@dataclass(frozen=True)
+class AmbientStandbyWorkload:
+    """Ambient (screen-on) standby: a static image on the panel that
+    updates rarely — a lock-screen clock, an always-on dashboard.
+
+    Almost every refresh window is a repeat of the same frame, which is
+    the regime repeat-window collapsing targets: the simulator plans the
+    first repeat and replays it (time-shifted) for the rest, so hour-long
+    ambient traces cost roughly one planned window per content update.
+    """
+
+    resolution: Resolution = FHD
+    refresh_hz: float = 60.0
+    #: Content updates per second (0.2 = the clock face redraws every
+    #: five seconds).
+    update_fps: float = 0.2
+    duration_s: float = 60.0
+    content: ContentClass = ContentClass.SCREEN
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not 0 < self.update_fps <= self.refresh_hz:
+            raise ConfigurationError(
+                "update_fps must be in (0, refresh_hz]"
+            )
+
+    @property
+    def window_count(self) -> int:
+        """Refresh windows covering the session."""
+        return max(1, int(round(self.duration_s * self.refresh_hz)))
+
+    @property
+    def frame_count(self) -> int:
+        """Distinct frame presentations the cadence asks for."""
+        step = self.update_fps / self.refresh_hz
+        return int(step * (self.window_count - 1) + 1e-9) + 1
+
+    def source(self) -> RepeatingFrameSource:
+        """The session's frame stream: one static screen-content frame
+        repeated for every update slot (O(1) memory at any duration)."""
+        frame = next(
+            iter(
+                AnalyticContentModel(content=self.content).iter_frames(
+                    self.resolution, 1, seed=self.seed
+                )
+            )
+        )
+        return RepeatingFrameSource(frame, self.frame_count)
+
+    def system_config(self) -> SystemConfig:
+        """The platform for this workload."""
+        return skylake_tablet(self.resolution, self.refresh_hz)
+
+
+def ambient_standby_run(
+    workload: AmbientStandbyWorkload,
+    scheme: DisplayScheme,
+    with_drfb: bool = False,
+    retain: str | None = "summary",
+    collapse: bool | None = None,
+) -> RunResult:
+    """Simulate an ambient-standby session under ``scheme``.
+
+    Defaults to ``retain="summary"`` (pass ``retain=None`` to follow the
+    process default, or ``"full"`` for segment-level inspection): ambient
+    sessions are long and repeat-dominated, exactly the case the
+    streaming summary + collapsing path exists for.
+    """
+    config = workload.system_config()
+    if with_drfb:
+        config = config.with_drfb()
+    simulator = FrameWindowSimulator(config, scheme)
+    return simulator.run(
+        workload.source(),
+        workload.update_fps,
+        max_windows=workload.window_count,
+        retain=retain,
+        collapse=collapse,
+    )
 
 
 def standby_power_mw(

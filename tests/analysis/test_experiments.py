@@ -256,3 +256,42 @@ class TestFig14:
         values = list(result.reductions["FHD"].values())
         # Paper: ~27-30% per workload; our band is 24-31%.
         assert max(values) == pytest.approx(0.30, abs=0.05)
+
+
+class TestStandbyAmbient:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.analysis.experiments import standby_ambient
+
+        return standby_ambient(duration_s=20.0)
+
+    def test_burstlink_cheaper_than_conventional(self, result):
+        assert (
+            result.power_mw["burstlink"]
+            < result.power_mw["conventional"]
+        )
+        assert 0 < result.reduction < 1
+
+    def test_almost_every_window_repeats(self, result):
+        """0.2 updates/s on a 60 Hz panel: the repeat regime the
+        collapsing path targets."""
+        for fraction in result.repeat_fraction.values():
+            assert fraction > 0.99
+
+    def test_burstlink_sleeps_deeper(self, result):
+        deep = {PackageCState.C8, PackageCState.C9, PackageCState.C10}
+        conventional = sum(
+            fraction
+            for state, fraction in (
+                result.residencies["conventional"].items()
+            )
+            if state in deep
+        )
+        burstlink = sum(
+            fraction
+            for state, fraction in (
+                result.residencies["burstlink"].items()
+            )
+            if state in deep
+        )
+        assert burstlink > conventional

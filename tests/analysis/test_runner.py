@@ -164,6 +164,36 @@ class TestDiskCache:
         assert rebuilt.config == run.config
         assert list(rebuilt.timeline) == list(run.timeline)
 
+    def test_payload_round_trip_summary_only_run(self):
+        """A retain="summary" run serializes with ``segments: null``
+        and restores with identical aggregates and power."""
+        from repro.power import PowerModel
+
+        config = skylake_tablet(FHD)
+        frames = AnalyticContentModel().frames(FHD, 6, seed=1)
+        with cache_disabled():
+            run = FrameWindowSimulator(
+                config, ConventionalScheme()
+            ).run(frames, 30.0, retain="summary")
+        assert run.timeline is None
+        payload = json.loads(json.dumps(run_to_payload(run)))
+        assert payload["segments"] is None
+        rebuilt = run_from_payload(payload)
+        assert rebuilt.timeline is None
+        assert rebuilt.stats == run.stats
+        assert rebuilt.summary is not None
+        assert rebuilt.summary.windows == run.summary.windows
+        assert rebuilt.summary.window_counts == (
+            run.summary.window_counts
+        )
+        assert rebuilt.duration == run.duration
+        assert rebuilt.residency_fractions() == (
+            run.residency_fractions()
+        )
+        assert PowerModel().report(rebuilt).total_energy_mj == (
+            PowerModel().report(run).total_energy_mj
+        )
+
     def test_payload_round_trip_psr_and_burst_stats(self):
         """A BurstLink run exercises the psr/bypass/burst stat fields
         the planar conventional round-trip leaves at zero."""
@@ -267,7 +297,7 @@ class TestUnfingerprintableInputs:
 
 class TestExhibitEngine:
     def test_registry_is_complete(self):
-        assert len(exhibit_registry()) == 15
+        assert len(exhibit_registry()) == 16
         from repro.analysis import experiments
 
         for name, function in exhibit_registry().items():
@@ -282,6 +312,17 @@ class TestExhibitEngine:
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ConfigurationError):
             run_exhibits(("fig01",), jobs=0)
+
+    def test_batch_retain_restored(self, isolated_cache):
+        """``run_exhibits(retain=...)`` applies only for the batch: the
+        process default is back afterwards."""
+        from repro.pipeline.sim import default_retain
+
+        before = default_retain()
+        outcomes = run_exhibits(("standby",), retain="summary")
+        assert default_retain() == before
+        assert outcomes[0].name == "standby"
+        assert 0 < outcomes[0].result.reduction < 1
 
     def test_metrics_track_cache_activity(self, isolated_cache):
         cold = run_exhibit("fig01")

@@ -1,0 +1,49 @@
+"""The long-trace memory gate.
+
+Summary retention exists so that trace length never shows up in memory:
+a 10-minute ambient-standby run must peak within 25% of a 1-minute run.
+This is the CI gate behind ``make long-trace`` — if a change starts
+accumulating per-window state (segments, plans, digests), the 10x
+duration blows straight through the bound.
+"""
+
+import tracemalloc
+
+from repro.pipeline import ConventionalScheme
+from repro.pipeline.sim import install_run_memo
+from repro.workloads.standby import (
+    AmbientStandbyWorkload,
+    ambient_standby_run,
+)
+
+
+def _peak_bytes(duration_s):
+    """Peak traced allocation of one summary-mode ambient run."""
+    workload = AmbientStandbyWorkload(duration_s=duration_s)
+    tracemalloc.start()
+    try:
+        run = ambient_standby_run(
+            workload, ConventionalScheme(), retain="summary"
+        )
+        assert run.timeline is None
+        assert run.stats.windows == workload.window_count
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def test_summary_mode_memory_is_flat_in_duration():
+    previous = install_run_memo(None)
+    try:
+        # Warm-up run: lazy imports, metric registrations, and interned
+        # objects land outside the measured windows.
+        _peak_bytes(10.0)
+        one_minute = _peak_bytes(60.0)
+        ten_minutes = _peak_bytes(600.0)
+    finally:
+        install_run_memo(previous)
+    assert ten_minutes <= one_minute * 1.25, (
+        f"10-minute trace peaked at {ten_minutes} bytes, "
+        f"1-minute at {one_minute} — summary mode is no longer O(1)"
+    )

@@ -1,0 +1,271 @@
+"""Streaming retention modes and repeat-window collapsing."""
+
+import pytest
+
+from repro.config import FHD, skylake_tablet
+from repro.core import BurstLinkScheme
+from repro.errors import SimulationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+from repro.pipeline.sim import (
+    default_retain,
+    install_run_memo,
+    set_default_retain,
+)
+from repro.power import PowerModel
+from repro.video.source import AnalyticContentModel
+
+
+@pytest.fixture(autouse=True)
+def no_memo():
+    """These tests measure the simulator itself, not the run cache."""
+    previous = install_run_memo(None)
+    yield
+    install_run_memo(previous)
+
+
+@pytest.fixture
+def frames():
+    return AnalyticContentModel().frames(FHD, 12, seed=5)
+
+
+def _counter(name):
+    return obs_metrics.registry().counter(name, "").value
+
+
+def _assert_same_aggregates(reference, other, rel=1e-9):
+    assert other.stats == reference.stats
+    assert other.duration == pytest.approx(
+        reference.duration, rel=rel
+    )
+    ref_res = reference.residency_fractions()
+    other_res = other.residency_fractions()
+    assert set(ref_res) == set(other_res)
+    for state, fraction in ref_res.items():
+        assert other_res[state] == pytest.approx(
+            fraction, rel=rel, abs=1e-12
+        )
+    assert other.dram_total_bytes == pytest.approx(
+        reference.dram_total_bytes, rel=rel
+    )
+    assert other.edp_bytes == pytest.approx(
+        reference.edp_bytes, rel=rel
+    )
+
+
+def _assert_same_power(reference, other, rel=1e-9):
+    ref = PowerModel().report(reference)
+    oth = PowerModel().report(other)
+    assert oth.total_energy_mj == pytest.approx(
+        ref.total_energy_mj, rel=rel
+    )
+    assert set(ref.by_component_mj) == set(oth.by_component_mj)
+    for component, mj in ref.by_component_mj.items():
+        assert oth.by_component_mj[component] == pytest.approx(
+            mj, rel=rel, abs=1e-9
+        )
+
+
+class TestRetainModes:
+    def test_summary_mode_drops_timeline(self, fhd_config, frames):
+        run = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 30.0, retain="summary")
+        assert run.timeline is None
+        assert run.summary is not None
+        assert run.aggregate is run.summary
+
+    def test_full_mode_also_builds_summary(self, fhd_config, frames):
+        run = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 30.0, retain="full")
+        assert run.timeline is not None
+        assert run.summary is not None
+        assert run.summary.duration == pytest.approx(
+            run.timeline.duration
+        )
+        assert run.summary.segment_count == len(run.timeline)
+
+    def test_summary_parity_with_full(self, fhd_config, frames):
+        full = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 30.0, retain="full")
+        summary = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 30.0, retain="summary")
+        _assert_same_aggregates(full, summary)
+        _assert_same_power(full, summary)
+
+    def test_summary_parity_for_burstlink(self, fhd_config, frames):
+        config = fhd_config.with_drfb()
+        full = FrameWindowSimulator(config, BurstLinkScheme()).run(
+            frames, 30.0, retain="full"
+        )
+        summary = FrameWindowSimulator(config, BurstLinkScheme()).run(
+            frames, 30.0, retain="summary"
+        )
+        _assert_same_aggregates(full, summary)
+        _assert_same_power(full, summary)
+
+    def test_unknown_retain_rejected(self, fhd_config, frames):
+        with pytest.raises(SimulationError):
+            FrameWindowSimulator(
+                fhd_config, ConventionalScheme()
+            ).run(frames, 30.0, retain="segments")
+
+    def test_default_retain_round_trip(self, fhd_config, frames):
+        previous = set_default_retain("summary")
+        try:
+            assert default_retain() == "summary"
+            run = FrameWindowSimulator(
+                fhd_config, ConventionalScheme()
+            ).run(frames, 30.0)
+            assert run.timeline is None
+        finally:
+            assert set_default_retain(previous) == "summary"
+        assert default_retain() == previous
+
+    def test_default_retain_rejects_unknown(self):
+        with pytest.raises(SimulationError):
+            set_default_retain("everything")
+
+
+class TestCollapse:
+    def test_collapse_matches_fresh_plans(self, fhd_config, frames):
+        fresh = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 30.0, collapse=False)
+        collapsed = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 30.0, collapse=True)
+        _assert_same_aggregates(fresh, collapsed)
+        _assert_same_power(fresh, collapsed)
+
+    def test_collapse_matches_for_burstlink(self, fhd_config, frames):
+        config = fhd_config.with_drfb()
+        fresh = FrameWindowSimulator(config, BurstLinkScheme()).run(
+            frames, 30.0, collapse=False
+        )
+        collapsed = FrameWindowSimulator(config, BurstLinkScheme()).run(
+            frames, 30.0, collapse=True
+        )
+        _assert_same_aggregates(fresh, collapsed)
+        _assert_same_power(fresh, collapsed)
+
+    def test_counters_cover_every_window(self, fhd_config, frames):
+        before_hit = _counter("sim.collapse.hit")
+        before_miss = _counter("sim.collapse.miss")
+        # 15 FPS on 60 Hz: three repeats per new frame, plenty of
+        # collapsible back-to-back windows.
+        run = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 15.0, collapse=True)
+        hits = _counter("sim.collapse.hit") - before_hit
+        misses = _counter("sim.collapse.miss") - before_miss
+        assert hits + misses == run.stats.windows
+        assert hits > 0
+
+    def test_collapse_off_leaves_counters(self, fhd_config, frames):
+        before_hit = _counter("sim.collapse.hit")
+        before_miss = _counter("sim.collapse.miss")
+        FrameWindowSimulator(fhd_config, ConventionalScheme()).run(
+            frames, 15.0, collapse=False
+        )
+        assert _counter("sim.collapse.hit") == before_hit
+        assert _counter("sim.collapse.miss") == before_miss
+
+    def test_tracer_disables_collapse(self, fhd_config, frames):
+        before_hit = _counter("sim.collapse.hit")
+        before_miss = _counter("sim.collapse.miss")
+        with obs_trace.tracing():
+            traced = FrameWindowSimulator(
+                fhd_config, ConventionalScheme()
+            ).run(frames, 15.0, collapse=True)
+        assert _counter("sim.collapse.hit") == before_hit
+        assert _counter("sim.collapse.miss") == before_miss
+        untraced = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 15.0, collapse=True)
+        _assert_same_aggregates(traced, untraced)
+
+
+class TestExhaustedStreamClamp:
+    """Windows past the end of the stream re-present the last frame
+    and must count as repeats (satellite: effective_fps inflation)."""
+
+    def test_clamped_windows_count_as_repeats(self, fhd_config):
+        frames = AnalyticContentModel().frames(FHD, 4, seed=2)
+        # 4 frames at 30 FPS on 60 Hz naturally cover 8 windows; ask
+        # for 40 and the last 32 re-present frame 3.
+        run = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 30.0, max_windows=40, collapse=False)
+        assert run.stats.windows == 40
+        assert run.stats.new_frame_windows == 4
+        assert run.stats.repeat_windows == 36
+
+    def test_effective_fps_not_inflated(self, fhd_config):
+        frames = AnalyticContentModel().frames(FHD, 4, seed=2)
+        run = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 30.0, max_windows=40, collapse=False)
+        # Only 4 frames were ever presented over 40/60 s.
+        assert run.effective_fps == pytest.approx(4 / run.duration)
+        assert run.effective_fps < 30.0
+
+    def test_summary_kind_counts_match(self, fhd_config):
+        frames = AnalyticContentModel().frames(FHD, 4, seed=2)
+        run = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(
+            frames, 30.0, max_windows=40, retain="summary",
+            collapse=False,
+        )
+        assert run.summary.window_counts["new_frame"] == 4
+        assert run.summary.window_counts["repeat"] == 36
+
+    def test_clamp_identical_with_collapse(self, fhd_config):
+        frames = AnalyticContentModel().frames(FHD, 4, seed=2)
+        fresh = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 30.0, max_windows=40, collapse=False)
+        collapsed = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(frames, 30.0, max_windows=40, collapse=True)
+        _assert_same_aggregates(fresh, collapsed)
+
+
+class _EndlessSource:
+    """A frame stream with no length: yields one frame forever."""
+
+    def __init__(self, frame):
+        self.frame = frame
+
+    def __iter__(self):
+        from dataclasses import replace
+
+        index = 0
+        while True:
+            yield replace(self.frame, index=index)
+            index += 1
+
+    def fingerprint_token(self):
+        raise TypeError("endless streams are not fingerprintable")
+
+
+class TestLengthlessSources:
+    def test_requires_max_windows(self, fhd_config):
+        frame = AnalyticContentModel().frames(FHD, 1)[0]
+        with pytest.raises(SimulationError):
+            FrameWindowSimulator(
+                fhd_config, ConventionalScheme()
+            ).run(_EndlessSource(frame), 30.0)
+
+    def test_runs_with_max_windows(self, fhd_config):
+        frame = AnalyticContentModel().frames(FHD, 1)[0]
+        run = FrameWindowSimulator(
+            fhd_config, ConventionalScheme()
+        ).run(_EndlessSource(frame), 30.0, max_windows=6)
+        assert run.stats.windows == 6
+        assert run.stats.new_frame_windows == 3

@@ -7,9 +7,13 @@ from repro.errors import BufferUnderflowError, ConfigurationError
 from repro.video.frames import FrameType, GopStructure
 from repro.video.source import (
     AnalyticContentModel,
+    AnalyticFrameSource,
     ContentClass,
     FrameDescriptor,
+    ListFrameSource,
+    RepeatingFrameSource,
     StreamSource,
+    as_frame_source,
 )
 from repro.units import mbps
 
@@ -87,6 +91,68 @@ class TestAnalyticContentModel:
     def test_descriptor_validation(self):
         with pytest.raises(ConfigurationError):
             FrameDescriptor(0, FrameType.I, 0, 100)
+
+
+class TestFrameSources:
+    def test_list_source_round_trip(self):
+        frames = AnalyticContentModel().frames(FHD, 5, seed=2)
+        source = ListFrameSource(tuple(frames))
+        assert len(source) == 5
+        assert list(source) == frames
+        assert source.fingerprint_token() == (
+            "frames/list", tuple(frames)
+        )
+
+    def test_repeating_source_reindexes(self):
+        frame = AnalyticContentModel().frames(FHD, 1)[0]
+        source = RepeatingFrameSource(frame, 4)
+        out = list(source)
+        assert len(source) == 4
+        assert [f.index for f in out] == [0, 1, 2, 3]
+        assert all(
+            f.encoded_bytes == frame.encoded_bytes for f in out
+        )
+
+    def test_repeating_fingerprint_is_constant_size(self):
+        frame = AnalyticContentModel().frames(FHD, 1)[0]
+        small = RepeatingFrameSource(frame, 2).fingerprint_token()
+        huge = RepeatingFrameSource(frame, 10**9).fingerprint_token()
+        assert small[:2] == huge[:2]
+        assert small != huge
+
+    def test_repeating_count_validated(self):
+        frame = AnalyticContentModel().frames(FHD, 1)[0]
+        with pytest.raises(ConfigurationError):
+            RepeatingFrameSource(frame, 0)
+
+    def test_analytic_source_matches_materialized(self):
+        model = AnalyticContentModel()
+        source = AnalyticFrameSource(model, FHD, 8, seed=3)
+        assert len(source) == 8
+        assert list(source) == model.frames(FHD, 8, seed=3)
+        # Iterating twice restarts the stream identically.
+        assert list(source) == list(source)
+
+    def test_iter_frames_matches_frames(self):
+        model = AnalyticContentModel()
+        assert list(model.iter_frames(FHD, 10, seed=9)) == (
+            model.frames(FHD, 10, seed=9)
+        )
+
+    def test_as_frame_source_coerces_lists(self):
+        frames = AnalyticContentModel().frames(FHD, 3)
+        coerced = as_frame_source(frames)
+        assert isinstance(coerced, ListFrameSource)
+        assert list(coerced) == frames
+
+    def test_as_frame_source_passes_sources_through(self):
+        frame = AnalyticContentModel().frames(FHD, 1)[0]
+        source = RepeatingFrameSource(frame, 2)
+        assert as_frame_source(source) is source
+
+    def test_as_frame_source_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            as_frame_source(42)
 
 
 def make_source(bandwidth=mbps(20), fluctuation=0.25, count=20,

@@ -4,9 +4,17 @@ import pytest
 
 from repro.config import FHD, skylake_tablet
 from repro.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
+from repro.pipeline import ConventionalScheme
+from repro.pipeline.sim import install_run_memo
 from repro.power.model import PlatformExtras, PowerModel
 from repro.soc.cstates import PackageCState
-from repro.workloads.standby import standby_power_mw, standby_timeline
+from repro.workloads.standby import (
+    AmbientStandbyWorkload,
+    ambient_standby_run,
+    standby_power_mw,
+    standby_timeline,
+)
 
 
 @pytest.fixture
@@ -100,3 +108,84 @@ class TestPower:
             timeline, config.panel
         )
         assert report.transition_energy_mj > 0
+
+
+@pytest.fixture
+def no_memo():
+    """Ambient runs below must actually simulate, not hit the cache."""
+    previous = install_run_memo(None)
+    yield
+    install_run_memo(previous)
+
+
+class TestAmbientStandby:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmbientStandbyWorkload(duration_s=0)
+        with pytest.raises(ConfigurationError):
+            AmbientStandbyWorkload(update_fps=0)
+        with pytest.raises(ConfigurationError):
+            AmbientStandbyWorkload(update_fps=120.0, refresh_hz=60.0)
+
+    def test_counts(self):
+        workload = AmbientStandbyWorkload(
+            duration_s=60.0, update_fps=0.2
+        )
+        assert workload.window_count == 3600
+        # A 0.2 FPS clock face redraws 12 times in a minute.
+        assert workload.frame_count == 12
+        assert len(workload.source()) == 12
+
+    def test_run_is_summary_only(self, no_memo):
+        run = ambient_standby_run(
+            AmbientStandbyWorkload(duration_s=5.0),
+            ConventionalScheme(),
+        )
+        assert run.timeline is None
+        assert run.summary is not None
+        assert run.duration == pytest.approx(5.0)
+        assert run.stats.repeat_windows > run.stats.new_frame_windows
+
+    def test_full_retain_available(self, no_memo):
+        run = ambient_standby_run(
+            AmbientStandbyWorkload(duration_s=1.0),
+            ConventionalScheme(),
+            retain="full",
+        )
+        assert run.timeline is not None
+        assert run.timeline.duration == pytest.approx(1.0)
+
+    def test_collapse_hits_dominate(self, no_memo):
+        """The ambient regime is the collapse showcase: >= 95% of
+        windows replay the memoized previous plan."""
+        registry = obs_metrics.registry()
+        before_hit = registry.counter("sim.collapse.hit", "").value
+        before_miss = registry.counter("sim.collapse.miss", "").value
+        run = ambient_standby_run(
+            AmbientStandbyWorkload(duration_s=30.0),
+            ConventionalScheme(),
+        )
+        hits = (
+            registry.counter("sim.collapse.hit", "").value - before_hit
+        )
+        misses = (
+            registry.counter("sim.collapse.miss", "").value
+            - before_miss
+        )
+        assert hits + misses == run.stats.windows
+        assert hits / run.stats.windows >= 0.95
+
+    def test_power_sits_between_dark_standby_and_video(
+        self, config, no_memo
+    ):
+        """Screen-on standby costs more than the panel-off floor but
+        far less than active video playback."""
+        run = ambient_standby_run(
+            AmbientStandbyWorkload(duration_s=10.0),
+            ConventionalScheme(),
+        )
+        extras = PlatformExtras(streaming=False, local_playback=False)
+        ambient_mw = PowerModel(extras=extras).report(
+            run
+        ).average_power_mw
+        assert ambient_mw > standby_power_mw(config)
