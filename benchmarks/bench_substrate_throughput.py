@@ -78,3 +78,61 @@ def test_simulator_throughput_burstlink(benchmark):
 
     result = benchmark(run)
     print(f"\n{result.stats.windows} windows simulated")
+
+
+def test_simulator_scalar_engine(benchmark):
+    """The scalar window loop, pinned — the batch engine's baseline."""
+    config = skylake_tablet(FHD).with_drfb()
+    frames = AnalyticContentModel().frames(FHD, _SIM_FRAMES)
+
+    def run():
+        with cache_disabled():
+            return FrameWindowSimulator(config, BurstLinkScheme()).run(
+                frames, 60.0, retain="summary", engine="scalar"
+            )
+
+    result = benchmark(run)
+    rate = result.stats.windows / benchmark.stats["mean"]
+    print(f"\n{result.stats.windows} windows simulated "
+          f"({rate:,.0f} windows/s, scalar engine)")
+
+
+def test_simulator_batch_engine(benchmark):
+    """The vectorized batch engine on the same run as the scalar bench
+    above — the before/after pair behind the README table."""
+    config = skylake_tablet(FHD).with_drfb()
+    frames = AnalyticContentModel().frames(FHD, _SIM_FRAMES)
+
+    def run():
+        with cache_disabled():
+            return FrameWindowSimulator(config, BurstLinkScheme()).run(
+                frames, 60.0, retain="summary", engine="batch"
+            )
+
+    result = benchmark(run)
+    rate = result.stats.windows / benchmark.stats["mean"]
+    print(f"\n{result.stats.windows} windows simulated "
+          f"({rate:,.0f} windows/s, batch engine)")
+
+
+def test_simulator_batch_engine_standby(benchmark):
+    """The batch engine's best case: a repeating ambient frame where
+    nearly every window replays one cached plan."""
+    from repro.core.burstlink import BurstLinkScheme as _BL
+    from repro.workloads.standby import (
+        AmbientStandbyWorkload,
+        ambient_standby_run,
+    )
+
+    workload = AmbientStandbyWorkload(
+        duration_s=15.0 if os.environ.get("REPRO_BENCH_QUICK") else 60.0
+    )
+
+    def run():
+        with cache_disabled():
+            return ambient_standby_run(workload, _BL())
+
+    result = benchmark(run)
+    rate = result.stats.windows / benchmark.stats["mean"]
+    print(f"\n{result.stats.windows} windows simulated "
+          f"({rate:,.0f} windows/s, ambient standby)")

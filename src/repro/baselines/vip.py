@@ -37,6 +37,10 @@ class VipScheme:
         """Collapse key: VIP keeps no per-window state."""
         return (self.name, self.orchestration_scale)
 
+    def frame_phase(self, frame_index: int) -> object:
+        """Plans read only the frame's content, never its index."""
+        return None
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Plan one refresh window under VIP."""
         if not ctx.window.is_new_frame:

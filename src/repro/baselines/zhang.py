@@ -59,6 +59,12 @@ class ZhangScheme(ConventionalScheme):
         the collapse key's frame index)."""
         return super().plan_key() + (self.batch_size, self.boost)
 
+    def frame_phase(self, frame_index: int) -> object:
+        """Race-to-sleep plans by batch position: frame ``k`` decodes
+        the whole batch when ``k % batch_size == 0`` and skips decode
+        otherwise, so only the position within the batch matters."""
+        return frame_index % self.batch_size
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Batch decode: every ``batch_size``-th new frame decodes the
         whole batch at boosted frequency; the other new-frame windows

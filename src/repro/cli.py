@@ -445,10 +445,27 @@ def cmd_metrics(args: argparse.Namespace) -> str:
     return registry.table()
 
 
+def _apply_engine_flags(args: argparse.Namespace) -> None:
+    """Apply ``--plan-cache`` / ``--engine`` for this process *and*
+    (via the environment) any worker processes a fan-out spawns."""
+    import os
+
+    from .pipeline import sim
+
+    if getattr(args, "plan_cache", False):
+        os.environ["REPRO_PLAN_CACHE"] = "1"
+        sim.set_plan_cache(True)
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        os.environ["REPRO_SIM_ENGINE"] = engine
+        sim.set_default_engine(engine)
+
+
 def cmd_figures(args: argparse.Namespace) -> str:
     """Regenerate the headline evaluation figures as SVG files."""
     from .analysis.svg import write_figures
 
+    _apply_engine_flags(args)
     metrics: list = []
     progress = None
     if args.progress:
@@ -505,6 +522,7 @@ def cmd_bench_all(args: argparse.Namespace) -> tuple[str, int]:
     baseline."""
     from .analysis.runner import run_exhibits, metrics_table
 
+    _apply_engine_flags(args)
     outcomes = run_exhibits(
         names=args.only or None,
         jobs=args.jobs,
@@ -704,6 +722,17 @@ def build_parser() -> argparse.ArgumentParser:
              "online timeline summary — exhibits that draw individual "
              "segments still pin full retention on their own runs)",
     )
+    figures.add_argument(
+        "--plan-cache", action="store_true",
+        help="enable the cross-run plan cache (batch engine window "
+             "plans persist beside simulation-cache entries and warm "
+             "runs with different cadences or durations)",
+    )
+    figures.add_argument(
+        "--engine", choices=("auto", "batch", "scalar"), default=None,
+        help="simulator window engine (default auto: batch when "
+             "untraced and collapsing is legal, scalar otherwise)",
+    )
     figures.set_defaults(handler=cmd_figures)
 
     trace = commands.add_parser("trace", help=cmd_trace.__doc__)
@@ -832,6 +861,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench_all.add_argument(
         "--history-dir", default="benchmarks/history",
         help="bench-history directory",
+    )
+    bench_all.add_argument(
+        "--plan-cache", action="store_true",
+        help="enable the cross-run plan cache for the bench batch",
+    )
+    bench_all.add_argument(
+        "--engine", choices=("auto", "batch", "scalar"), default=None,
+        help="simulator window engine for the bench batch",
     )
     bench_all.set_defaults(handler=cmd_bench_all)
 

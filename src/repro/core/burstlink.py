@@ -45,6 +45,10 @@ class BurstLinkScheme:
         fixed at construction), so identical windows plan identically."""
         return (self.name,)
 
+    def frame_phase(self, frame_index: int) -> object:
+        """Plans read only the frame's content, never its index."""
+        return None
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Plan one refresh window under full BurstLink."""
         if not ctx.window.is_new_frame:

@@ -50,6 +50,10 @@ class FrameBufferBypassScheme:
         """Collapse key: stateless (fixed firmware)."""
         return (self.name,)
 
+    def frame_phase(self, frame_index: int) -> object:
+        """Plans read only the frame's content, never its index."""
+        return None
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Plan one refresh window with Frame Buffer Bypass only."""
         if not ctx.window.is_new_frame:

@@ -42,6 +42,16 @@ class ConventionalCaptureScheme:
     def __post_init__(self) -> None:
         self._display = ConventionalScheme()
 
+    def plan_key(self) -> tuple:
+        """Collapse key: capture planning reads only the window's frame
+        and config; the embedded display scheme's knobs join the key so
+        repeat windows (which it plans) replay correctly."""
+        return (self.name,) + self._display.plan_key()
+
+    def frame_phase(self, frame_index: int) -> object:
+        """Plans read only the frame's content, never its index."""
+        return None
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """One refresh window of conventional capture."""
         if not ctx.window.is_new_frame:
@@ -113,6 +123,15 @@ class BurstCaptureScheme:
 
     def __post_init__(self) -> None:
         self.pmu = Pmu(firmware=PmuFirmware.burstlink())
+
+    def plan_key(self) -> tuple:
+        """Collapse key: stateless (the PMU firmware is fixed at
+        construction)."""
+        return (self.name,)
+
+    def frame_phase(self, frame_index: int) -> object:
+        """Plans read only the frame's content, never its index."""
+        return None
 
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """One refresh window of generalized-BurstLink capture."""

@@ -18,6 +18,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
 
@@ -117,6 +119,48 @@ class RefreshTiming:
                 kind=kind,
                 frame_index=last_frame,
             )
+
+    def window_table(
+        self, count: int, start: int = 0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The cadence of windows ``[start, start + count)`` as arrays:
+        the frame index shown per window (int64) and the new-frame
+        flags (bool).
+
+        Computes the same quantities as :meth:`windows` — identical
+        float expression, truncation, and epsilon — in one vectorized
+        pass, so the batch window engine can group windows without
+        constructing ``count`` :class:`WindowPlan` objects.  Each
+        element depends only on its own absolute index, so chunked
+        calls with increasing ``start`` tile into exactly the single
+        full-length table (the engine walks long cadences this way to
+        keep memory flat in run length).  Window start times are not
+        materialized; they are ``index * duration`` exactly, which
+        callers compute on the rare windows they touch.
+        """
+        if count < 0:
+            raise ConfigurationError("window count must be >= 0")
+        if start < 0:
+            raise ConfigurationError("window start must be >= 0")
+        step = self.video_fps / self.refresh_hz
+        if start:
+            # One extra leading element so the first flag compares
+            # against the true previous window across the chunk seam.
+            ext = (
+                step * np.arange(start - 1, start + count) + 1e-9
+            ).astype(np.int64)
+            due = ext[1:]
+            new = np.empty(count, dtype=bool)
+            np.greater(ext[1:], ext[:-1], out=new)
+            return due, new
+        due = (step * np.arange(count) + 1e-9).astype(np.int64)
+        new = np.empty(count, dtype=bool)
+        if count:
+            # ``due`` is nondecreasing (step > 0), so the running
+            # maximum the generator tracks is just the previous value.
+            new[0] = True
+            np.greater(due[1:], due[:-1], out=new[1:])
+        return due, new
 
     def cadence_pattern(self, count: int) -> str:
         """A compact cadence string, 'N' for new-frame windows and 'R' for

@@ -484,6 +484,11 @@ class ExhibitProfile:
     span_stats: dict[str, SpanStat]
     windows: WindowStats
     latency_quantiles: dict[str, dict[str, float]]
+    #: Window-engine and plan-cache counters (``sim.collapse.*``,
+    #: ``sim.batch.*``, ``sim.plan_cache.*``, ``cache.plan_*``) at
+    #: capture time; empty when none fired (e.g. always-traced runs
+    #: fall back to the scalar engine).
+    engine_counters: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-ready view (the ``repro profile --json`` payload)."""
@@ -533,6 +538,9 @@ class ExhibitProfile:
                 for kind in self.windows.kinds()
             },
             "latency_quantiles": self.latency_quantiles,
+            "engine_counters": dict(
+                sorted(self.engine_counters.items())
+            ),
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -562,6 +570,33 @@ def registry_latency_quantiles(
     return out
 
 
+#: Counter-name prefixes the profiler folds into ``engine_counters``.
+ENGINE_COUNTER_PREFIXES = (
+    "sim.collapse.",
+    "sim.batch.",
+    "sim.plan_cache.",
+    "cache.plan_",
+)
+
+
+def registry_engine_counters(
+    registry: obs_metrics.MetricsRegistry | None = None,
+) -> dict[str, float]:
+    """Window-engine and plan-cache counter values, keyed by metric
+    name — the profiler's view of how much planning the batch engine
+    and the caches avoided."""
+    registry = (
+        registry if registry is not None else obs_metrics.registry()
+    )
+    out: dict[str, float] = {}
+    for name, state in registry.snapshot().items():
+        if state.get("type") != "counter":
+            continue
+        if any(name.startswith(p) for p in ENGINE_COUNTER_PREFIXES):
+            out[name] = state.get("value", 0.0)
+    return out
+
+
 def profile_capture(
     exhibit: str, tracer: Tracer, run: RunResult
 ) -> ExhibitProfile:
@@ -583,6 +618,7 @@ def profile_capture(
         span_stats=span_time_stats(roots),
         windows=window_stats(roots),
         latency_quantiles=registry_latency_quantiles(),
+        engine_counters=registry_engine_counters(),
     )
 
 
@@ -702,6 +738,18 @@ def render_profile(profile: ExhibitProfile) -> str:
             + format_table(
                 ("metric", "p50", "p90", "p99"), latency_rows
             )
+        )
+
+    if profile.engine_counters:
+        engine_rows = [
+            (name, f"{value:g}")
+            for name, value in sorted(
+                profile.engine_counters.items()
+            )
+        ]
+        sections.append(
+            "Window engine / plan cache (process-wide counters):\n"
+            + format_table(("counter", "value"), engine_rows)
         )
 
     recon = profile.reconciliation

@@ -75,6 +75,17 @@ class ConventionalScheme:
             self.extra_c0_per_frame,
         )
 
+    def frame_phase(self, frame_index: int) -> object:
+        """What part of the frame *index* affects a new-frame plan.
+
+        The conventional pipeline plans from the frame's content alone
+        (sizes are already in the batch engine's window key), so the
+        index is irrelevant: ``None``.  Schemes whose plan branches on
+        the index override this — e.g. Zhang's race-to-sleep returns
+        ``frame_index % batch_size``.  Returning the raw index is always
+        safe (it just forgoes cross-index sharing)."""
+        return None
+
     def plan_window(self, ctx: WindowContext) -> WindowResult:
         """Plan one refresh window of the conventional pipeline."""
         if ctx.window.is_new_frame:

@@ -13,21 +13,57 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import os
 from dataclasses import dataclass, field
 from typing import Any, Protocol, Sequence
 
+import numpy as np
+
 from ..config import SystemConfig
-from ..display.timing import RefreshTiming, WindowPlan
+from ..display.timing import RefreshTiming, WindowKind, WindowPlan
 from ..errors import DeadlineMissError, SimulationError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..soc.cstates import PackageCState
 from ..video.source import FrameDescriptor, FrameSource, as_frame_source
+from .batch import CachedPlan, PlanMatrix
 from .timeline import Timeline, TimelineSummary
 
 #: What a run keeps: the full per-segment timeline, or only the online
 #: summary (O(1) memory for hours-long traces).
 RETAIN_MODES = ("full", "summary")
+
+#: How the simulator walks the cadence: ``"auto"`` picks the batch
+#: window engine whenever collapsing would be legal (untraced, scheme
+#: exposes ``plan_key()``, collapse not disabled) and falls back to the
+#: scalar loop otherwise; ``"batch"`` requests the engine explicitly
+#: (same safety fallbacks apply); ``"scalar"`` forces the historical
+#: window-by-window loop.
+ENGINE_MODES = ("auto", "batch", "scalar")
+
+#: Segment count at which the batch engine digests a fresh plan through
+#: :class:`~repro.pipeline.batch.PlanMatrix` instead of the scalar
+#: :meth:`TimelineSummary.window_digest` loop.  Both are bit-identical;
+#: below this, numpy array construction costs more than it saves.
+_MATRIX_MIN_SEGMENTS = 32
+
+#: Windows per cadence chunk in the batch engine.  The engine never
+#: materializes the whole window table — chunks keep its memory flat in
+#: run length (the long-trace memory gate pins this).
+_CADENCE_CHUNK = 1024
+
+
+def _plan_digest(
+    timeline: Timeline, kind: str, duration: float
+) -> TimelineSummary:
+    """One-window digest of a fresh plan, via the cheaper of the two
+    bit-identical paths (np.bincount accumulates weights sequentially in
+    row order, exactly the scalar loop)."""
+    if len(timeline.segments) >= _MATRIX_MIN_SEGMENTS:
+        return PlanMatrix.from_timeline(timeline, kind).digest(
+            kind, duration
+        )
+    return TimelineSummary.window_digest(timeline, kind, duration)
 
 
 @dataclass(frozen=True)
@@ -94,7 +130,15 @@ class WindowResult:
 
 
 class DisplayScheme(Protocol):
-    """The strategy interface every display scheme implements."""
+    """The strategy interface every display scheme implements.
+
+    Contract relied on by the batch window engine: a scheme plans from
+    the frame's *content* (``frame_type`` and byte sizes) and the
+    window's kind/duration/entry state — never from the frame's stream
+    position.  A scheme whose plan legitimately depends on position
+    (e.g. Zhang's batch cadence) declares exactly which function of the
+    index matters via ``frame_phase(frame_index)``.
+    """
 
     name: str
 
@@ -382,6 +426,71 @@ def default_retain() -> str:
     return _default_retain
 
 
+#: Process-wide engine override; ``None`` defers to the
+#: ``REPRO_SIM_ENGINE`` environment variable (default ``"auto"``).
+_default_engine: str | None = None
+
+
+def set_default_engine(mode: str | None) -> str | None:
+    """Set the process-wide engine default; returns the previous
+    override (``None`` means "follow ``REPRO_SIM_ENGINE``")."""
+    global _default_engine
+    if mode is not None and mode not in ENGINE_MODES:
+        raise SimulationError(f"unknown engine mode {mode!r}")
+    previous = _default_engine
+    _default_engine = mode
+    return previous
+
+
+def default_engine() -> str:
+    """The engine mode ``run(engine=None)`` resolves to."""
+    if _default_engine is not None:
+        return _default_engine
+    return os.environ.get("REPRO_SIM_ENGINE", "auto").strip() or "auto"
+
+
+#: Process-wide plan-cache override; ``None`` defers to the
+#: ``REPRO_PLAN_CACHE`` environment variable (default off).
+_plan_cache_override: bool | None = None
+
+
+def set_plan_cache(enabled: bool | None) -> bool | None:
+    """Enable/disable the cross-run plan cache process-wide; returns
+    the previous override (``None`` means "follow
+    ``REPRO_PLAN_CACHE``")."""
+    global _plan_cache_override
+    previous = _plan_cache_override
+    _plan_cache_override = enabled
+    return previous
+
+
+def plan_cache_active() -> bool:
+    """Whether the batch engine consults the cross-run plan cache."""
+    if _plan_cache_override is not None:
+        return _plan_cache_override
+    return os.environ.get("REPRO_PLAN_CACHE", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+class PlanMemo(Protocol):
+    """Anything that can memoize single window plans by content key.
+
+    ``repro.analysis.runner.SimulationCache`` implements this next to
+    :class:`RunMemo`; the batch engine consults it (when
+    :func:`plan_cache_active`) for plans whose run-level fingerprints
+    differ — e.g. the same scheme swept across frame rates or window
+    counts."""
+
+    def load_plan(self, key: str) -> "CachedPlan | None":
+        """A previously stored plan for ``key``, or ``None``."""
+        ...  # pragma: no cover - protocol
+
+    def store_plan(self, key: str, plan: "CachedPlan") -> None:
+        """Record a freshly planned window under ``key``."""
+        ...  # pragma: no cover - protocol
+
+
 @dataclass
 class _CollapseEntry:
     """The memoized previous window for repeat-window collapsing."""
@@ -391,6 +500,27 @@ class _CollapseEntry:
     result: WindowResult
     digest: TimelineSummary
     final_state: PackageCState
+
+
+@dataclass
+class _BatchEntry:
+    """One distinct plan in a batch-engine run, with its replay count."""
+
+    start: float
+    result: WindowResult
+    #: One-window summary for scaled replay.  ``None`` until someone
+    #: needs it — unique windows absorb their segments directly at
+    #: finalization instead, matching the scalar loop's cost.
+    digest: TimelineSummary | None
+    final_state: PackageCState
+    #: The window kind the digest (or direct absorption) files under.
+    effective_kind: str
+    #: Whether occurrences count as (effective) new-frame windows.
+    effective_new: bool
+    #: False when planning mutated the scheme's ``plan_key()`` — such
+    #: plans are single-use (the run-wide memo must not replay them).
+    stored: bool = False
+    count: int = 0
 
 
 @dataclass
@@ -409,6 +539,7 @@ class FrameWindowSimulator:
         max_windows: int | None = None,
         retain: str | None = None,
         collapse: bool | None = None,
+        engine: str | None = None,
     ) -> RunResult:
         """Simulate displaying ``frames`` at ``video_fps``.
 
@@ -429,6 +560,16 @@ class FrameWindowSimulator:
         time-shifted — and defaults to on whenever the scheme exposes
         ``plan_key()``.  Collapsing is always disabled while a tracer is
         active, keeping golden traces byte-stable.
+
+        ``engine`` selects the cadence walker (see :data:`ENGINE_MODES`;
+        ``None`` defers to :func:`default_engine`).  The batch engine
+        extends collapsing run-wide: windows group by ``(plan_key, kind,
+        frame, entry state)``, each distinct plan is priced once and
+        replayed as a count, and — when :func:`plan_cache_active` — new
+        groups are first looked up in the cross-run plan cache.  Every
+        condition that disables collapsing (active tracer, no
+        ``plan_key()``, ``collapse=False``) also falls the engine back
+        to the scalar loop, so traced runs stay byte-identical.
         """
         retain_mode = _default_retain if retain is None else retain
         if retain_mode not in RETAIN_MODES:
@@ -477,6 +618,14 @@ class FrameWindowSimulator:
         else:
             raise SimulationError(
                 "a frame source without a length needs max_windows"
+            )
+        engine_mode = engine if engine is not None else default_engine()
+        if engine_mode not in ENGINE_MODES:
+            raise SimulationError(f"unknown engine mode {engine_mode!r}")
+        if engine_mode != "scalar" and collapse_enabled:
+            return self._run_batch(
+                source, video_fps, vr_work, retain_mode, memo, key,
+                timing, window_count,
             )
         run_span = None
         if tracer is not None:
@@ -678,6 +827,391 @@ class FrameWindowSimulator:
                 bypassed_windows=stats.bypassed_windows,
                 burst_windows=stats.burst_windows,
             )
+        if memo is not None and key is not None:
+            memo.store(key, run)
+        return run
+
+    def _run_batch(
+        self,
+        source: FrameSource,
+        video_fps: float,
+        vr_work: list[VrWork] | None,
+        retain_mode: str,
+        memo: RunMemo | None,
+        key: str | None,
+        timing: RefreshTiming,
+        window_count: int,
+    ) -> RunResult:
+        """The batch window engine: price each distinct plan once.
+
+        Windows group by ``(plan_key, kind, frame content, entry
+        state)`` — frame *content*, not the descriptor, because schemes
+        never read ``frame.index`` (index-dependence is declared via
+        ``frame_phase``), so re-indexed copies of one frame share; the
+        cadence is walked as chunked numpy tables so repeat runs
+        between new frames cost O(1) instead of O(windows), at flat
+        memory in run length.  Only reachable
+        untraced with collapsing legal, so its aggregates must (and do)
+        match the scalar loop to the collapse parity budget, with
+        identical :class:`RunStats`.
+        """
+        scheme = self.scheme
+        config = self.config
+        duration = timing.frame_window
+
+        def group_starts():
+            """``(window index, frame index)`` of each new-frame
+            window, walked in fixed-size chunks so memory stays flat
+            in run length."""
+            base = 0
+            while base < window_count:
+                size = min(_CADENCE_CHUNK, window_count - base)
+                due, new = timing.window_table(size, start=base)
+                for offset in np.flatnonzero(new):
+                    yield base + int(offset), int(due[offset])
+                base += size
+
+        frame_iter = iter(source)
+        vr_iter = iter(vr_work) if vr_work is not None else None
+        try:
+            current_frame = next(frame_iter)
+        except StopIteration:
+            raise SimulationError(
+                "cannot simulate an empty frame list"
+            ) from None
+        current_vr = next(vr_iter) if vr_iter is not None else None
+        pulled = 1
+
+        plan_key = scheme.plan_key()
+        phase_fn = getattr(scheme, "frame_phase", None)
+        strict = config.strict_deadlines
+        retain_full = retain_mode == "full"
+
+        plan_cache: Any = None
+        cache_prefix = None
+        if (
+            memo is not None
+            and plan_cache_active()
+            and hasattr(memo, "load_plan")
+        ):
+            try:
+                prefix = freeze(
+                    ("plan/v1", config, type(scheme).__qualname__)
+                )
+            except TypeError:
+                prefix = None
+            if prefix is not None:
+                plan_cache = memo
+                cache_prefix = hashlib.sha256(repr(prefix).encode())
+
+        state = PackageCState.C0
+        stats = RunStats()
+        timelines: list[Timeline] = []
+        summary = TimelineSummary()
+        entries: dict[tuple, _BatchEntry] = {}
+        order: list[_BatchEntry] = []
+        fresh_plans = 0
+        cache_hits = 0
+        cache_misses = 0
+
+        def resolve(
+            index: int,
+            kind: WindowKind,
+            frame_index: int,
+            effective_kind: str,
+            effective_new: bool,
+            wkey: tuple,
+        ) -> _BatchEntry:
+            """Plan (or cache-load) the first occurrence of ``wkey``."""
+            nonlocal plan_key, fresh_plans, cache_hits, cache_misses
+            cache_token = None
+            if plan_cache is not None:
+                try:
+                    frozen = repr(
+                        freeze(
+                            (
+                                plan_key,
+                                kind,
+                                effective_kind,
+                                wkey[3],
+                                wkey[4],
+                                current_vr,
+                                state,
+                                duration,
+                            )
+                        )
+                    )
+                except TypeError:
+                    frozen = None
+                if frozen is not None:
+                    hasher = cache_prefix.copy()
+                    hasher.update(frozen.encode())
+                    cache_token = hasher.hexdigest()
+                    cached = plan_cache.load_plan(cache_token)
+                    if cached is not None:
+                        if cached.result.deadline_missed and strict:
+                            raise DeadlineMissError(
+                                f"{scheme.name}: window {index} missed "
+                                f"its deadline"
+                            )
+                        cache_hits += 1
+                        entry = _BatchEntry(
+                            start=cached.start,
+                            result=cached.result,
+                            digest=cached.digest,
+                            final_state=cached.final_state,
+                            effective_kind=effective_kind,
+                            effective_new=effective_new,
+                            stored=True,
+                        )
+                        entries[wkey] = entry
+                        order.append(entry)
+                        return entry
+                    cache_misses += 1
+            plan = WindowPlan(
+                index=index,
+                start=index * duration,
+                duration=duration,
+                kind=kind,
+                frame_index=frame_index,
+            )
+            ctx = WindowContext(
+                config=config,
+                window=plan,
+                frame=current_frame,
+                vr=current_vr,
+                initial_state=state,
+            )
+            result = scheme.plan_window(ctx)
+            self._validate_window(plan, result)
+            if result.deadline_missed and strict:
+                raise DeadlineMissError(
+                    f"{scheme.name}: window {plan.index} missed its "
+                    f"deadline"
+                )
+            fresh_plans += 1
+            entry = _BatchEntry(
+                start=plan.start,
+                result=result,
+                digest=None,
+                final_state=result.timeline.segments[-1].state,
+                effective_kind=effective_kind,
+                effective_new=effective_new,
+            )
+            order.append(entry)
+            post_key = scheme.plan_key()
+            if post_key == plan_key:
+                # Planning left the scheme's state untouched, so the
+                # plan is safe to replay anywhere in the run — and in
+                # other runs, via the plan cache.
+                entry.stored = True
+                entries[wkey] = entry
+                if cache_token is not None:
+                    entry.digest = _plan_digest(
+                        result.timeline, effective_kind, duration
+                    )
+                    plan_cache.store_plan(
+                        cache_token,
+                        CachedPlan(
+                            start=entry.start,
+                            result=result,
+                            digest=entry.digest,
+                            final_state=entry.final_state,
+                        ),
+                    )
+            else:
+                plan_key = post_key
+            return entry
+
+        def replay(entry: _BatchEntry, index: int) -> None:
+            """Account one occurrence of ``entry`` at window ``index``."""
+            nonlocal state
+            entry.count += 1
+            if retain_full:
+                delta = index * duration - entry.start
+                if delta == 0.0:
+                    timelines.append(entry.result.timeline)
+                else:
+                    timelines.append(
+                        Timeline(
+                            [
+                                segment.shifted(delta)
+                                for segment in
+                                entry.result.timeline.segments
+                            ]
+                        )
+                    )
+            state = entry.final_state
+
+        starts = group_starts()
+        pending = next(starts, None)
+        while pending is not None:
+            i0, frame_index = pending
+            pending = next(starts, None)
+            i1 = pending[0] if pending is not None else window_count
+            while pulled <= frame_index:
+                try:
+                    current_frame = next(frame_iter)
+                except StopIteration:
+                    break
+                if vr_iter is not None:
+                    try:
+                        current_vr = next(vr_iter)
+                    except StopIteration:
+                        raise SimulationError(
+                            "vr_work exhausted before frames "
+                            f"(frame {pulled})"
+                        ) from None
+                pulled += 1
+            clamped = frame_index > pulled - 1
+            effective_new = not clamped
+            effective_kind = "new_frame" if effective_new else "repeat"
+            phase = (
+                phase_fn(frame_index)
+                if phase_fn is not None
+                else frame_index
+            )
+            # Key on the frame's *content*: sources may re-issue the
+            # same frame under fresh indices (e.g. ambient redraws),
+            # and schemes plan from content alone (see DisplayScheme).
+            frame_token = (
+                current_frame.frame_type,
+                current_frame.encoded_bytes,
+                current_frame.decoded_bytes,
+            )
+            wkey = (
+                plan_key,
+                WindowKind.NEW_FRAME,
+                effective_kind,
+                phase,
+                frame_token,
+                current_vr,
+                state,
+                duration,
+            )
+            entry = entries.get(wkey)
+            if entry is None:
+                entry = resolve(
+                    i0, WindowKind.NEW_FRAME, frame_index,
+                    effective_kind, effective_new, wkey,
+                )
+            replay(entry, i0)
+
+            remaining = i1 - i0 - 1
+            index = i0 + 1
+            while remaining > 0:
+                wkey = (
+                    plan_key,
+                    WindowKind.REPEAT,
+                    "repeat",
+                    None,
+                    frame_token,
+                    current_vr,
+                    state,
+                    duration,
+                )
+                entry = entries.get(wkey)
+                if entry is None:
+                    entry = resolve(
+                        index, WindowKind.REPEAT, frame_index,
+                        "repeat", False, wkey,
+                    )
+                if (
+                    not retain_full
+                    and entry.stored
+                    and entry.final_state is state
+                ):
+                    # Steady state: the window re-enters its own entry
+                    # state, so every remaining repeat in the group is
+                    # this same plan — account them all at once.
+                    entry.count += remaining
+                    break
+                replay(entry, index)
+                index += 1
+                remaining -= 1
+
+        for entry in order:
+            count = entry.count
+            result = entry.result
+            stats.windows += count
+            if entry.effective_new:
+                stats.new_frame_windows += count
+            else:
+                stats.repeat_windows += count
+            stats.deadline_misses += count * int(result.deadline_missed)
+            stats.vd_wakes += count * result.vd_wakes
+            stats.psr_windows += count * int(result.used_psr)
+            stats.bypassed_windows += count * int(result.bypassed_dram)
+            stats.burst_windows += count * int(result.burst)
+            if entry.digest is not None:
+                summary.absorb_scaled(entry.digest, count)
+            elif count == 1:
+                # Unique window: fold its segments straight into the
+                # run summary — one pass, exactly the scalar loop.
+                timeline = result.timeline
+                kind = entry.effective_kind
+                for segment in timeline.segments:
+                    summary.add_segment(segment, kind)
+                summary.close_window(kind, duration, timeline.duration)
+            else:
+                summary.absorb_scaled(
+                    _plan_digest(
+                        result.timeline, entry.effective_kind, duration
+                    ),
+                    count,
+                )
+
+        run = RunResult(
+            scheme=scheme.name,
+            config=config,
+            timeline=(
+                Timeline.concatenate(timelines) if retain_full else None
+            ),
+            stats=stats,
+            video_fps=video_fps,
+            summary=summary,
+            cache_key=key,
+        )
+        registry = obs_metrics.registry()
+        registry.histogram(
+            "sim.window_s", "planned refresh-window durations (s)",
+            buckets=obs_metrics.LATENCY_BUCKETS,
+        ).observe_many(duration, stats.windows)
+        registry.counter(
+            "sim.runs", "simulator runs completed (cache misses only)"
+        ).inc()
+        registry.counter(
+            "sim.batch.runs", "runs executed by the batch window engine"
+        ).inc()
+        registry.counter(
+            "sim.windows", "refresh windows planned"
+        ).inc(stats.windows)
+        registry.counter(
+            "sim.deadline_misses", "windows that missed their deadline"
+        ).inc(stats.deadline_misses)
+        registry.counter(
+            "sim.collapse.hit",
+            "windows replayed from the repeat-window memo",
+        ).inc(stats.windows - fresh_plans)
+        registry.counter(
+            "sim.collapse.miss",
+            "windows planned fresh with collapsing enabled",
+        ).inc(fresh_plans)
+        group_sizes = registry.histogram(
+            "sim.batch.group_windows",
+            "windows replayed per batch-engine plan group",
+        )
+        for entry in order:
+            group_sizes.observe(entry.count)
+        if plan_cache is not None:
+            registry.counter(
+                "sim.plan_cache.hit",
+                "plan groups first served from the cross-run plan cache",
+            ).inc(cache_hits)
+            registry.counter(
+                "sim.plan_cache.miss",
+                "plan-cache lookups that fell through to fresh planning",
+            ).inc(cache_misses)
         if memo is not None and key is not None:
             memo.store(key, run)
         return run

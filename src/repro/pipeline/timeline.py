@@ -403,6 +403,39 @@ class TimelineSummary:
             )
         self.end += other.end - other.start
 
+    def absorb_scaled(self, other: "TimelineSummary",
+                      count: int) -> None:
+        """Fold ``count`` back-to-back copies of ``other`` in at once.
+
+        The batch window engine replays one memoized window digest for
+        an entire plan-group in O(classes) work instead of ``count``
+        :meth:`absorb` passes.  Totals scale linearly, so the result
+        matches repeated absorption up to float re-association (well
+        inside the engine's 1e-9 parity budget).
+        """
+        if count < 0:
+            raise SimulationError("absorb count must be >= 0")
+        if count == 0:
+            return
+        for cls_key, totals in other.buckets.items():
+            mine = self.buckets.setdefault(cls_key, ClassTotals())
+            mine.seconds += totals.seconds * count
+            mine.segments += totals.segments * count
+            mine.dram_read_bytes += totals.dram_read_bytes * count
+            mine.dram_write_bytes += totals.dram_write_bytes * count
+            mine.edp_bytes += totals.edp_bytes * count
+        self.windows += other.windows * count
+        for kind, kind_count in other.window_counts.items():
+            self.window_counts[kind] = (
+                self.window_counts.get(kind, 0) + kind_count * count
+            )
+        for duration, dur_count in other.window_durations.items():
+            self.window_durations[duration] = (
+                self.window_durations.get(duration, 0)
+                + dur_count * count
+            )
+        self.end += (other.end - other.start) * count
+
     @classmethod
     def from_timeline(
         cls, timeline: Timeline, window_kind: str = ""

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import PanelConfig
 from ..errors import SimulationError
 from ..obs import metrics as obs_metrics
@@ -171,6 +173,10 @@ class PowerModel:
     ) -> None:
         self.library = library
         self.extras = extras if extras is not None else PlatformExtras()
+        #: Per-(class, panel) pricing coefficients for the vectorized
+        #: path (see :meth:`price_plan_matrix`).  Keyed per instance:
+        #: library and extras are fixed at construction.
+        self._coefficients: dict[tuple, np.ndarray] = {}
 
     # -- per-segment composition -------------------------------------------------
 
@@ -279,6 +285,76 @@ class PowerModel:
         energies["platform"] = self.extras.power(lib) * seconds
         return energies
 
+    #: Quantity columns a plan matrix prices: accumulated seconds, DRAM
+    #: read/write bytes, and eDP payload bytes per segment class.
+    QUANTITY_COLUMNS = (
+        "seconds", "dram_read_bytes", "dram_write_bytes", "edp_bytes",
+    )
+
+    def _class_coefficients(
+        self, cls_key: SegmentClass, panel: PanelConfig
+    ) -> np.ndarray:
+        """The ``(4, components)`` pricing coefficients of one segment
+        class: every :meth:`class_component_energies` term is linear
+        (through the origin) in the four quantity columns, so probing
+        with unit quantities recovers the exact coefficient rows.
+        Cached per ``(class, panel)`` — the batch engine prices the same
+        handful of classes across thousands of reports."""
+        cache_key = (cls_key, panel)
+        coefficients = self._coefficients.get(cache_key)
+        if coefficients is None:
+            probes = (
+                ClassTotals(seconds=1.0),
+                ClassTotals(dram_read_bytes=1.0),
+                ClassTotals(dram_write_bytes=1.0),
+                ClassTotals(edp_bytes=1.0),
+            )
+            coefficients = np.array(
+                [
+                    [
+                        self.class_component_energies(
+                            cls_key, probe, panel
+                        )[key]
+                        for key in COMPONENT_KEYS
+                    ]
+                    for probe in probes
+                ]
+            )
+            self._coefficients[cache_key] = coefficients
+        return coefficients
+
+    def price_plan_matrix(
+        self,
+        cls_keys: "list[SegmentClass]",
+        quantities: np.ndarray,
+        panel: PanelConfig,
+    ) -> np.ndarray:
+        """Price a quantity matrix in one vectorized pass.
+
+        ``quantities`` is ``(len(cls_keys), 4)`` with the
+        :data:`QUANTITY_COLUMNS` per class (e.g.
+        :meth:`repro.pipeline.batch.PlanMatrix.quantities`).  Returns
+        the ``(classes, components)`` energy matrix in mJ, equal to
+        calling :meth:`class_component_energies` per class up to float
+        re-association — the batch-engine backbone behind summary
+        reports.
+        """
+        quantities = np.asarray(quantities, dtype=float)
+        if quantities.shape != (len(cls_keys), 4):
+            raise SimulationError(
+                "quantity matrix must be (classes, 4), got "
+                f"{quantities.shape} for {len(cls_keys)} classes"
+            )
+        if not cls_keys:
+            return np.zeros((0, len(COMPONENT_KEYS)))
+        coefficients = np.stack(
+            [
+                self._class_coefficients(cls_key, panel)
+                for cls_key in cls_keys
+            ]
+        )
+        return np.einsum("kq,kqc->kc", quantities, coefficients)
+
     # -- run-level evaluation ------------------------------------------------------
 
     def report(self, run: RunResult) -> EnergyReport:
@@ -320,27 +396,61 @@ class PowerModel:
                 scheme=scheme,
                 segments=summary.segment_count,
             )
-        by_component = dict.fromkeys(COMPONENT_KEYS, 0.0)
         state_energy: dict[PackageCState, float] = {}
         state_seconds: dict[PackageCState, float] = {}
         transition_energy = 0.0
-        for cls_key, totals in summary.buckets.items():
-            energies = self.class_component_energies(
-                cls_key, totals, panel
+        if tracer is None:
+            # Vectorized pricing: one einsum over cached per-class
+            # coefficients.  Only taken untraced — the scalar loop below
+            # is what golden traces pinned byte-for-byte.
+            cls_keys = list(summary.buckets)
+            quantities = np.array(
+                [
+                    [
+                        totals.seconds,
+                        totals.dram_read_bytes,
+                        totals.dram_write_bytes,
+                        totals.edp_bytes,
+                    ]
+                    for totals in summary.buckets.values()
+                ]
             )
-            class_energy = 0.0
-            for key, energy in energies.items():
-                by_component[key] += energy
-                class_energy += energy
-            state = cls_key.state.reporting_state
-            state_energy[state] = (
-                state_energy.get(state, 0.0) + class_energy
+            matrix = self.price_plan_matrix(cls_keys, quantities, panel)
+            by_component = dict(
+                zip(COMPONENT_KEYS, matrix.sum(axis=0).tolist())
             )
-            state_seconds[state] = (
-                state_seconds.get(state, 0.0) + totals.seconds
-            )
-            if cls_key.transition:
-                transition_energy += class_energy
+            class_energies = matrix.sum(axis=1)
+            for slot, cls_key in enumerate(cls_keys):
+                class_energy = float(class_energies[slot])
+                state = cls_key.state.reporting_state
+                state_energy[state] = (
+                    state_energy.get(state, 0.0) + class_energy
+                )
+                state_seconds[state] = (
+                    state_seconds.get(state, 0.0)
+                    + float(quantities[slot, 0])
+                )
+                if cls_key.transition:
+                    transition_energy += class_energy
+        else:
+            by_component = dict.fromkeys(COMPONENT_KEYS, 0.0)
+            for cls_key, totals in summary.buckets.items():
+                energies = self.class_component_energies(
+                    cls_key, totals, panel
+                )
+                class_energy = 0.0
+                for key, energy in energies.items():
+                    by_component[key] += energy
+                    class_energy += energy
+                state = cls_key.state.reporting_state
+                state_energy[state] = (
+                    state_energy.get(state, 0.0) + class_energy
+                )
+                state_seconds[state] = (
+                    state_seconds.get(state, 0.0) + totals.seconds
+                )
+                if cls_key.transition:
+                    transition_energy += class_energy
         total = sum(by_component.values())
         duration = summary.duration
         if duration <= 0:

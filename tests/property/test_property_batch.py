@@ -1,0 +1,132 @@
+"""Property-based equivalence: the batch window engine must be
+indistinguishable from the scalar loop for every scheme, cadence, and
+retain mode — energies to 1e-9 relative, identical stats and window
+kinds — and vectorized plan pricing must match the scalar pricer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FHD, QHD, skylake_tablet
+from repro.core import (
+    BurstLinkScheme,
+    FrameBufferBypassScheme,
+    FrameBurstingScheme,
+)
+from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+from repro.pipeline.sim import install_run_memo
+from repro.power import PowerModel
+from repro.video.source import AnalyticContentModel
+
+QUANTITY_COLUMNS = PowerModel.QUANTITY_COLUMNS
+
+
+@pytest.fixture(autouse=True)
+def no_memo():
+    previous = install_run_memo(None)
+    yield
+    install_run_memo(previous)
+
+
+schemes = st.sampled_from(
+    [
+        ("conventional", ConventionalScheme, False),
+        ("burstlink", BurstLinkScheme, True),
+        ("bursting", FrameBurstingScheme, True),
+        ("bypass", FrameBufferBypassScheme, False),
+    ]
+)
+resolutions = st.sampled_from([FHD, QHD])
+frame_rates = st.sampled_from([15.0, 24.0, 30.0, 60.0])
+frame_counts = st.integers(min_value=1, max_value=10)
+retains = st.sampled_from(["full", "summary"])
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+@given(schemes, resolutions, frame_rates, frame_counts, retains, seeds)
+@settings(max_examples=40, deadline=None)
+def test_batch_matches_scalar(
+    scheme_spec, resolution, fps, count, retain, seed
+):
+    name, scheme_cls, needs_drfb = scheme_spec
+    config = skylake_tablet(resolution)
+    if needs_drfb:
+        config = config.with_drfb()
+    frames = AnalyticContentModel().frames(resolution, count, seed=seed)
+
+    scalar = FrameWindowSimulator(config, scheme_cls()).run(
+        frames, fps, retain=retain, engine="scalar"
+    )
+    batch = FrameWindowSimulator(config, scheme_cls()).run(
+        frames, fps, retain=retain, engine="batch"
+    )
+
+    assert batch.stats == scalar.stats
+    assert batch.summary.window_counts == scalar.summary.window_counts
+    assert set(batch.summary.buckets) == set(scalar.summary.buckets)
+    for cls_key, ref in scalar.summary.buckets.items():
+        got = batch.summary.buckets[cls_key]
+        assert got.segments == ref.segments
+        assert got.seconds == pytest.approx(
+            ref.seconds, rel=1e-9, abs=1e-15
+        )
+        assert got.dram_read_bytes == pytest.approx(
+            ref.dram_read_bytes, rel=1e-9, abs=1e-9
+        )
+        assert got.edp_bytes == pytest.approx(
+            ref.edp_bytes, rel=1e-9, abs=1e-9
+        )
+
+    ref_res = scalar.residency_fractions()
+    got_res = batch.residency_fractions()
+    assert set(ref_res) == set(got_res)
+    for state, fraction in ref_res.items():
+        assert got_res[state] == pytest.approx(
+            fraction, rel=1e-9, abs=1e-12
+        )
+
+    model = PowerModel()
+    ref_report = model.report(scalar)
+    got_report = model.report(batch)
+    assert got_report.total_energy_mj == pytest.approx(
+        ref_report.total_energy_mj, rel=1e-9
+    )
+    for component, mj in ref_report.by_component_mj.items():
+        assert got_report.by_component_mj[component] == pytest.approx(
+            mj, rel=1e-9, abs=1e-9
+        )
+
+
+@given(resolutions, frame_rates, frame_counts, seeds)
+@settings(max_examples=25, deadline=None)
+def test_price_plan_matrix_matches_scalar_pricer(
+    resolution, fps, count, seed
+):
+    """The vectorized pricer is the scalar per-class pricer, stacked."""
+    import numpy as np
+
+    config = skylake_tablet(resolution)
+    frames = AnalyticContentModel().frames(resolution, count, seed=seed)
+    run = FrameWindowSimulator(config, ConventionalScheme()).run(
+        frames, fps, retain="summary", engine="scalar"
+    )
+    model = PowerModel()
+    cls_keys = list(run.summary.buckets)
+    quantities = np.array(
+        [
+            [getattr(run.summary.buckets[k], column)
+             for column in QUANTITY_COLUMNS]
+            for k in cls_keys
+        ]
+    )
+    matrix = model.price_plan_matrix(
+        cls_keys, quantities, config.panel
+    )
+    for row, cls_key in enumerate(cls_keys):
+        scalar = model.class_component_energies(
+            cls_key, run.summary.buckets[cls_key], config.panel
+        )
+        for col, component in enumerate(scalar):
+            assert matrix[row, col] == pytest.approx(
+                scalar[component], rel=1e-9, abs=1e-18
+            )
