@@ -924,13 +924,9 @@ def run_exhibits(
     # The worker count actually spawned, not the requested --jobs.
     workers = 1 if sequential else min(jobs, len(selected))
     tracer = obs_trace.active()
-    if tracer is not None:
-        tracer.event(
-            "exhibits.fanout", workers=workers, selected=len(selected)
-        )
-    obs_metrics.registry().counter(
-        "exhibits.fanouts", "run_exhibits invocations"
-    ).inc()
+    dist.record_fanout(
+        "exhibits", workers=workers, selected=len(selected)
+    )
     monitor = (
         dist.ProgressMonitor(progress, total=len(selected))
         if progress is not None
@@ -967,6 +963,7 @@ def run_exhibits(
         collect_trace=tracer is not None,
         disable_memo=sim.active_run_memo() is None,
         heartbeat=monitor is not None,
+        namespace="exhibits",
     )
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:

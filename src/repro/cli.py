@@ -86,8 +86,10 @@ def cmd_list(_: argparse.Namespace) -> str:
         ("trace", "a deterministic span tree for a canonical run"),
         ("profile", "energy attribution + latency stats for a run"),
         ("metrics", "the process-wide metrics registry"),
-        ("obs diff", "structural diff of two traces or profiles"),
+        ("obs diff", "structural diff of traces/profiles/fleet reports"),
         ("obs chrome", "a JSONL trace as Perfetto-loadable JSON"),
+        ("fleet run", "a population sweep from a scenario-matrix spec"),
+        ("fleet report", "the population report in a checkpoint"),
         ("constants", "the calibrated power library"),
     ]
     return format_table(("command", "what it regenerates"), rows)
@@ -593,6 +595,139 @@ def cmd_obs_chrome(args: argparse.Namespace) -> str:
     )
 
 
+def _fleet_summary_text(report: dict, stats: dict) -> str:
+    """The fleet report as an aligned table plus a run-stats line."""
+    fleet = report["fleet"]
+    rows = []
+    for label, block in fleet["schemes"].items():
+        reduction = block.get("reduction")
+        rows.append(
+            (
+                label,
+                f"{block['win_rate']:.1%}",
+                f"{block['power_mw']['p50']:.1f}",
+                f"{block['battery_h']['p50']:.2f}",
+                (
+                    f"{reduction['mean']:.1%}"
+                    if reduction is not None else "baseline"
+                ),
+            )
+        )
+    table = format_table(
+        (
+            "scheme",
+            "win rate",
+            "p50 power mW",
+            "p50 battery h",
+            "mean reduction",
+        ),
+        rows,
+    )
+    footer = (
+        f"{fleet['devices']}/{fleet['spec']['devices']} devices"
+        f" ({len(fleet['strata'])} strata)"
+        f" | simulated {stats['devices_simulated']}"
+        f" resumed {stats['devices_resumed']}"
+        f" | {stats['workers']} worker(s)"
+        f" in {stats['wall_s']:.2f}s"
+    )
+    return f"{table}\n{footer}"
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> str:
+    """Run a fleet-scale population sweep from a scenario-matrix spec
+    (Monte Carlo over devices, all schemes, streaming aggregates;
+    checkpoints shard-atomically and resumes after any crash)."""
+    import json as json_module
+
+    from .fleet import load_spec, run_fleet
+
+    _apply_engine_flags(args)
+    spec = load_spec(args.spec)
+    if args.devices is not None:
+        spec = spec.with_devices(args.devices)
+    progress = None
+    if args.progress:
+        import sys
+
+        def progress(line: str) -> None:
+            print(line, file=sys.stderr, flush=True)
+
+    outcome = run_fleet(
+        spec,
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        progress=progress,
+        cache_dir=args.cache_dir,
+    )
+    report_json = outcome.aggregate.report_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report_json)
+    if args.json:
+        return report_json.rstrip("\n")
+    lines = []
+    if args.out:
+        lines.append(f"wrote {args.out}")
+    lines.append(
+        _fleet_summary_text(
+            outcome.aggregate.report(), outcome.stats()
+        )
+    )
+    return "\n".join(lines)
+
+
+def cmd_fleet_report(args: argparse.Namespace) -> tuple[str, int]:
+    """Render the population report held by a fleet checkpoint
+    directory (exits non-zero while the run is still incomplete)."""
+    from .fleet.aggregate import FleetAggregate
+    from .fleet.checkpoint import FleetCheckpoint
+
+    store = FleetCheckpoint(args.checkpoint)
+    spec = store.load_spec()
+    if spec is None:
+        raise ReproError(
+            f"{args.checkpoint} is not a fleet checkpoint "
+            "(no spec.json)"
+        )
+    ranges = spec.shard_ranges()
+    completed = {
+        index
+        for index in store.completed_shards()
+        if index < len(ranges)
+    }
+    aggregate = FleetAggregate(spec)
+    for index in sorted(completed):
+        _, shard = store.read_shard(spec, index)
+        aggregate.merge(shard)
+    report = aggregate.report()
+    report_json = aggregate.report_json()
+    code = 0 if report["fleet"]["complete"] else 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report_json)
+    if args.json:
+        return report_json.rstrip("\n"), code
+    stats = {
+        "devices_simulated": 0,
+        "devices_resumed": aggregate.devices,
+        "workers": 0,
+        "wall_s": 0.0,
+    }
+    lines = []
+    if args.out:
+        lines.append(f"wrote {args.out}")
+    lines.append(_fleet_summary_text(report, stats))
+    if code:
+        lines.append(
+            f"incomplete: {len(completed)}/{len(ranges)} shards "
+            "checkpointed — finish with 'repro fleet run ... "
+            "--resume'"
+        )
+    return "\n".join(lines), code
+
+
 def cmd_battery(args: argparse.Namespace) -> str:
     """Battery-life impact of BurstLink for one streaming session."""
     resolution = _RESOLUTIONS[args.resolution]
@@ -829,6 +964,81 @@ def build_parser() -> argparse.ArgumentParser:
         "out", help="Chrome trace-event JSON to write"
     )
     obs_chrome.set_defaults(handler=cmd_obs_chrome)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="fleet-scale population simulation: run a scenario-"
+             "matrix spec, report from a checkpoint",
+    )
+    fleet_commands = fleet.add_subparsers(
+        dest="fleet_command", required=True
+    )
+    fleet_run = fleet_commands.add_parser(
+        "run", help=cmd_fleet_run.__doc__
+    )
+    fleet_run.add_argument(
+        "spec", help="fleet scenario-matrix spec (TOML)"
+    )
+    fleet_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for shard fan-out",
+    )
+    fleet_run.add_argument(
+        "--devices", type=int, default=None,
+        help="override the spec's device count (same population "
+             "draw per device index)",
+    )
+    fleet_run.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="persist per-shard aggregates into DIR (atomic; the "
+             "resume cursor is the set of completed shard files)",
+    )
+    fleet_run.add_argument(
+        "--resume", action="store_true",
+        help="continue from the shards already in --checkpoint "
+             "(byte-identical final report)",
+    )
+    fleet_run.add_argument(
+        "--progress", action="store_true",
+        help="stream per-shard progress lines to stderr (live "
+             "worker heartbeats under --jobs)",
+    )
+    fleet_run.add_argument(
+        "--json", action="store_true",
+        help="print the canonical report JSON instead of the table",
+    )
+    fleet_run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the canonical report JSON to PATH",
+    )
+    fleet_run.add_argument(
+        "--cache-dir", default=None,
+        help="shared on-disk simulation cache directory",
+    )
+    fleet_run.add_argument(
+        "--plan-cache", action="store_true",
+        help="enable the cross-run plan cache for the fleet batch",
+    )
+    fleet_run.add_argument(
+        "--engine", choices=("auto", "batch", "scalar"), default=None,
+        help="simulator window engine for the fleet batch",
+    )
+    fleet_run.set_defaults(handler=cmd_fleet_run)
+    fleet_report = fleet_commands.add_parser(
+        "report", help=cmd_fleet_report.__doc__
+    )
+    fleet_report.add_argument(
+        "checkpoint", help="fleet checkpoint directory"
+    )
+    fleet_report.add_argument(
+        "--json", action="store_true",
+        help="print the canonical report JSON instead of the table",
+    )
+    fleet_report.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the canonical report JSON to PATH",
+    )
+    fleet_report.set_defaults(handler=cmd_fleet_report)
 
     bench_all = commands.add_parser(
         "bench-all", help=cmd_bench_all.__doc__

@@ -1,0 +1,38 @@
+"""Fleet-scale population simulation.
+
+The paper's exhibits are single-device numbers; this package answers
+population questions — "what share of a fleet benefits from BurstLink,
+and by how much battery life?" — by expanding a declarative scenario
+matrix (resolution x refresh x FPS x workload mix, Monte Carlo over
+content seeds) into device configs, simulating each under every scheme
+with ``retain="summary"`` (O(1) memory per device), and streaming the
+per-device results into online population aggregates.
+
+Layers:
+
+* :mod:`.spec` — the TOML scenario-matrix spec and its validation;
+* :mod:`.sampler` — deterministic device sampling + per-device runs;
+* :mod:`.aggregate` — mergeable population aggregates and the report;
+* :mod:`.checkpoint` — atomic per-shard checkpoints and the resume
+  cursor;
+* :mod:`.pool` — the shard fan-out engine on the ``obs.dist`` protocol.
+"""
+
+from .aggregate import FleetAggregate
+from .checkpoint import FleetCheckpoint
+from .pool import FleetOutcome, run_fleet
+from .sampler import DeviceSample, sample_device, simulate_device
+from .spec import FleetSpec, load_spec, spec_from_dict
+
+__all__ = [
+    "DeviceSample",
+    "FleetAggregate",
+    "FleetCheckpoint",
+    "FleetOutcome",
+    "FleetSpec",
+    "load_spec",
+    "run_fleet",
+    "sample_device",
+    "simulate_device",
+    "spec_from_dict",
+]

@@ -1,0 +1,350 @@
+"""Online population aggregates: what a fleet run accumulates.
+
+A :class:`FleetAggregate` folds per-device result records (see
+:func:`repro.fleet.sampler.simulate_device`) into fixed-size streaming
+state: per-scheme power / battery-life / energy-reduction histograms
+(uniform bucket bounds via :func:`repro.obs.metrics.linear_buckets`,
+so quantile estimates carry a constant one-bucket-width error bound),
+per-scheme win counts, and per-stratum win rates.  Memory is O(schemes
+x buckets + strata), independent of fleet size.
+
+Aggregates are a commutative monoid under :meth:`merge` (integer
+bucket occupancies and counts add exactly; float sums add — the fleet
+engine always folds shards in shard-index order so float
+non-associativity cannot perturb a resumed run), and they round-trip
+exactly through :meth:`to_payload` / :meth:`from_payload` (JSON
+doubles are shortest-repr exact), which is what makes checkpointed
+shard aggregates byte-equivalent to freshly computed ones.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..obs.metrics import Histogram, linear_buckets
+from .spec import FleetSpec
+
+#: Average-power bounds: 25 mW resolution up to 5 W (tablet-class
+#: display pipelines sit well inside; beyond spills to +Inf).
+POWER_BUCKETS_MW = linear_buckets(0.0, 25.0, 200)
+
+#: Battery-life bounds: 15-minute resolution up to 100 hours.
+BATTERY_BUCKETS_H = linear_buckets(0.0, 0.25, 400)
+
+#: Energy-reduction bounds: 1% resolution over [-100%, +199%].
+REDUCTION_BUCKETS = linear_buckets(-1.0, 0.01, 300)
+
+#: Serialized-payload schema version.
+_PAYLOAD_VERSION = 1
+
+
+def _histogram_payload(histogram: Histogram) -> dict[str, Any]:
+    return {
+        "count": histogram.count,
+        "sum": histogram.total,
+        "min": histogram.minimum,
+        "max": histogram.maximum,
+        "bucket_counts": list(histogram.bucket_counts),
+    }
+
+
+def _histogram_from_payload(
+    name: str, bounds: tuple[float, ...], payload: dict[str, Any]
+) -> Histogram:
+    counts = [int(c) for c in payload["bucket_counts"]]
+    if len(counts) != len(bounds) + 1:
+        raise ConfigurationError(
+            f"aggregate histogram {name!r}: {len(counts)} bucket "
+            f"counts for {len(bounds)} bounds"
+        )
+    return Histogram(
+        name,
+        buckets=bounds,
+        bucket_counts=counts,
+        count=int(payload["count"]),
+        total=float(payload["sum"]),
+        minimum=(
+            None if payload["min"] is None
+            else float(payload["min"])
+        ),
+        maximum=(
+            None if payload["max"] is None
+            else float(payload["max"])
+        ),
+    )
+
+
+def _distribution(histogram: Histogram) -> dict[str, float]:
+    """The report view of one streaming distribution."""
+    return {
+        "mean": histogram.mean,
+        "min": histogram.minimum or 0.0,
+        "max": histogram.maximum or 0.0,
+        "p05": histogram.quantile(0.05),
+        "p25": histogram.quantile(0.25),
+        "p50": histogram.quantile(0.50),
+        "p75": histogram.quantile(0.75),
+        "p95": histogram.quantile(0.95),
+    }
+
+
+class FleetAggregate:
+    """Streaming population aggregates for one fleet spec."""
+
+    def __init__(self, spec: FleetSpec) -> None:
+        self.spec = spec
+        self.devices = 0
+        self.power: dict[str, Histogram] = {}
+        self.battery: dict[str, Histogram] = {}
+        self.reduction: dict[str, Histogram] = {}
+        self.wins: dict[str, int] = {}
+        #: stratum -> {"devices": int, "wins": {scheme: int},
+        #:             "reduction_sum": {candidate: float}}
+        self.strata: dict[str, dict[str, Any]] = {}
+        for label in spec.scheme_labels():
+            self.power[label] = Histogram(
+                f"fleet.power_mw.{label}",
+                buckets=POWER_BUCKETS_MW,
+            )
+            self.battery[label] = Histogram(
+                f"fleet.battery_h.{label}",
+                buckets=BATTERY_BUCKETS_H,
+            )
+            self.wins[label] = 0
+        for label in spec.schemes:
+            self.reduction[label] = Histogram(
+                f"fleet.reduction.{label}",
+                buckets=REDUCTION_BUCKETS,
+            )
+
+    # -- accumulation ----------------------------------------------------
+
+    def add_device(self, result: dict[str, Any]) -> None:
+        """Fold one device result record in."""
+        self.devices += 1
+        for label in self.spec.scheme_labels():
+            self.power[label].observe(result["power_mw"][label])
+            self.battery[label].observe(result["battery_h"][label])
+        for label in self.spec.schemes:
+            self.reduction[label].observe(
+                result["reduction"][label]
+            )
+        winner = result["winner"]
+        if winner not in self.wins:
+            raise ConfigurationError(
+                f"device {result.get('index')}: winner {winner!r} "
+                "is not a spec scheme"
+            )
+        self.wins[winner] += 1
+        stratum = self.strata.setdefault(
+            result["stratum"],
+            {
+                "devices": 0,
+                "wins": {
+                    label: 0
+                    for label in self.spec.scheme_labels()
+                },
+                "reduction_sum": {
+                    label: 0.0 for label in self.spec.schemes
+                },
+            },
+        )
+        stratum["devices"] += 1
+        stratum["wins"][winner] += 1
+        for label in self.spec.schemes:
+            stratum["reduction_sum"][label] += result["reduction"][
+                label
+            ]
+
+    def merge(self, other: "FleetAggregate") -> None:
+        """Fold another aggregate for the same spec in."""
+        if other.spec.fingerprint() != self.spec.fingerprint():
+            raise ConfigurationError(
+                "cannot merge aggregates from different fleet specs"
+            )
+        self.devices += other.devices
+        for label, histogram in other.power.items():
+            self.power[label].merge_snapshot(histogram.snapshot())
+        for label, histogram in other.battery.items():
+            self.battery[label].merge_snapshot(histogram.snapshot())
+        for label, histogram in other.reduction.items():
+            self.reduction[label].merge_snapshot(
+                histogram.snapshot()
+            )
+        for label, wins in other.wins.items():
+            self.wins[label] += wins
+        for key, theirs in other.strata.items():
+            mine = self.strata.setdefault(
+                key,
+                {
+                    "devices": 0,
+                    "wins": {
+                        label: 0
+                        for label in self.spec.scheme_labels()
+                    },
+                    "reduction_sum": {
+                        label: 0.0 for label in self.spec.schemes
+                    },
+                },
+            )
+            mine["devices"] += theirs["devices"]
+            for label, wins in theirs["wins"].items():
+                mine["wins"][label] += wins
+            for label, total in theirs["reduction_sum"].items():
+                mine["reduction_sum"][label] += total
+
+    # -- serialization ---------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """The aggregate state as an exactly round-tripping dict."""
+        return {
+            "version": _PAYLOAD_VERSION,
+            "fingerprint": self.spec.fingerprint(),
+            "devices": self.devices,
+            "power": {
+                label: _histogram_payload(h)
+                for label, h in self.power.items()
+            },
+            "battery": {
+                label: _histogram_payload(h)
+                for label, h in self.battery.items()
+            },
+            "reduction": {
+                label: _histogram_payload(h)
+                for label, h in self.reduction.items()
+            },
+            "wins": dict(self.wins),
+            "strata": {
+                key: {
+                    "devices": value["devices"],
+                    "wins": dict(value["wins"]),
+                    "reduction_sum": dict(value["reduction_sum"]),
+                }
+                for key, value in self.strata.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(
+        cls, spec: FleetSpec, payload: dict[str, Any]
+    ) -> "FleetAggregate":
+        """Rebuild an aggregate serialized by :meth:`to_payload`."""
+        version = payload.get("version")
+        if version != _PAYLOAD_VERSION:
+            raise ConfigurationError(
+                f"unsupported fleet aggregate version {version!r}"
+            )
+        if payload.get("fingerprint") != spec.fingerprint():
+            raise ConfigurationError(
+                "aggregate payload was built from a different spec"
+            )
+        aggregate = cls(spec)
+        aggregate.devices = int(payload["devices"])
+        for label in spec.scheme_labels():
+            aggregate.power[label] = _histogram_from_payload(
+                f"fleet.power_mw.{label}",
+                POWER_BUCKETS_MW,
+                payload["power"][label],
+            )
+            aggregate.battery[label] = _histogram_from_payload(
+                f"fleet.battery_h.{label}",
+                BATTERY_BUCKETS_H,
+                payload["battery"][label],
+            )
+            aggregate.wins[label] = int(payload["wins"][label])
+        for label in spec.schemes:
+            aggregate.reduction[label] = _histogram_from_payload(
+                f"fleet.reduction.{label}",
+                REDUCTION_BUCKETS,
+                payload["reduction"][label],
+            )
+        for key, value in payload.get("strata", {}).items():
+            aggregate.strata[key] = {
+                "devices": int(value["devices"]),
+                "wins": {
+                    label: int(count)
+                    for label, count in value["wins"].items()
+                },
+                "reduction_sum": {
+                    label: float(total)
+                    for label, total in value[
+                        "reduction_sum"
+                    ].items()
+                },
+            }
+        return aggregate
+
+    # -- reporting -------------------------------------------------------
+
+    def report(self) -> dict[str, Any]:
+        """The population report, wrapped under a top-level ``fleet``
+        key (the marker :func:`repro.obs.diff.load_artifact` sniffs)."""
+        schemes: dict[str, Any] = {}
+        for label in self.spec.scheme_labels():
+            block: dict[str, Any] = {
+                "power_mw": _distribution(self.power[label]),
+                "battery_h": _distribution(self.battery[label]),
+                "win_rate": (
+                    self.wins[label] / self.devices
+                    if self.devices else 0.0
+                ),
+                "wins": self.wins[label],
+            }
+            if label in self.reduction:
+                block["reduction"] = _distribution(
+                    self.reduction[label]
+                )
+            schemes[label] = block
+        strata: dict[str, Any] = {}
+        for key in sorted(self.strata):
+            value = self.strata[key]
+            count = value["devices"]
+            strata[key] = {
+                "devices": count,
+                "share": (
+                    count / self.devices if self.devices else 0.0
+                ),
+                "win_rate": {
+                    label: (wins / count if count else 0.0)
+                    for label, wins in value["wins"].items()
+                },
+                "mean_reduction": {
+                    label: (total / count if count else 0.0)
+                    for label, total in value[
+                        "reduction_sum"
+                    ].items()
+                },
+            }
+        return {
+            "fleet": {
+                "spec": {
+                    "fingerprint": self.spec.fingerprint(),
+                    "devices": self.spec.devices,
+                    "baseline": self.spec.baseline,
+                    "schemes": list(self.spec.schemes),
+                    "battery_wh": self.spec.battery_wh,
+                    "seed": self.spec.seed,
+                },
+                "devices": self.devices,
+                "complete": self.devices >= self.spec.devices,
+                "schemes": schemes,
+                "strata": strata,
+            }
+        }
+
+    def report_json(self) -> str:
+        """The report in its canonical byte-exact JSON form."""
+        return (
+            json.dumps(self.report(), sort_keys=True, indent=2)
+            + "\n"
+        )
+
+
+__all__ = [
+    "BATTERY_BUCKETS_H",
+    "FleetAggregate",
+    "POWER_BUCKETS_MW",
+    "REDUCTION_BUCKETS",
+]

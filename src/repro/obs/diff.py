@@ -36,11 +36,12 @@ DEFAULT_TOLERANCE = 1e-9
 
 
 def load_artifact(path: str | Path) -> tuple[str, Any]:
-    """Load ``path`` as ``("trace", events)`` or ``("profile", dict)``.
+    """Load ``path`` as ``("trace", events)``, ``("profile", dict)``,
+    or ``("fleet", dict)``.
 
     A JSONL trace parses line-by-line into event dictionaries; a single
     JSON object with a ``ledger`` key is a ``repro profile --json``
-    payload.
+    payload; one with a ``fleet`` key is a ``repro fleet`` report.
     """
     text = Path(path).read_text(encoding="utf-8").strip()
     if not text:
@@ -52,8 +53,11 @@ def load_artifact(path: str | Path) -> tuple[str, Any]:
     if isinstance(payload, dict):
         if "ledger" in payload:
             return "profile", payload
+        if "fleet" in payload:
+            return "fleet", payload
         raise ConfigurationError(
-            f"{path} is JSON but neither a trace nor a profile"
+            f"{path} is JSON but not a trace, profile, or fleet "
+            "report"
         )
     events = []
     for number, line in enumerate(text.splitlines(), start=1):
@@ -420,7 +424,10 @@ def diff_artifacts(
     path_b: str | Path,
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> TraceDiff | ProfileDiff:
-    """Diff two files of the same artifact kind (trace or profile)."""
+    """Diff two files of the same artifact kind (trace, profile, or
+    fleet report).  Fleet reports compare numeric-leaf-wise like
+    profiles — a resumed fleet run diffs clean against an
+    uninterrupted one."""
     kind_a, payload_a = load_artifact(path_a)
     kind_b, payload_b = load_artifact(path_b)
     if kind_a != kind_b:

@@ -48,6 +48,16 @@ from . import trace as obs_trace
 WORKER_FIELD = "w"
 #: Merged-event field carrying the task's request-order position.
 TASK_FIELD = "task"
+#: Merged-event field carrying the fan-out's task namespace.  Task
+#: indexes are only unique *within* one fan-out; when several fan-outs
+#: of different kinds (figure exhibits, fleet shards) merge into one
+#: parent trace, the namespace is what keeps ``(task, worker)`` groups
+#: from colliding.
+NAMESPACE_FIELD = "ns"
+
+#: Namespace used when a context does not declare one (the historical
+#: figure-exhibit fan-out shape).
+DEFAULT_NAMESPACE = "task"
 
 #: Attributes that describe execution topology rather than simulated
 #: behavior — :func:`normalize_events` strips them so traces captured
@@ -83,6 +93,10 @@ class TraceContext:
     disable_memo: bool = False
     #: Stream start/done heartbeat lines for the live progress surface.
     heartbeat: bool = False
+    #: The fan-out's task-index namespace.  Task indexes from contexts
+    #: with different namespaces never collide when their shards merge
+    #: into the same parent trace.
+    namespace: str = DEFAULT_NAMESPACE
 
     def to_payload(self) -> dict[str, Any]:
         """The context as a JSON-safe dictionary."""
@@ -92,6 +106,7 @@ class TraceContext:
             "collect_trace": self.collect_trace,
             "disable_memo": self.disable_memo,
             "heartbeat": self.heartbeat,
+            "namespace": self.namespace,
         }
 
     @classmethod
@@ -103,6 +118,9 @@ class TraceContext:
             collect_trace=bool(payload.get("collect_trace", True)),
             disable_memo=bool(payload.get("disable_memo", False)),
             heartbeat=bool(payload.get("heartbeat", False)),
+            namespace=str(
+                payload.get("namespace", DEFAULT_NAMESPACE)
+            ),
         )
 
 
@@ -111,6 +129,7 @@ def new_context(
     disable_memo: bool = False,
     heartbeat: bool = False,
     shard_root: str | Path | None = None,
+    namespace: str = DEFAULT_NAMESPACE,
 ) -> TraceContext:
     """Mint a context for one fan-out, creating its shard directory
     (a private temp dir unless ``shard_root`` pins one)."""
@@ -125,6 +144,7 @@ def new_context(
         collect_trace=collect_trace,
         disable_memo=disable_memo,
         heartbeat=heartbeat,
+        namespace=namespace,
     )
 
 
@@ -249,6 +269,11 @@ def run_worker_task(
     """
     _ensure_worker(context)
     worker_id = os.getpid()
+    ns_tag: dict[str, Any] = (
+        {}
+        if context.namespace == DEFAULT_NAMESPACE
+        else {NAMESPACE_FIELD: context.namespace}
+    )
     _emit_heartbeat(
         context,
         worker_id,
@@ -257,6 +282,7 @@ def run_worker_task(
             "task": task_index,
             "name": name,
             "worker": worker_id,
+            **ns_tag,
         },
     )
     tracer = obs_trace.Tracer() if context.collect_trace else None
@@ -270,7 +296,7 @@ def run_worker_task(
             shard_path(context, worker_id),
             (
                 json.dumps(
-                    {**event, TASK_FIELD: task_index},
+                    {**event, TASK_FIELD: task_index, **ns_tag},
                     sort_keys=True,
                     separators=(",", ":"),
                 )
@@ -285,11 +311,32 @@ def run_worker_task(
         "task": task_index,
         "name": name,
         "worker": worker_id,
+        **ns_tag,
     }
     if summarize is not None:
         done.update(summarize(result))
     _emit_heartbeat(context, worker_id, done)
     return result
+
+
+def record_fanout(
+    namespace: str, workers: int, selected: int
+) -> None:
+    """Record one fan-out dispatch under its namespace: a tracer event
+    ``<namespace>.fanout`` (with worker/task counts as attributes) plus
+    a ``<namespace>.fanouts`` counter increment.  Using the namespace
+    as the metric/event prefix keeps figure-exhibit fan-outs and fleet
+    shards distinguishable in merged traces and scraped metrics."""
+    tracer = obs_trace.active()
+    if tracer is not None:
+        tracer.event(
+            f"{namespace}.fanout",
+            workers=workers,
+            selected=selected,
+        )
+    obs_metrics.registry().counter(
+        f"{namespace}.fanouts", f"{namespace} fan-out dispatches"
+    ).inc()
 
 
 # ---------------------------------------------------------------------------
@@ -304,13 +351,15 @@ class TaskGroup:
     worker_id: int
     task: int
     events: list[dict[str, Any]] = field(default_factory=list)
+    namespace: str = DEFAULT_NAMESPACE
 
 
 def read_shards(context: TraceContext) -> list[TaskGroup]:
     """Every shard in the context's directory, split into per-task
-    groups and sorted by task index (the request order, which is also
-    the order a sequential run would have emitted them)."""
-    groups: dict[tuple[int, int], TaskGroup] = {}
+    groups and sorted by (namespace, task index) — within one
+    namespace, task index is the request order, which is also the
+    order a sequential run would have emitted them."""
+    groups: dict[tuple[str, int, int], TaskGroup] = {}
     pattern = f"{context.run_id}-w*{_SHARD_SUFFIX}"
     for path in sorted(Path(context.shard_dir).glob(pattern)):
         worker_id = int(
@@ -325,8 +374,14 @@ def read_shards(context: TraceContext) -> list[TaskGroup]:
                     continue
                 event = json.loads(line)
                 task = int(event.pop(TASK_FIELD, 0))
+                namespace = str(
+                    event.pop(NAMESPACE_FIELD, DEFAULT_NAMESPACE)
+                )
                 groups.setdefault(
-                    (task, worker_id), TaskGroup(worker_id, task)
+                    (namespace, task, worker_id),
+                    TaskGroup(
+                        worker_id, task, namespace=namespace
+                    ),
                 ).events.append(event)
     return [groups[key] for key in sorted(groups)]
 
@@ -367,6 +422,8 @@ def merge_groups(
                 record["parent"] = parent_span
             record[WORKER_FIELD] = worker_index[group.worker_id]
             record[TASK_FIELD] = group.task
+            if group.namespace != DEFAULT_NAMESPACE:
+                record[NAMESPACE_FIELD] = group.namespace
             merged.append(record)
     return merged
 
@@ -436,7 +493,8 @@ def normalize_events(
         record = {
             key: value
             for key, value in event.items()
-            if key not in (WORKER_FIELD, TASK_FIELD)
+            if key
+            not in (WORKER_FIELD, TASK_FIELD, NAMESPACE_FIELD)
         }
         mapping[record["seq"]] = index
         record["seq"] = index
@@ -569,6 +627,8 @@ def progress_record(
 
 
 __all__ = [
+    "DEFAULT_NAMESPACE",
+    "NAMESPACE_FIELD",
     "TASK_FIELD",
     "TraceContext",
     "VOLATILE_ATTRS",
@@ -585,6 +645,7 @@ __all__ = [
     "progress_record",
     "read_shards",
     "read_worker_metrics",
+    "record_fanout",
     "run_worker_task",
     "shard_path",
     "ProgressMonitor",

@@ -171,14 +171,23 @@ def _chrome_worker_tracks(
     main track, each worker's events on its own track with task groups
     tiled sequentially (each task restarts simulated time at zero)."""
     parent_stream: list[dict[str, Any]] = []
-    worker_tasks: dict[int, dict[int, list[dict[str, Any]]]] = {}
+    # Task indexes are only unique within one fan-out namespace, so
+    # groups key on (namespace, task) — fleet shards and figure
+    # exhibits merged into one trace tile as distinct groups.
+    worker_tasks: dict[
+        int, dict[tuple[str, int], list[dict[str, Any]]]
+    ] = {}
     for event in events:
         worker = event.get("w")
         if worker is None:
             parent_stream.append(event)
         else:
+            group = (
+                str(event.get("ns", "task")),
+                int(event.get("task", 0)),
+            )
             worker_tasks.setdefault(int(worker), {}).setdefault(
-                int(event.get("task", 0)), []
+                group, []
             ).append(event)
 
     converted: list[dict[str, Any]] = []

@@ -33,6 +33,30 @@ LATENCY_BUCKETS = (
 )
 
 
+def linear_buckets(
+    start: float, width: float, count: int
+) -> tuple[float, ...]:
+    """``count`` evenly spaced bucket upper bounds from ``start``.
+
+    Population distributions (fleet power draw, battery hours) want
+    uniform resolution across a known physical range rather than the
+    decade spacing of :data:`DEFAULT_BUCKETS`; uniform bounds also give
+    :meth:`Histogram.quantile` a constant worst-case error of one
+    bucket width.  Bounds are computed as ``start + i * width`` (not a
+    running sum) so the same arguments always produce bit-identical
+    edges.
+    """
+    if count < 1:
+        raise ConfigurationError(
+            f"linear_buckets needs count >= 1, got {count}"
+        )
+    if width <= 0:
+        raise ConfigurationError(
+            f"linear_buckets needs width > 0, got {width}"
+        )
+    return tuple(start + index * width for index in range(count))
+
+
 @dataclass
 class Counter:
     """A monotonically increasing count."""

@@ -1,0 +1,173 @@
+"""Population aggregate accumulation, merging, and serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.aggregate import (
+    FleetAggregate,
+    POWER_BUCKETS_MW,
+)
+from repro.fleet.spec import spec_from_dict
+
+
+def tiny_spec(**overrides):
+    return spec_from_dict(
+        {
+            "fleet": {
+                "devices": 8,
+                "seed": 1,
+                "schemes": ["burstlink"],
+                **overrides,
+            }
+        }
+    )
+
+
+def record(
+    index=0,
+    stratum="stream|FHD|60Hz|30fps",
+    base=2000.0,
+    burst=1200.0,
+    winner="burstlink",
+):
+    return {
+        "index": index,
+        "stratum": stratum,
+        "power_mw": {"conventional": base, "burstlink": burst},
+        "battery_h": {
+            "conventional": 45_000.0 / base,
+            "burstlink": 45_000.0 / burst,
+        },
+        "reduction": {"burstlink": 1.0 - burst / base},
+        "winner": winner,
+    }
+
+
+class TestAccumulation:
+    def test_add_device_counts(self):
+        aggregate = FleetAggregate(tiny_spec())
+        aggregate.add_device(record(0))
+        aggregate.add_device(record(1, winner="conventional"))
+        assert aggregate.devices == 2
+        assert aggregate.wins == {
+            "conventional": 1,
+            "burstlink": 1,
+        }
+        assert aggregate.power["conventional"].count == 2
+
+    def test_strata_accumulate(self):
+        aggregate = FleetAggregate(tiny_spec())
+        aggregate.add_device(record(0, stratum="a"))
+        aggregate.add_device(record(1, stratum="a"))
+        aggregate.add_device(record(2, stratum="b"))
+        assert aggregate.strata["a"]["devices"] == 2
+        assert aggregate.strata["b"]["devices"] == 1
+
+    def test_unknown_winner_rejected(self):
+        aggregate = FleetAggregate(tiny_spec())
+        with pytest.raises(ConfigurationError, match="winner"):
+            aggregate.add_device(record(winner="zhang"))
+
+
+class TestMerge:
+    def test_merge_adds(self):
+        spec = tiny_spec()
+        a = FleetAggregate(spec)
+        b = FleetAggregate(spec)
+        a.add_device(record(0))
+        b.add_device(record(1, base=2400.0))
+        b.add_device(record(2, stratum="other"))
+        a.merge(b)
+        assert a.devices == 3
+        assert a.power["conventional"].count == 3
+        assert a.strata["other"]["devices"] == 1
+
+    def test_merge_rejects_foreign_spec(self):
+        a = FleetAggregate(tiny_spec())
+        b = FleetAggregate(tiny_spec(seed=2))
+        with pytest.raises(ConfigurationError, match="spec"):
+            a.merge(b)
+
+    def test_merge_identity(self):
+        spec = tiny_spec()
+        a = FleetAggregate(spec)
+        a.add_device(record(0))
+        before = a.report_json()
+        a.merge(FleetAggregate(spec))
+        assert a.report_json() == before
+
+
+class TestSerialization:
+    def test_payload_round_trip_is_exact(self):
+        spec = tiny_spec()
+        aggregate = FleetAggregate(spec)
+        for index in range(5):
+            aggregate.add_device(
+                record(index, base=2000.0 + index * 7.3)
+            )
+        payload = json.loads(json.dumps(aggregate.to_payload()))
+        again = FleetAggregate.from_payload(spec, payload)
+        assert again.report_json() == aggregate.report_json()
+        assert again.to_payload() == aggregate.to_payload()
+
+    def test_foreign_fingerprint_rejected(self):
+        aggregate = FleetAggregate(tiny_spec())
+        payload = aggregate.to_payload()
+        with pytest.raises(ConfigurationError, match="spec"):
+            FleetAggregate.from_payload(tiny_spec(seed=2), payload)
+
+    def test_version_gate(self):
+        spec = tiny_spec()
+        payload = FleetAggregate(spec).to_payload()
+        payload["version"] = 99
+        with pytest.raises(ConfigurationError, match="version"):
+            FleetAggregate.from_payload(spec, payload)
+
+
+class TestReport:
+    def test_report_shape(self):
+        spec = tiny_spec()
+        aggregate = FleetAggregate(spec)
+        aggregate.add_device(record(0))
+        report = aggregate.report()
+        fleet = report["fleet"]
+        assert set(fleet["schemes"]) == {
+            "conventional",
+            "burstlink",
+        }
+        assert "reduction" in fleet["schemes"]["burstlink"]
+        assert "reduction" not in fleet["schemes"]["conventional"]
+        assert fleet["schemes"]["burstlink"]["win_rate"] == 1.0
+        assert fleet["complete"] is False  # 1 of 8 devices
+
+    def test_report_json_is_canonical(self):
+        aggregate = FleetAggregate(tiny_spec())
+        aggregate.add_device(record(0))
+        text = aggregate.report_json()
+        assert text.endswith("\n")
+        assert json.dumps(
+            json.loads(text), sort_keys=True, indent=2
+        ) + "\n" == text
+
+    def test_quantiles_bounded_by_observations(self):
+        aggregate = FleetAggregate(tiny_spec())
+        values = [1100.0, 1900.0, 2500.0, 3300.0]
+        for index, base in enumerate(values):
+            aggregate.add_device(record(index, base=base))
+        dist = aggregate.report()["fleet"]["schemes"][
+            "conventional"
+        ]["power_mw"]
+        assert dist["min"] == min(values)
+        assert dist["max"] == max(values)
+        assert (
+            min(values) <= dist["p50"] <= max(values)
+        )
+
+    def test_power_buckets_are_uniform(self):
+        widths = {
+            round(b - a, 9)
+            for a, b in zip(POWER_BUCKETS_MW, POWER_BUCKETS_MW[1:])
+        }
+        assert widths == {25.0}

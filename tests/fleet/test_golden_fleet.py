@@ -1,0 +1,67 @@
+"""Golden fleet-report regression.
+
+The 64-device golden spec (``tests/golden/fleet_small.toml``) must
+produce a population report that is *byte-identical* to the artifact
+checked in as ``tests/golden/fleet_small.report.json``.  A drifting
+quantile, a reordered stratum, a renamed field, or a nondeterministic
+fold all fail here.
+
+Regenerating the golden (after an intentional change)::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/fleet/test_golden_fleet.py
+
+then review the diff of ``tests/golden/fleet_small.report.json`` like
+any other code change before committing.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.fleet import load_spec, run_fleet
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+SPEC_PATH = GOLDEN_DIR / "fleet_small.toml"
+REPORT_PATH = GOLDEN_DIR / "fleet_small.report.json"
+
+
+def _maybe_update(path: Path, text: str) -> bool:
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        path.write_text(text, encoding="utf-8")
+        return True
+    return False
+
+
+def _golden_report_json() -> str:
+    return run_fleet(load_spec(SPEC_PATH), jobs=1).aggregate.report_json()
+
+
+def test_report_matches_golden_bytes():
+    text = _golden_report_json()
+    _maybe_update(REPORT_PATH, text)
+    assert REPORT_PATH.exists(), (
+        f"missing golden {REPORT_PATH}; regenerate with "
+        "REPRO_UPDATE_GOLDEN=1"
+    )
+    assert REPORT_PATH.read_bytes() == text.encode("utf-8"), (
+        "fleet report drifted from tests/golden/"
+        "fleet_small.report.json; if the change is intentional, "
+        "regenerate with REPRO_UPDATE_GOLDEN=1 and review the diff"
+    )
+
+
+def test_golden_report_is_complete_and_sane():
+    report = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+    fleet = report["fleet"]
+    assert fleet["complete"] is True
+    assert fleet["devices"] == 64
+    assert set(fleet["schemes"]) == {
+        "conventional",
+        "burstlink",
+        "bursting",
+    }
+    # The paper's headline direction holds over the population: the
+    # fleet-wide mean BurstLink reduction is positive.
+    assert fleet["schemes"]["burstlink"]["reduction"]["mean"] > 0
+    assert sum(s["devices"] for s in fleet["strata"].values()) == 64

@@ -1,0 +1,174 @@
+"""Device sampling determinism and per-device simulation."""
+
+from collections import Counter
+
+import pytest
+
+from repro.fleet.sampler import sample_device, simulate_device
+from repro.fleet.spec import spec_from_dict
+
+
+def mixed_spec(devices=64, seed=11):
+    return spec_from_dict(
+        {
+            "fleet": {
+                "devices": devices,
+                "seed": seed,
+                "shard_size": 8,
+                "schemes": ["burstlink", "bursting"],
+                "content_seeds": 3,
+            },
+            "axes": {
+                "resolution": {
+                    "values": ["FHD", "4K"],
+                    "weights": [3.0, 1.0],
+                },
+                "refresh_hz": {"values": [60.0, 120.0]},
+                "fps": {"values": [24.0, 30.0, 60.0]},
+            },
+            "workloads": [
+                {
+                    "name": "stream",
+                    "kind": "video",
+                    "weight": 3.0,
+                    "frames": 8,
+                },
+                {
+                    "name": "ambient",
+                    "kind": "standby",
+                    "weight": 1.0,
+                    "content": "screen",
+                    "duration_s": 4.0,
+                    "update_fps": 1.0,
+                },
+            ],
+        }
+    )
+
+
+class TestSampling:
+    def test_deterministic_per_index(self):
+        spec = mixed_spec()
+        for index in range(16):
+            assert sample_device(spec, index) == sample_device(
+                spec, index
+            )
+
+    def test_independent_of_partition(self):
+        """A device's draw must not depend on which shard simulates
+        it — only on (seed, index) — or resharding would repartition
+        the population."""
+        spec = mixed_spec()
+        grown = spec.with_devices(1024)
+        for index in range(spec.devices):
+            assert sample_device(spec, index) == sample_device(
+                grown, index
+            )
+
+    def test_seed_moves_the_population(self):
+        a = [sample_device(mixed_spec(seed=1), i) for i in range(32)]
+        b = [sample_device(mixed_spec(seed=2), i) for i in range(32)]
+        assert a != b
+
+    def test_every_axis_value_is_reachable(self):
+        spec = mixed_spec(devices=256)
+        samples = [
+            sample_device(spec, i) for i in range(spec.devices)
+        ]
+        assert {s.resolution_label for s in samples} == {"FHD", "4K"}
+        assert {s.refresh_hz for s in samples} == {60.0, 120.0}
+        assert {s.workload.name for s in samples} == {
+            "stream",
+            "ambient",
+        }
+        assert all(
+            0 <= s.content_seed < spec.content_seeds
+            for s in samples
+        )
+
+    def test_weights_bias_the_draw(self):
+        spec = mixed_spec(devices=512)
+        counts = Counter(
+            sample_device(spec, i).resolution_label
+            for i in range(spec.devices)
+        )
+        assert counts["FHD"] > counts["4K"]
+
+    def test_fps_clamped_to_refresh(self):
+        spec = spec_from_dict(
+            {
+                "fleet": {"devices": 64, "schemes": ["burstlink"]},
+                "axes": {
+                    "refresh_hz": {"values": [24.0]},
+                    "fps": {"values": [60.0]},
+                },
+            }
+        )
+        for index in range(8):
+            assert sample_device(spec, index).fps == 24.0
+
+    def test_stratum_names_the_cell(self):
+        spec = mixed_spec()
+        sample = sample_device(spec, 0)
+        assert sample.workload.name in sample.stratum
+        assert sample.resolution_label in sample.stratum
+
+
+class TestSimulation:
+    def test_result_record_shape(self):
+        spec = mixed_spec()
+        result = simulate_device(spec, sample_device(spec, 0))
+        labels = set(spec.scheme_labels())
+        assert set(result["power_mw"]) == labels
+        assert set(result["battery_h"]) == labels
+        assert set(result["reduction"]) == set(spec.schemes)
+        assert result["winner"] in labels
+        assert all(v > 0 for v in result["power_mw"].values())
+        assert all(v > 0 for v in result["battery_h"].values())
+
+    def test_winner_has_the_lowest_power(self):
+        spec = mixed_spec()
+        for index in range(6):
+            result = simulate_device(
+                spec, sample_device(spec, index)
+            )
+            best = min(
+                result["power_mw"], key=result["power_mw"].get
+            )
+            assert (
+                result["power_mw"][result["winner"]]
+                == result["power_mw"][best]
+            )
+
+    def test_burstlink_reduces_energy_on_video(self):
+        """The paper's headline direction must survive the fleet
+        path: BurstLink beats conventional on streaming video."""
+        spec = mixed_spec()
+        for index in range(spec.devices):
+            sample = sample_device(spec, index)
+            if sample.workload.kind != "video":
+                continue
+            result = simulate_device(spec, sample)
+            assert result["reduction"]["burstlink"] > 0
+            break
+        else:  # pragma: no cover
+            pytest.fail("no video device in the first 64 draws")
+
+    def test_standby_devices_simulate(self):
+        spec = mixed_spec()
+        for index in range(spec.devices):
+            sample = sample_device(spec, index)
+            if sample.workload.kind != "standby":
+                continue
+            result = simulate_device(spec, sample)
+            assert result["power_mw"][spec.baseline] > 0
+            break
+        else:  # pragma: no cover
+            pytest.fail("no standby device in the first 64 draws")
+
+    def test_deterministic_results(self):
+        spec = mixed_spec()
+        sample = sample_device(spec, 5)
+        assert simulate_device(spec, sample) == simulate_device(
+            spec, sample
+        )

@@ -7,6 +7,7 @@ silently absorbed.
 """
 
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
@@ -177,3 +178,174 @@ class TestExtremeGeometry:
         assert run.stats.repeat_windows == (
             9 * run.stats.new_frame_windows
         )
+
+
+class TestFleetCrashRecovery:
+    """Kill a checkpointed fleet run mid-flight with SIGKILL and prove
+    ``--resume`` reconstructs the exact report the uninterrupted run
+    produces — without re-simulating any completed device."""
+
+    SPEC = {
+        "fleet": {
+            "devices": 48,
+            "seed": 7,
+            "shard_size": 4,
+            "schemes": ["burstlink"],
+            "content_seeds": 2,
+        },
+        "axes": {
+            "resolution": {"values": ["FHD", "QHD"]},
+            "fps": {"values": [30.0, 60.0]},
+        },
+        "workloads": [{"name": "stream", "kind": "video", "frames": 8}],
+    }
+
+    @staticmethod
+    def _spec_file(tmp_path):
+        path = tmp_path / "fleet.toml"
+        path.write_text(
+            "[fleet]\n"
+            "devices = 48\nseed = 7\nshard_size = 4\n"
+            'schemes = ["burstlink"]\ncontent_seeds = 2\n'
+            "[axes.resolution]\nvalues = [\"FHD\", \"QHD\"]\n"
+            "[axes.fps]\nvalues = [30.0, 60.0]\n"
+            "[[workloads]]\n"
+            'name = "stream"\nkind = "video"\nframes = 8\n',
+            encoding="utf-8",
+        )
+        return path
+
+    @staticmethod
+    def _run_cli(argv, timeout_s=None):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = str(
+            Path(__file__).resolve().parents[2] / "src"
+        )
+        env["PYTHONPATH"] = src
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=timeout_s,
+        )
+
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+        import os
+        import time
+
+        spec_file = self._spec_file(tmp_path)
+        reference = tmp_path / "reference.json"
+        result = self._run_cli(
+            [
+                "fleet", "run", str(spec_file),
+                "--jobs", "2", "--out", str(reference),
+            ],
+            timeout_s=600,
+        )
+        assert result.returncode == 0, result.stderr
+
+        checkpoint = tmp_path / "ckpt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parents[2] / "src"
+        )
+        victim = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro",
+                "fleet", "run", str(spec_file),
+                "--jobs", "2",
+                "--checkpoint", str(checkpoint),
+                "--progress",
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        # Wait for roughly half the shards to be checkpointed, then
+        # SIGKILL — no cleanup, no atexit, mid-write is fair game.
+        shards = checkpoint / "shards"
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                pytest.fail(
+                    "victim finished before it could be killed; "
+                    "enlarge the fleet"
+                )
+            if shards.is_dir() and len(list(shards.glob("*.json"))) >= 6:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("no shards checkpointed within the deadline")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=60)
+
+        survivors = set(shards.glob("*.json"))
+        assert survivors, "checkpoint lost its shards after SIGKILL"
+        before = {
+            path.name: path.stat().st_mtime_ns for path in survivors
+        }
+
+        resumed = tmp_path / "resumed.json"
+        result = self._run_cli(
+            [
+                "fleet", "run", str(spec_file),
+                "--jobs", "2",
+                "--checkpoint", str(checkpoint),
+                "--resume", "--out", str(resumed),
+            ],
+            timeout_s=600,
+        )
+        assert result.returncode == 0, result.stderr
+        assert resumed.read_bytes() == reference.read_bytes()
+
+        # No completed device ran twice: surviving shard files were
+        # reused verbatim, not rewritten.
+        for path in survivors:
+            assert (
+                path.stat().st_mtime_ns == before[path.name]
+            ), f"{path.name} was re-simulated on resume"
+
+    def test_report_command_reads_the_checkpoint(self, tmp_path):
+        spec_file = self._spec_file(tmp_path)
+        checkpoint = tmp_path / "ckpt"
+        out = tmp_path / "run.json"
+        result = self._run_cli(
+            [
+                "fleet", "run", str(spec_file),
+                "--jobs", "2",
+                "--checkpoint", str(checkpoint),
+                "--out", str(out),
+            ],
+            timeout_s=600,
+        )
+        assert result.returncode == 0, result.stderr
+        report = self._run_cli(
+            ["fleet", "report", str(checkpoint), "--json"],
+            timeout_s=600,
+        )
+        assert report.returncode == 0, report.stderr
+        assert report.stdout.encode("utf-8") == out.read_bytes()
+
+    def test_partial_checkpoint_report_exits_nonzero(self, tmp_path):
+        from repro.fleet import spec_from_dict
+        from repro.fleet.checkpoint import FleetCheckpoint
+        from repro.fleet.pool import _simulate_range
+
+        spec = spec_from_dict(self.SPEC)
+        checkpoint = tmp_path / "ckpt"
+        store = FleetCheckpoint(checkpoint)
+        store.initialize(spec, resume=False)
+        store.write_shard(0, 0, 4, _simulate_range(spec, 0, 4))
+        report = self._run_cli(
+            ["fleet", "report", str(checkpoint)], timeout_s=600
+        )
+        assert report.returncode == 1
+        assert "incomplete" in (report.stdout + report.stderr)

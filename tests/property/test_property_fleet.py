@@ -1,0 +1,176 @@
+"""Property-based tests for fleet population aggregation.
+
+The fleet engine folds per-shard aggregates into one population
+aggregate, and resume re-folds a mix of checkpointed and fresh shards,
+so the merge must be commutative, associative, and have the empty
+aggregate as identity — and any partition of the device range into
+shards must reproduce the sequential fold exactly.  Device records use
+dyadic-rational powers so float addition is exact and equality can be
+byte-strict.  Quantile estimates interpolate inside histogram buckets,
+so they may deviate from the true order statistic by at most one
+bucket width.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.aggregate import (
+    POWER_BUCKETS_MW,
+    FleetAggregate,
+)
+from repro.fleet.spec import spec_from_dict
+
+SPEC = spec_from_dict(
+    {
+        "fleet": {
+            "devices": 64,
+            "seed": 1,
+            "schemes": ["burstlink"],
+        }
+    }
+)
+
+STRATA = ("a|FHD|60Hz|30fps", "b|4K|120Hz|60fps")
+
+# Every numeric field is dyadic (a small integer over a power of two)
+# so all sums inside the aggregate are exact in binary floating point
+# and merged payloads compare byte-equal.  The records need not be
+# physically consistent — the aggregate treats them as opaque numbers.
+powers = st.integers(min_value=8, max_value=40_000).map(
+    lambda n: n / 8
+)
+hours = st.integers(min_value=1, max_value=640).map(
+    lambda n: n / 16
+)
+reductions = st.integers(min_value=-1024, max_value=1024).map(
+    lambda n: n / 1024
+)
+
+records = st.builds(
+    lambda index, stratum, base, burst, life, cut, flip: {
+        "index": index,
+        "stratum": stratum,
+        "power_mw": {"conventional": base, "burstlink": burst},
+        "battery_h": {
+            "conventional": life,
+            "burstlink": life * 2,
+        },
+        "reduction": {"burstlink": cut},
+        "winner": "burstlink" if flip else "conventional",
+    },
+    st.integers(min_value=0, max_value=63),
+    st.sampled_from(STRATA),
+    powers,
+    powers,
+    hours,
+    reductions,
+    st.booleans(),
+)
+
+record_lists = st.lists(records, max_size=24)
+
+
+def aggregate_from(batch):
+    out = FleetAggregate(SPEC)
+    for item in batch:
+        out.add_device(item)
+    return out
+
+
+def merged(*aggregates):
+    out = FleetAggregate(SPEC)
+    for item in aggregates:
+        out.merge(item)
+    return out
+
+
+@given(record_lists, record_lists)
+@settings(max_examples=50, deadline=None)
+def test_merge_is_commutative(batch_a, batch_b):
+    a, b = aggregate_from(batch_a), aggregate_from(batch_b)
+    assert merged(a, b).to_payload() == merged(b, a).to_payload()
+
+
+@given(record_lists, record_lists, record_lists)
+@settings(max_examples=50, deadline=None)
+def test_merge_is_associative(batch_a, batch_b, batch_c):
+    a, b, c = (
+        aggregate_from(batch_a),
+        aggregate_from(batch_b),
+        aggregate_from(batch_c),
+    )
+    left = merged(merged(a, b), c)
+    right = merged(a, merged(b, c))
+    assert left.to_payload() == right.to_payload()
+
+
+@given(record_lists)
+@settings(max_examples=50, deadline=None)
+def test_empty_aggregate_is_identity(batch):
+    a = aggregate_from(batch)
+    assert (
+        merged(a, FleetAggregate(SPEC)).to_payload()
+        == a.to_payload()
+    )
+    assert (
+        merged(FleetAggregate(SPEC), a).to_payload()
+        == a.to_payload()
+    )
+
+
+@given(
+    record_lists,
+    st.lists(
+        st.integers(min_value=1, max_value=24),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_any_sharding_matches_the_sequential_fold(batch, sizes):
+    """Splitting the device stream at arbitrary points and folding the
+    shards back must equal adding every record sequentially — this is
+    the invariant that makes checkpoint/resume byte-identical."""
+    sequential = aggregate_from(batch)
+    shards, cursor = [], 0
+    for size in sizes:
+        shards.append(aggregate_from(batch[cursor : cursor + size]))
+        cursor += size
+    shards.append(aggregate_from(batch[cursor:]))
+    assert merged(*shards).to_payload() == sequential.to_payload()
+
+
+@given(st.lists(powers, min_size=1, max_size=24))
+@settings(max_examples=50, deadline=None)
+def test_quantiles_within_one_bucket_of_truth(values):
+    """The estimator interpolates inside the bucket holding the
+    ``ceil(q * count)``-th observation; that order statistic lives in
+    the same bucket, so the two differ by at most one bucket width."""
+    width = POWER_BUCKETS_MW[1] - POWER_BUCKETS_MW[0]
+    aggregate = FleetAggregate(SPEC)
+    for index, base in enumerate(values):
+        aggregate.add_device(
+            {
+                "index": index,
+                "stratum": STRATA[0],
+                "power_mw": {
+                    "conventional": base,
+                    "burstlink": base,
+                },
+                "battery_h": {
+                    "conventional": 1.0,
+                    "burstlink": 1.0,
+                },
+                "reduction": {"burstlink": 0.0},
+                "winner": "burstlink",
+            }
+        )
+    ordered = sorted(values)
+    histogram = aggregate.power["conventional"]
+    for quantile in (0.05, 0.25, 0.5, 0.75, 0.95):
+        rank = max(1, math.ceil(quantile * len(ordered)))
+        truth = ordered[min(rank, len(ordered)) - 1]
+        estimate = histogram.quantile(quantile)
+        assert abs(estimate - truth) <= width
