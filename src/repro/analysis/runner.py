@@ -939,21 +939,25 @@ def run_exhibits(
         )
         try:
             outcomes = []
+            # Publish start/done heartbeats to a pinned telemetry
+            # plane (REPRO_HEARTBEAT_DIR) even without a worker pool.
+            emit_heartbeat = dist.pinned_heartbeat_emitter("exhibits")
             for index, name in enumerate(selected):
+                start_record = dist.progress_record(
+                    "start", index, name
+                )
+                if emit_heartbeat is not None:
+                    emit_heartbeat(start_record)
                 if monitor is not None:
-                    monitor.feed(
-                        dist.progress_record("start", index, name)
-                    )
+                    monitor.feed(start_record)
                 outcome = run_exhibit(name)
+                done_record = dist.progress_record(
+                    "done", index, name, **_metrics_heartbeat(outcome)
+                )
+                if emit_heartbeat is not None:
+                    emit_heartbeat(done_record)
                 if monitor is not None:
-                    monitor.feed(
-                        dist.progress_record(
-                            "done",
-                            index,
-                            name,
-                            **_metrics_heartbeat(outcome),
-                        )
-                    )
+                    monitor.feed(done_record)
                 outcomes.append(outcome)
             return outcomes
         finally:

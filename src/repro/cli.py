@@ -86,6 +86,7 @@ def cmd_list(_: argparse.Namespace) -> str:
         ("trace", "a deterministic span tree for a canonical run"),
         ("profile", "energy attribution + latency stats for a run"),
         ("metrics", "the process-wide metrics registry"),
+        ("serve", "live power-advisor service + /metrics endpoint"),
         ("obs diff", "structural diff of traces/profiles/fleet reports"),
         ("obs chrome", "a JSONL trace as Perfetto-loadable JSON"),
         ("fleet run", "a population sweep from a scenario-matrix spec"),
@@ -749,6 +750,37 @@ def cmd_battery(args: argparse.Namespace) -> str:
     )
 
 
+def cmd_serve(args: argparse.Namespace) -> str:
+    """Run the live telemetry plane: a long-lived power-advisor
+    service with a session socket and a Prometheus scrape endpoint."""
+    from .obs import serve
+
+    bound: dict = {}
+
+    def ready(ports: dict) -> None:
+        bound.update(ports)
+        print(
+            f"serving sessions on {args.host}:{ports['port']}  "
+            f"metrics on http://{args.host}:{ports['http_port']}/metrics",
+            flush=True,
+        )
+
+    service = serve.run_server(
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        events_path=args.events,
+        heartbeat_dir=args.heartbeat_dir,
+        window_s=args.window,
+        log_level=args.log_level,
+        ready=ready,
+    )
+    return (
+        f"serve stopped after {service.events.seq} events "
+        f"({len(service.sessions)} sessions still open)"
+    )
+
+
 def _config_for(resolution, needs_drfb):
     from .config import skylake_tablet
 
@@ -1106,6 +1138,36 @@ def build_parser() -> argparse.ArgumentParser:
     battery.add_argument("--fps", type=float, default=60.0)
     battery.add_argument("--battery-wh", type=float, default=45.0)
     battery.set_defaults(handler=cmd_battery)
+
+    serve = commands.add_parser("serve", help=cmd_serve.__doc__)
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=7070,
+        help="session socket port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=7071,
+        help="HTTP scrape port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--events", default=None,
+        help="append JSONL lifecycle events to this file",
+    )
+    serve.add_argument(
+        "--heartbeat-dir", default=None,
+        help="watch this REPRO_HEARTBEAT_DIR for fan-out progress",
+    )
+    serve.add_argument(
+        "--window", type=float, default=10.0,
+        help="rolling-metric window in simulated seconds",
+    )
+    serve.add_argument(
+        "--log-level", choices=("debug", "info", "warn", "error"),
+        default="info", help="event-log threshold",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     return parser
 

@@ -265,12 +265,17 @@ def run_fleet(
     cache_dir_arg = None if cache_dir is None else str(cache_dir)
     if sequential:
         _ensure_fleet_cache(cache_dir)
+        # When REPRO_HEARTBEAT_DIR pins a telemetry plane, the
+        # sequential path publishes the same start/done heartbeats the
+        # worker-pool path streams, so `repro serve` sees it live.
+        emit_heartbeat = dist.pinned_heartbeat_emitter(FLEET_NAMESPACE)
         for index, start, stop in pending:
             name = _shard_name(index, start, stop)
+            start_record = dist.progress_record("start", index, name)
+            if emit_heartbeat is not None:
+                emit_heartbeat(start_record)
             if monitor is not None:
-                monitor.feed(
-                    dist.progress_record("start", index, name)
-                )
+                monitor.feed(start_record)
             before = (
                 runner.active_cache().stats.snapshot()
                 if runner.active_cache() is not None
@@ -301,19 +306,20 @@ def run_fleet(
                 )
             outcome.devices_simulated += stop - start
             outcome.shards_simulated += 1
+            done_record = dist.progress_record(
+                "done",
+                index,
+                name,
+                **_shard_heartbeat(
+                    time.perf_counter() - shard_began,
+                    stop - start,
+                    before,
+                ),
+            )
+            if emit_heartbeat is not None:
+                emit_heartbeat(done_record)
             if monitor is not None:
-                monitor.feed(
-                    dist.progress_record(
-                        "done",
-                        index,
-                        name,
-                        **_shard_heartbeat(
-                            time.perf_counter() - shard_began,
-                            stop - start,
-                            before,
-                        ),
-                    )
-                )
+                monitor.feed(done_record)
     else:
         tracer = obs_trace.active()
         context = dist.new_context(

@@ -31,6 +31,11 @@ lazily; not re-exported here to keep hot-path imports light):
 * :mod:`repro.obs.diff` — structural trace/profile diffing (``repro
   obs diff``): added/removed/count-shifted spans, counter deltas,
   simulated-duration shifts.
+* :mod:`repro.obs.serve` — the live telemetry plane (``repro serve``):
+  long-lived power-advisor sessions over a local NDJSON socket, rolling
+  per-session power/residency/fps gauges, fan-out progress from the
+  heartbeat plane, and an embedded ``GET /metrics`` Prometheus scrape
+  endpoint.
 """
 
 from __future__ import annotations

@@ -37,11 +37,13 @@ DEFAULT_TOLERANCE = 1e-9
 
 def load_artifact(path: str | Path) -> tuple[str, Any]:
     """Load ``path`` as ``("trace", events)``, ``("profile", dict)``,
-    or ``("fleet", dict)``.
+    ``("fleet", dict)``, or ``("summary", dict)``.
 
     A JSONL trace parses line-by-line into event dictionaries; a single
     JSON object with a ``ledger`` key is a ``repro profile --json``
-    payload; one with a ``fleet`` key is a ``repro fleet`` report.
+    payload; one with a ``fleet`` key is a ``repro fleet`` report; one
+    with a ``summary`` key is a serve-session run summary (the shape
+    ``repro serve`` reports on session close).
     """
     text = Path(path).read_text(encoding="utf-8").strip()
     if not text:
@@ -55,9 +57,11 @@ def load_artifact(path: str | Path) -> tuple[str, Any]:
             return "profile", payload
         if "fleet" in payload:
             return "fleet", payload
+        if "summary" in payload:
+            return "summary", payload
         raise ConfigurationError(
-            f"{path} is JSON but not a trace, profile, or fleet "
-            "report"
+            f"{path} is JSON but not a trace, profile, fleet, or "
+            "summary report"
         )
     events = []
     for number, line in enumerate(text.splitlines(), start=1):
@@ -424,10 +428,11 @@ def diff_artifacts(
     path_b: str | Path,
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> TraceDiff | ProfileDiff:
-    """Diff two files of the same artifact kind (trace, profile, or
-    fleet report).  Fleet reports compare numeric-leaf-wise like
-    profiles — a resumed fleet run diffs clean against an
-    uninterrupted one."""
+    """Diff two files of the same artifact kind (trace, profile,
+    fleet report, or serve-session summary).  Non-trace kinds compare
+    numeric-leaf-wise like profiles — a resumed fleet run diffs clean
+    against an uninterrupted one, and a live-served session diffs
+    clean against its offline reference."""
     kind_a, payload_a = load_artifact(path_a)
     kind_b, payload_b = load_artifact(path_b)
     if kind_a != kind_b:

@@ -68,6 +68,19 @@ _SHARD_SUFFIX = ".shard.jsonl"
 _METRICS_SUFFIX = ".metrics.json"
 _HEARTBEAT_SUFFIX = ".hb.jsonl"
 
+#: Environment variable pinning every fan-out's heartbeat files to one
+#: shared directory so an external observer (``repro serve``) can watch
+#: live shard progress across processes.  Setting it also forces
+#: heartbeats on for every context minted in the process tree.
+HEARTBEAT_DIR_ENV = "REPRO_HEARTBEAT_DIR"
+
+
+def heartbeat_dir() -> Path | None:
+    """The pinned heartbeat directory, when :data:`HEARTBEAT_DIR_ENV`
+    names one (empty values count as unset)."""
+    value = os.environ.get(HEARTBEAT_DIR_ENV, "").strip()
+    return Path(value) if value else None
+
 
 # ---------------------------------------------------------------------------
 # The propagated context
@@ -132,10 +145,19 @@ def new_context(
     namespace: str = DEFAULT_NAMESPACE,
 ) -> TraceContext:
     """Mint a context for one fan-out, creating its shard directory
-    (a private temp dir unless ``shard_root`` pins one)."""
+    (a private temp dir unless ``shard_root`` or the
+    :data:`HEARTBEAT_DIR_ENV` environment variable pins one).  A
+    pinned heartbeat directory also forces ``heartbeat=True`` so a
+    concurrent ``repro serve`` observes progress without the run
+    passing ``--progress``."""
+    pinned = heartbeat_dir()
     if shard_root is not None:
         base = Path(shard_root)
         base.mkdir(parents=True, exist_ok=True)
+    elif pinned is not None:
+        base = pinned
+        base.mkdir(parents=True, exist_ok=True)
+        heartbeat = True
     else:
         base = Path(tempfile.mkdtemp(prefix="repro-shards-"))
     return TraceContext(
@@ -149,7 +171,25 @@ def new_context(
 
 
 def cleanup(context: TraceContext) -> None:
-    """Remove the context's shard directory (best-effort)."""
+    """Remove the context's shard directory (best-effort).
+
+    In a pinned heartbeat directory (see :func:`heartbeat_dir`) the
+    directory is shared and outlives the run: only this run's shard
+    and metrics files are removed, and its heartbeat files are kept so
+    a live observer polling the directory never loses the final
+    ``done`` lines to a cleanup race.
+    """
+    pinned = heartbeat_dir()
+    shard_dir = Path(context.shard_dir)
+    if pinned is not None and shard_dir == pinned:
+        for path in shard_dir.glob(f"{context.run_id}-w*"):
+            if path.name.endswith(_HEARTBEAT_SUFFIX):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return
     shutil.rmtree(context.shard_dir, ignore_errors=True)
 
 
@@ -536,6 +576,87 @@ def normalized_jsonl(events: list[dict[str, Any]]) -> str:
 # ---------------------------------------------------------------------------
 
 
+def tail_complete_lines(
+    path: Path | str, offset: int = 0
+) -> tuple[list[dict[str, Any]], int]:
+    """New JSONL records appended to ``path`` past ``offset``.
+
+    Built for files a live worker is still appending to: a torn final
+    line (no trailing newline — the writer is mid-``write``) is left
+    for the next poll rather than parsed or counted, complete lines
+    that fail to parse are skipped, and an unreadable file reads as
+    empty.  Returns ``(records, new_offset)`` where ``new_offset``
+    covers exactly the complete lines consumed.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            payload = handle.read()
+    except OSError:
+        return [], offset
+    records: list[dict[str, Any]] = []
+    consumed = 0
+    for line in payload.splitlines(keepends=True):
+        # A writer may be mid-line; only complete lines parse.
+        if not line.endswith(b"\n"):
+            break
+        consumed += len(line)
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records, offset + consumed
+
+
+def pinned_heartbeat_emitter(
+    namespace: str = DEFAULT_NAMESPACE,
+) -> Callable[[dict[str, Any]], None] | None:
+    """A heartbeat writer for *sequential* execution paths.
+
+    Parallel fan-outs pick up the pinned directory through
+    :func:`new_context`; the sequential paths feed their progress
+    records straight to a monitor and would otherwise stay invisible
+    to an external observer.  When :data:`HEARTBEAT_DIR_ENV` pins a
+    directory this returns an ``emit(record)`` callable appending the
+    same shard-protocol records to a per-process heartbeat file there
+    (namespace-tagged like a worker's); otherwise ``None``.
+    """
+    pinned = heartbeat_dir()
+    if pinned is None:
+        return None
+    try:
+        pinned.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    path = pinned / (
+        f"{uuid.uuid4().hex[:12]}-w{os.getpid():08d}"
+        f"{_HEARTBEAT_SUFFIX}"
+    )
+    ns_tag: dict[str, Any] = (
+        {}
+        if namespace == DEFAULT_NAMESPACE
+        else {NAMESPACE_FIELD: namespace}
+    )
+
+    def emit(record: dict[str, Any]) -> None:
+        try:
+            _append_jsonl(
+                path,
+                [json.dumps({**record, **ns_tag}, sort_keys=True)],
+            )
+        except OSError:
+            # Heartbeats are advisory, never fatal.
+            pass
+
+    return emit
+
+
 class ProgressMonitor:
     """Streams fan-out progress lines from worker heartbeats.
 
@@ -583,28 +704,13 @@ class ProgressMonitor:
         handled = 0
         pattern = f"{context.run_id}-w*{_HEARTBEAT_SUFFIX}"
         for path in sorted(Path(context.shard_dir).glob(pattern)):
-            offset = self._offsets.get(path, 0)
-            try:
-                with open(path, encoding="utf-8") as handle:
-                    handle.seek(offset)
-                    payload = handle.read()
-            except OSError:
-                continue
-            consumed = 0
-            for line in payload.splitlines(keepends=True):
-                # A writer may be mid-line; only complete lines parse.
-                if not line.endswith("\n"):
-                    break
-                consumed += len(line)
-                text = line.strip()
-                if not text:
-                    continue
-                try:
-                    self.feed(json.loads(text))
-                    handled += 1
-                except ValueError:
-                    continue
-            self._offsets[path] = offset + consumed
+            records, new_offset = tail_complete_lines(
+                path, self._offsets.get(path, 0)
+            )
+            for record in records:
+                self.feed(record)
+                handled += 1
+            self._offsets[path] = new_offset
         return handled
 
 
@@ -628,6 +734,7 @@ def progress_record(
 
 __all__ = [
     "DEFAULT_NAMESPACE",
+    "HEARTBEAT_DIR_ENV",
     "NAMESPACE_FIELD",
     "TASK_FIELD",
     "TraceContext",
@@ -635,6 +742,7 @@ __all__ = [
     "WORKER_FIELD",
     "absorb_trace",
     "cleanup",
+    "heartbeat_dir",
     "heartbeat_path",
     "merge_groups",
     "merge_worker_metrics",
@@ -642,11 +750,13 @@ __all__ = [
     "new_context",
     "normalize_events",
     "normalized_jsonl",
+    "pinned_heartbeat_emitter",
     "progress_record",
     "read_shards",
     "read_worker_metrics",
     "record_fanout",
     "run_worker_task",
     "shard_path",
+    "tail_complete_lines",
     "ProgressMonitor",
 ]

@@ -26,7 +26,13 @@ import json
 import re
 from typing import Any
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RollingGauge,
+)
 from .metrics import registry as default_registry
 from .trace import COUNTER, EVENT, SPAN_END, SPAN_START, Tracer
 
@@ -351,44 +357,101 @@ def _format_value(value: float | int | None) -> str:
     return f"{value:.10g}"
 
 
+def _escape_help(text: str) -> str:
+    """``# HELP`` text escaping per the 0.0.4 spec: backslash and
+    line feed (label values additionally escape ``"``, but HELP does
+    not)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _split_key(name: str) -> tuple[str, str]:
+    """A registry key as ``(family, label_body)``.
+
+    Labelled keys minted by :func:`repro.obs.metrics.labelled` render
+    the (pre-escaped) label set inline — ``serve.win_mw{sid="a"}`` —
+    so the family is everything before the first ``{`` and the label
+    body is the text between the braces (empty for plain keys).
+    """
+    if "{" in name and name.endswith("}"):
+        family, _, labels = name.partition("{")
+        return family, labels[:-1]
+    return name, ""
+
+
+def _merge_labels(body: str, extra: str) -> str:
+    """Combine an inline label body with an extra ``k="v"`` pair."""
+    return f"{body},{extra}" if body else extra
+
+
 def prometheus_text(
     registry: MetricsRegistry | None = None,
 ) -> str:
     """The registry in the Prometheus text exposition format (0.0.4).
 
-    Counters and gauges emit one sample each; histograms emit the
-    conventional cumulative ``_bucket{le="..."}`` series (our internal
-    per-bucket occupancies are cumulated here) plus ``_sum`` and
-    ``_count``.
+    Counters emit one sample each under the conventional ``_total``
+    suffix; gauges (and rolling gauges, which expose their windowed
+    mean) emit one sample; histograms emit the cumulative
+    ``_bucket{le="..."}`` series (our internal per-bucket occupancies
+    are cumulated here) plus ``_sum`` and ``_count``.  Registry keys
+    carrying a :func:`repro.obs.metrics.labelled` label set group under
+    one ``# HELP`` / ``# TYPE`` header per family, and ``# HELP`` text
+    is escaped per the spec (backslash, line feed).
     """
     registry = registry if registry is not None else default_registry()
+    # Group label-bearing keys by family so every family emits exactly
+    # one HELP/TYPE header.  Grouping cannot rely on sort adjacency:
+    # "a.b_x" sorts between "a.b" and 'a.b{sid="1"}'.
+    families: dict[str, list[tuple[str, object]]] = {}
+    for name in registry.names():
+        family, labels = _split_key(name)
+        families.setdefault(family, []).append(
+            (labels, registry.get(name))
+        )
     lines: list[str] = []
-    for name in sorted(registry.names()):
-        metric = registry.get(name)
-        series = prometheus_name(name)
-        help_text = metric.help or name
-        if isinstance(metric, Counter):
-            lines.append(f"# HELP {series} {help_text}")
-            lines.append(f"# TYPE {series} counter")
-            lines.append(f"{series} {_format_value(metric.value)}")
-        elif isinstance(metric, Gauge):
+    for family in sorted(families):
+        members = families[family]
+        first = members[0][1]
+        series = prometheus_name(family)
+        help_text = _escape_help(first.help or family)
+        if isinstance(first, Counter):
+            total = f"{series}_total"
+            lines.append(f"# HELP {total} {help_text}")
+            lines.append(f"# TYPE {total} counter")
+            for labels, metric in members:
+                sample = f"{total}{{{labels}}}" if labels else total
+                lines.append(
+                    f"{sample} {_format_value(metric.value)}"
+                )
+        elif isinstance(first, (Gauge, RollingGauge)):
             lines.append(f"# HELP {series} {help_text}")
             lines.append(f"# TYPE {series} gauge")
-            lines.append(f"{series} {_format_value(metric.value)}")
-        elif isinstance(metric, Histogram):
+            for labels, metric in members:
+                sample = f"{series}{{{labels}}}" if labels else series
+                lines.append(
+                    f"{sample} {_format_value(metric.value)}"
+                )
+        elif isinstance(first, Histogram):
             lines.append(f"# HELP {series} {help_text}")
             lines.append(f"# TYPE {series} histogram")
-            cumulative = 0
-            for bound, occupancy in zip(
-                metric.buckets + (float("inf"),), metric.bucket_counts
-            ):
-                cumulative += occupancy
+            for labels, metric in members:
+                cumulative = 0
+                for bound, occupancy in zip(
+                    metric.buckets + (float("inf"),),
+                    metric.bucket_counts,
+                ):
+                    cumulative += occupancy
+                    le = f'le="{_format_value(bound)}"'
+                    lines.append(
+                        f"{series}_bucket"
+                        f"{{{_merge_labels(labels, le)}}} "
+                        f"{cumulative}"
+                    )
+                suffix = f"{{{labels}}}" if labels else ""
                 lines.append(
-                    f'{series}_bucket{{le="{_format_value(bound)}"}} '
-                    f"{cumulative}"
+                    f"{series}_sum{suffix} "
+                    f"{_format_value(metric.total)}"
                 )
-            lines.append(
-                f"{series}_sum {_format_value(metric.total)}"
-            )
-            lines.append(f"{series}_count {metric.count}")
+                lines.append(
+                    f"{series}_count{suffix} {metric.count}"
+                )
     return "\n".join(lines) + ("\n" if lines else "")

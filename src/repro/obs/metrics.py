@@ -15,6 +15,7 @@ Instrument-once, read-anywhere: library code calls
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
@@ -55,6 +56,31 @@ def linear_buckets(
             f"linear_buckets needs width > 0, got {width}"
         )
     return tuple(start + index * width for index in range(count))
+
+
+def labelled(name: str, labels: dict[str, str]) -> str:
+    """The registry key for ``name`` carrying a Prometheus label set.
+
+    The registry itself is label-agnostic — a labelled series is just a
+    metric whose *key* renders the label set inline, pre-escaped per
+    the exposition format (backslash, double quote, newline).  The
+    exporter splits the key on the first ``{`` to group every labelled
+    key of one family under a single ``# HELP`` / ``# TYPE`` header.
+    Keys sort labels by name so one label set always produces one key.
+    """
+    if not labels:
+        return name
+    rendered = ",".join(
+        '{}="{}"'.format(
+            key,
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"),
+        )
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{rendered}}}"
 
 
 @dataclass
@@ -111,6 +137,92 @@ class Gauge:
 
     def render(self) -> str:
         return f"{self.value:g}"
+
+
+@dataclass
+class RollingGauge:
+    """A gauge windowed over the last ``window_s`` *simulated* seconds.
+
+    Each :meth:`observe` carries its own timestamp (the serve plane
+    feeds simulated window starts, never wall clock), and samples older
+    than ``window_s`` behind the newest are evicted on every update —
+    memory is bounded by the sample rate times the window, independent
+    of how long the session runs.  ``value`` is the mean of the
+    surviving samples, which is the right reading for rates expressed
+    per second (rolling mW, residency fractions, effective fps).
+    """
+
+    name: str
+    help: str = ""
+    window_s: float = 10.0
+    samples: deque = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigurationError(
+                f"rolling gauge {self.name!r} needs window_s > 0"
+            )
+
+    def observe(self, t: float, value: float) -> None:
+        """Record ``value`` at simulated time ``t`` and evict samples
+        that have fallen out of the window.
+
+        Out-of-order timestamps are tolerated (a merged snapshot can
+        interleave two streams): eviction always keys on the newest
+        timestamp seen so far.
+        """
+        self.samples.append((t, value))
+        self._evict()
+
+    def _evict(self) -> None:
+        if not self.samples:
+            return
+        horizon = max(t for t, _ in self.samples) - self.window_s
+        while self.samples and self.samples[0][0] <= horizon:
+            self.samples.popleft()
+
+    @property
+    def value(self) -> float:
+        """Mean of the in-window samples (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(v for _, v in self.samples) / len(self.samples)
+
+    @property
+    def latest(self) -> float:
+        """The newest sample's value (0 when empty)."""
+        return self.samples[-1][1] if self.samples else 0.0
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "type": "rolling",
+            "window_s": self.window_s,
+            "value": self.value,
+            "samples": [[t, v] for t, v in self.samples],
+        }
+
+    def merge_snapshot(self, state: dict) -> None:
+        """Fold another process's snapshot in: sample streams
+        interleave by timestamp, then the shared window re-evicts."""
+        if float(state.get("window_s", self.window_s)) != self.window_s:
+            raise ConfigurationError(
+                f"rolling gauge {self.name!r} window differs: "
+                f"{self.window_s} vs {state.get('window_s')}"
+            )
+        merged = sorted(
+            [(float(t), float(v)) for t, v in self.samples]
+            + [(float(t), float(v)) for t, v in state.get("samples", [])]
+        )
+        self.samples = deque(merged)
+        self._evict()
+
+    def render(self) -> str:
+        if not self.samples:
+            return "n=0"
+        return f"n={len(self.samples)} mean={self.value:g}"
 
 
 @dataclass
@@ -293,7 +405,7 @@ class Histogram:
         )
 
 
-Metric = Counter | Gauge | Histogram
+Metric = Counter | Gauge | RollingGauge | Histogram
 
 
 class MetricsRegistry:
@@ -333,6 +445,32 @@ class MetricsRegistry:
         return self._get_or_create(
             name, lambda: Gauge(name, help), Gauge, help
         )
+
+    def rolling_gauge(
+        self, name: str, help: str = "", window_s: float = 10.0
+    ) -> RollingGauge:
+        """The rolling gauge called ``name``, created on first use."""
+        return self._get_or_create(
+            name,
+            lambda: RollingGauge(name, help, window_s=window_s),
+            RollingGauge,
+            help,
+        )
+
+    def remove(self, name: str) -> bool:
+        """Drop one metric (a closed serve session retires its
+        labelled series).  Returns whether it existed."""
+        return self._metrics.pop(name, None) is not None
+
+    def remove_prefix(self, prefix: str) -> int:
+        """Drop every metric whose key starts with ``prefix``; returns
+        how many were removed."""
+        doomed = [
+            name for name in self._metrics if name.startswith(prefix)
+        ]
+        for name in doomed:
+            del self._metrics[name]
+        return len(doomed)
 
     def histogram(
         self,
@@ -392,6 +530,11 @@ class MetricsRegistry:
                 self.counter(name).merge_snapshot(state)
             elif kind == "gauge":
                 self.gauge(name).merge_snapshot(state)
+            elif kind == "rolling":
+                window = float(state.get("window_s", 10.0))
+                self.rolling_gauge(
+                    name, window_s=window
+                ).merge_snapshot(state)
             elif kind == "histogram":
                 bounds = tuple(state.get("bounds", DEFAULT_BUCKETS))
                 self.histogram(

@@ -16,6 +16,8 @@ from .sim import (
     FrameWindowSimulator,
     RunResult,
     RunStats,
+    StreamingSimulator,
+    StreamingWindow,
     WindowContext,
     WindowResult,
     default_retain,
@@ -32,6 +34,8 @@ __all__ = [
     "RunStats",
     "Segment",
     "SegmentClass",
+    "StreamingSimulator",
+    "StreamingWindow",
     "Timeline",
     "TimelineBuilder",
     "TimelineSummary",

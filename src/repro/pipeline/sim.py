@@ -14,6 +14,7 @@ import dataclasses
 import enum
 import hashlib
 import os
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Protocol, Sequence
 
@@ -1228,3 +1229,307 @@ class FrameWindowSimulator:
                 f"{self.scheme.name}: window {plan.index} covers "
                 f"{timeline.duration:.6f}s, expected {plan.duration:.6f}s"
             )
+
+
+# ---------------------------------------------------------------------------
+# Incremental simulation: the push-driven front end for the serve plane
+# ---------------------------------------------------------------------------
+
+#: Effectively-infinite window count for the streaming cadence walker.
+#: ``RefreshTiming.windows`` is a ``range()``-driven generator, so the
+#: huge bound costs nothing and every yielded plan is bit-identical to
+#: the one a finite offline run would compute for the same index.
+_STREAM_HORIZON = 1 << 62
+
+
+@dataclass(frozen=True)
+class StreamingWindow:
+    """One refresh window advanced by :class:`StreamingSimulator`.
+
+    Carries what a live observer prices per window: the plan, the
+    *effective* kind (a clamped cadence new-frame counts as a repeat),
+    and the one-window digest.  Collapse hits share the memo entry's
+    digest object, so ``id(digest)``-keyed pricing caches hit for free.
+    """
+
+    plan: WindowPlan
+    effective_kind: str
+    digest: TimelineSummary
+    final_state: PackageCState
+    collapsed: bool
+    deadline_missed: bool
+
+    @property
+    def effective_new_frame(self) -> bool:
+        return self.effective_kind == "new_frame"
+
+
+class StreamingSimulator:
+    """The scalar simulator loop, inverted: frames are *pushed* in and
+    windows come out as the cadence allows.
+
+    ``repro serve`` sessions feed frames as they arrive over the wire;
+    this class advances through exactly the code path of
+    :meth:`FrameWindowSimulator.run` at ``engine="scalar"`` — the same
+    :meth:`RefreshTiming.windows` plans, the same pull/clamp logic, the
+    same repeat-window collapsing, the same
+    :meth:`TimelineSummary.window_digest` absorption order — so the
+    final summary is byte-identical to the offline run of the same
+    stream.  Live observation must not perturb the simulation; this is
+    the invariant the serve acceptance test pins.
+
+    While the stream is open the walker only advances windows whose
+    frames are certain to exist in any completed stream (``index <
+    round(frames_seen * windows_per_frame)``); a caller that cannot
+    advance is *stalled* (backpressure).  :meth:`end` declares the
+    stream complete, fixing the total window count the way ``run()``
+    computes it, and drains the remaining windows (re-presenting the
+    last frame, clamped, exactly like an exhausted offline source).
+
+    Tracing and VR work are not supported — serve sessions are
+    untraced planar streams, which is also the precondition for
+    repeat-window collapsing.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme: DisplayScheme,
+        video_fps: float,
+        max_windows: int | None = None,
+        collapse: bool | None = None,
+    ) -> None:
+        self.config = config
+        self.scheme = scheme
+        self.video_fps = float(video_fps)
+        self.max_windows = max_windows
+        self._timing = RefreshTiming(
+            config.panel.refresh_hz, video_fps
+        )
+        self._plans = self._timing.windows(_STREAM_HORIZON)
+        self._collapse_enabled = (
+            obs_trace.active() is None
+            and getattr(scheme, "plan_key", None) is not None
+            and (collapse is None or collapse)
+        )
+        self._window_seconds = obs_metrics.registry().histogram(
+            "sim.window_s", "planned refresh-window durations (s)",
+            buckets=obs_metrics.LATENCY_BUCKETS,
+        )
+        self._buffer: "deque[FrameDescriptor]" = deque()
+        self._current_frame: FrameDescriptor | None = None
+        self._pulled = 0
+        self.frames_seen = 0
+        self._ended = False
+        self._done = False
+        self._next_index = 0
+        self._state = PackageCState.C0
+        self.stats = RunStats()
+        self.summary = TimelineSummary()
+        self._collapse_entry: _CollapseEntry | None = None
+        self._collapse_hits = 0
+        self._collapse_misses = 0
+        self._result: RunResult | None = None
+
+    # -- feeding ------------------------------------------------------------
+
+    def push(self, frame: FrameDescriptor) -> list[StreamingWindow]:
+        """Append one frame and advance every window it unblocks."""
+        if self._ended:
+            raise SimulationError(
+                "cannot push frames after the stream ended"
+            )
+        if self._current_frame is None:
+            # The scalar loop pulls the first frame before any window.
+            self._current_frame = frame
+            self._pulled = 1
+        else:
+            self._buffer.append(frame)
+        self.frames_seen += 1
+        return self.advance()
+
+    def end(self) -> list[StreamingWindow]:
+        """Declare the stream complete and drain remaining windows."""
+        if self.frames_seen == 0:
+            raise SimulationError("cannot simulate an empty frame list")
+        self._ended = True
+        return self.advance()
+
+    # -- advancing ----------------------------------------------------------
+
+    @property
+    def _horizon(self) -> int:
+        """How far the walker may advance right now.
+
+        Open streams stop at the conservative frame-backed horizon (a
+        larger ``max_windows`` must wait for frames that may still
+        arrive); ended streams stop at exactly the window count
+        ``run()`` would compute for the same inputs.
+        """
+        natural = int(
+            round(self.frames_seen * self._timing.windows_per_frame)
+        )
+        if self.max_windows is None:
+            return natural
+        if self._ended:
+            return self.max_windows
+        return min(natural, self.max_windows)
+
+    def advance(self) -> list[StreamingWindow]:
+        """Advance every window currently allowed to run.
+
+        Open streams stop at the conservative horizon (no window may
+        outrun a frame that has not arrived); ended streams stop at
+        the run's total window count.  Returns the windows advanced
+        (possibly empty — the *stalled* case for an open stream).
+        """
+        produced: list[StreamingWindow] = []
+        while not self._done:
+            if self._next_index >= self._horizon:
+                if self._ended:
+                    self._done = True
+                break
+            produced.append(self._step(next(self._plans)))
+            self._next_index += 1
+        return produced
+
+    @property
+    def stalled(self) -> bool:
+        """An open stream that cannot advance until frames arrive."""
+        return (
+            not self._ended and self._next_index >= self._horizon
+        )
+
+    @property
+    def windows_simulated(self) -> int:
+        return self._next_index
+
+    @property
+    def finished(self) -> bool:
+        return self._done
+
+    def _step(self, plan: WindowPlan) -> StreamingWindow:
+        while self._pulled <= plan.frame_index:
+            if not self._buffer:
+                break
+            self._current_frame = self._buffer.popleft()
+            self._pulled += 1
+        clamped = plan.frame_index > self._pulled - 1
+        effective_new_frame = plan.is_new_frame and not clamped
+        effective_kind = (
+            "new_frame" if effective_new_frame else "repeat"
+        )
+        ctx = WindowContext(
+            config=self.config,
+            window=plan,
+            frame=self._current_frame,  # type: ignore[arg-type]
+            vr=None,
+            initial_state=self._state,
+        )
+        self._window_seconds.observe(plan.duration)
+        window_key: tuple | None = None
+        if self._collapse_enabled:
+            window_key = (
+                self.scheme.plan_key(),
+                plan.kind,
+                plan.frame_index if plan.is_new_frame else None,
+                self._current_frame,
+                None,
+                self._state,
+                plan.duration,
+            )
+        entry = self._collapse_entry
+        if (
+            entry is not None
+            and window_key is not None
+            and entry.key == window_key
+        ):
+            self._collapse_hits += 1
+            self.stats.record(
+                plan, entry.result, new_frame=effective_new_frame
+            )
+            self.summary.absorb(entry.digest)
+            self._state = entry.final_state
+            return StreamingWindow(
+                plan=plan,
+                effective_kind=effective_kind,
+                digest=entry.digest,
+                final_state=self._state,
+                collapsed=True,
+                deadline_missed=entry.result.deadline_missed,
+            )
+        result = self.scheme.plan_window(ctx)
+        self._validate_window(plan, result)
+        if result.deadline_missed and self.config.strict_deadlines:
+            raise DeadlineMissError(
+                f"{self.scheme.name}: window {plan.index} missed its "
+                f"deadline"
+            )
+        self.stats.record(plan, result, new_frame=effective_new_frame)
+        digest = TimelineSummary.window_digest(
+            result.timeline, effective_kind, plan.duration
+        )
+        self.summary.absorb(digest)
+        self._state = result.timeline.segments[-1].state
+        if self._collapse_enabled:
+            self._collapse_misses += 1
+            self._collapse_entry = _CollapseEntry(
+                key=window_key,  # type: ignore[arg-type]
+                start=plan.start,
+                result=result,
+                digest=digest,
+                final_state=self._state,
+            )
+        return StreamingWindow(
+            plan=plan,
+            effective_kind=effective_kind,
+            digest=digest,
+            final_state=self._state,
+            collapsed=False,
+            deadline_missed=result.deadline_missed,
+        )
+
+    _validate_window = FrameWindowSimulator._validate_window
+
+    # -- completion ---------------------------------------------------------
+
+    def result(self) -> RunResult:
+        """The completed run (summary retention), with the run-level
+        registry counters incremented exactly once."""
+        if not self._done:
+            raise SimulationError(
+                "streaming run still has windows pending "
+                "(call end() first)"
+            )
+        if self._result is not None:
+            return self._result
+        run = RunResult(
+            scheme=self.scheme.name,
+            config=self.config,
+            timeline=None,
+            stats=self.stats,
+            video_fps=self.video_fps,
+            summary=self.summary,
+            cache_key=None,
+        )
+        registry = obs_metrics.registry()
+        registry.counter(
+            "sim.runs", "simulator runs completed (cache misses only)"
+        ).inc()
+        registry.counter(
+            "sim.windows", "refresh windows planned"
+        ).inc(self.stats.windows)
+        registry.counter(
+            "sim.deadline_misses", "windows that missed their deadline"
+        ).inc(self.stats.deadline_misses)
+        if self._collapse_enabled:
+            registry.counter(
+                "sim.collapse.hit",
+                "windows replayed from the repeat-window memo",
+            ).inc(self._collapse_hits)
+            registry.counter(
+                "sim.collapse.miss",
+                "windows planned fresh with collapsing enabled",
+            ).inc(self._collapse_misses)
+        self._result = run
+        return run

@@ -311,6 +311,36 @@ class SegmentClass:
             window_kind=window_kind,
         )
 
+    def key_string(self) -> str:
+        """A canonical text key for this class (JSON payload keys).
+
+        Field order is fixed and every field renders exactly one way
+        (enum names, ``0``/``1`` flags), so two equal classes always
+        produce byte-identical keys — the serve plane's summary
+        artifacts compare as strings.
+        """
+        flags = "".join(
+            "1" if flag else "0"
+            for flag in (
+                self.transition,
+                self.cpu_active,
+                self.gpu_active,
+                self.dc_active,
+                self.drfb_active,
+                self.edp_active,
+            )
+        )
+        return "|".join(
+            (
+                self.state.name,
+                flags,
+                self.vd_mode.value,
+                self.panel_mode.value,
+                self.label,
+                self.window_kind,
+            )
+        )
+
 
 @dataclass
 class ClassTotals:
@@ -457,6 +487,45 @@ class TimelineSummary:
             digest.add_segment(segment, kind)
         digest.close_window(kind, duration, timeline.duration)
         return digest
+
+    def to_payload(self) -> dict:
+        """The summary as a JSON-safe dictionary.
+
+        Class buckets key by :meth:`SegmentClass.key_string` and window
+        durations by ``repr(float)`` (shortest round-trip form), both
+        sorted — two equal summaries serialize byte-identically, which
+        is what lets ``repro obs diff`` compare a live-served run
+        against its offline reference as artifacts.
+        """
+        return {
+            "start": self.start,
+            "end": self.end,
+            "windows": self.windows,
+            "window_counts": {
+                kind: self.window_counts[kind]
+                for kind in sorted(self.window_counts)
+            },
+            "window_durations": {
+                repr(duration): self.window_durations[duration]
+                for duration in sorted(self.window_durations)
+            },
+            "buckets": {
+                key: {
+                    "seconds": totals.seconds,
+                    "segments": totals.segments,
+                    "dram_read_bytes": totals.dram_read_bytes,
+                    "dram_write_bytes": totals.dram_write_bytes,
+                    "edp_bytes": totals.edp_bytes,
+                }
+                for key, totals in sorted(
+                    (
+                        (cls_key.key_string(), totals)
+                        for cls_key, totals in self.buckets.items()
+                    ),
+                    key=lambda item: item[0],
+                )
+            },
+        }
 
     def copy(self) -> "TimelineSummary":
         """An independent deep copy."""

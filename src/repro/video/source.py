@@ -66,6 +66,42 @@ class FrameDescriptor:
         if self.encoded_bytes <= 0 or self.decoded_bytes <= 0:
             raise ConfigurationError("frame sizes must be positive")
 
+    def to_payload(self) -> dict[str, Any]:
+        """The descriptor as a JSON-safe wire payload (the ``repro
+        serve`` session protocol ships frames in this shape)."""
+        return {
+            "index": self.index,
+            "type": self.frame_type.value,
+            "encoded_bytes": self.encoded_bytes,
+            "decoded_bytes": self.decoded_bytes,
+        }
+
+
+def descriptor_from_payload(payload: dict[str, Any]) -> FrameDescriptor:
+    """Parse one wire-protocol frame payload (the inverse of
+    :meth:`FrameDescriptor.to_payload`), validating sizes and type."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"frame payload must be an object, got {type(payload).__name__}"
+        )
+    try:
+        frame_type = FrameType(str(payload.get("type", "P")))
+    except ValueError:
+        raise ConfigurationError(
+            f"unknown frame type {payload.get('type')!r}"
+        ) from None
+    try:
+        return FrameDescriptor(
+            index=int(payload.get("index", 0)),
+            frame_type=frame_type,
+            encoded_bytes=float(payload["encoded_bytes"]),
+            decoded_bytes=float(payload["decoded_bytes"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        raise ConfigurationError(
+            "frame payload needs numeric encoded_bytes/decoded_bytes"
+        ) from None
+
 
 #: Relative encoded-size weights of I, P, and B frames (I frames are the
 #: big intra-coded anchors; B frames compress best).

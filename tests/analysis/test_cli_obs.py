@@ -41,7 +41,7 @@ class TestMetricsCommand:
             capsys, "metrics", "--exhibit", "conventional", "--prom"
         )
         assert code == 0
-        assert "# TYPE repro_sim_windows counter" in out
+        assert "# TYPE repro_sim_windows_total counter" in out
         assert "repro_sim_window_s_bucket" in out
         assert 'le="+Inf"' in out
 

@@ -70,7 +70,7 @@ class TestEngine:
         assert snapshot["fleet.devices_simulated"]["value"] == 4
         assert snapshot["fleet.shards_completed"]["value"] == 2
         text = prometheus_text(registry)
-        assert "repro_fleet_devices_simulated 4" in text
+        assert "repro_fleet_devices_simulated_total 4" in text
         assert "repro_fleet_shard_wall_s_count 2" in text
 
     def test_worker_metrics_merge_into_parent(self):

@@ -275,3 +275,83 @@ class TestIngestGuards:
         tracer = Tracer()
         with pytest.raises(ConfigurationError):
             tracer.ingest([{"seq": 5, "kind": "I", "name": "x"}])
+
+
+class TestTailCompleteLines:
+    """Torn-write tolerance for live heartbeat ingestion."""
+
+    def _heartbeat(self, event, index):
+        return json.dumps(
+            {"event": event, "index": index, "name": f"shard-{index}"}
+        )
+
+    def test_truncated_final_record_is_deferred(self, tmp_path):
+        path = tmp_path / "w.hb.jsonl"
+        whole = self._heartbeat("start", 0) + "\n"
+        torn = self._heartbeat("done", 0)
+        # A writer died (or is still writing) mid-record: no newline.
+        path.write_bytes((whole + torn[: len(torn) // 2]).encode())
+        records, offset = dist.tail_complete_lines(path, 0)
+        assert [r["event"] for r in records] == ["start"]
+        assert offset == len(whole.encode())
+        # The writer finishes the line; a re-poll from the returned
+        # offset picks up exactly the completed record.
+        path.write_bytes((whole + torn + "\n").encode())
+        records, offset = dist.tail_complete_lines(path, offset)
+        assert [r["event"] for r in records] == ["done"]
+        assert offset == len((whole + torn).encode()) + 1
+
+    def test_corrupt_line_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "w.hb.jsonl"
+        path.write_text(
+            "{not json}\n" + self._heartbeat("start", 1) + "\n"
+        )
+        records, offset = dist.tail_complete_lines(path, 0)
+        assert [r["index"] for r in records] == [1]
+        assert offset == path.stat().st_size
+
+    def test_missing_file_returns_nothing(self, tmp_path):
+        records, offset = dist.tail_complete_lines(
+            tmp_path / "absent.hb.jsonl", 7
+        )
+        assert records == []
+        assert offset == 7
+
+
+class TestPinnedHeartbeats:
+    def test_unpinned_environment_yields_no_emitter(self, monkeypatch):
+        monkeypatch.delenv(dist.HEARTBEAT_DIR_ENV, raising=False)
+        assert dist.pinned_heartbeat_emitter("fleet") is None
+
+    def test_emitter_appends_namespaced_records(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(dist.HEARTBEAT_DIR_ENV, str(tmp_path))
+        emit = dist.pinned_heartbeat_emitter("fleet")
+        assert emit is not None
+        emit(progress_record("start", 0, "shard-0"))
+        emit(progress_record("done", 0, "shard-0", windows=8))
+        files = list(tmp_path.glob("*.hb.jsonl"))
+        assert len(files) == 1
+        records, _ = dist.tail_complete_lines(files[0], 0)
+        assert [r["event"] for r in records] == ["start", "done"]
+        assert all(r["ns"] == "fleet" for r in records)
+
+    def test_new_context_pins_and_keeps_heartbeats(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(dist.HEARTBEAT_DIR_ENV, str(tmp_path))
+        context = new_context()
+        assert Path(context.shard_dir) == tmp_path
+        assert context.heartbeat is True
+        hb = tmp_path / f"{context.run_id}-w1.hb.jsonl"
+        hb.write_text(json.dumps({"event": "start", "index": 0}) + "\n")
+        other = tmp_path / f"{context.run_id}-w1.trace.jsonl"
+        other.write_text("{}\n")
+        dist.cleanup(context)
+        # The pinned directory survives cleanup and so do heartbeat
+        # files (the serve watcher may still be tailing them); other
+        # shard files are removed as usual.
+        assert tmp_path.is_dir()
+        assert hb.exists()
+        assert not other.exists()

@@ -99,8 +99,8 @@ class TestPrometheusText:
         registry.counter("sim.runs", "runs").inc(3)
         registry.gauge("queue.depth").set(7)
         text = prometheus_text(registry)
-        assert "# TYPE repro_sim_runs counter" in text
-        assert "repro_sim_runs 3" in text
+        assert "# TYPE repro_sim_runs_total counter" in text
+        assert "repro_sim_runs_total 3" in text
         assert "# TYPE repro_queue_depth gauge" in text
         assert "repro_queue_depth 7" in text
 
@@ -129,5 +129,61 @@ class TestPrometheusText:
         registry = MetricsRegistry()
         registry.counter("x", "what x counts").inc()
         lines = prometheus_text(registry).splitlines()
-        assert lines[0] == "# HELP repro_x what x counts"
-        assert lines[1] == "# TYPE repro_x counter"
+        assert lines[0] == "# HELP repro_x_total what x counts"
+        assert lines[1] == "# TYPE repro_x_total counter"
+        assert lines[2] == "repro_x_total 1"
+
+    def test_help_text_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "line one\nback\\slash").set(1)
+        text = prometheus_text(registry)
+        assert "# HELP repro_g line one\\nback\\\\slash" in text
+
+    def test_labelled_keys_group_under_one_header(self):
+        from repro.obs.metrics import labelled
+
+        registry = MetricsRegistry()
+        registry.gauge(
+            labelled("serve.win_mw", {"sid": "a"}), "rolling power"
+        ).set(4.0)
+        registry.gauge(
+            labelled("serve.win_mw", {"sid": "b"})
+        ).set(6.0)
+        text = prometheus_text(registry)
+        assert text.count("# TYPE repro_serve_win_mw gauge") == 1
+        assert 'repro_serve_win_mw{sid="a"} 4' in text
+        assert 'repro_serve_win_mw{sid="b"} 6' in text
+
+    def test_label_values_escaped(self):
+        from repro.obs.metrics import labelled
+
+        registry = MetricsRegistry()
+        key = labelled("serve.fps", {"sid": 'we"ird\\x'})
+        registry.gauge(key).set(1.0)
+        text = prometheus_text(registry)
+        assert 'repro_serve_fps{sid="we\\"ird\\\\x"} 1' in text
+
+    def test_rolling_gauge_exports_windowed_mean(self):
+        registry = MetricsRegistry()
+        rolling = registry.rolling_gauge(
+            "serve.mw", "rolling", window_s=2.0
+        )
+        rolling.observe(0.0, 100.0)  # evicted by the 10.0 sample
+        rolling.observe(9.0, 40.0)
+        rolling.observe(10.0, 60.0)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_serve_mw gauge" in text
+        assert "repro_serve_mw 50" in text
+
+    def test_labelled_histogram_merges_le_label(self):
+        from repro.obs.metrics import labelled
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            labelled("lat.s", {"sid": "a"}), buckets=(1.0,)
+        )
+        histogram.observe(0.5)
+        text = prometheus_text(registry)
+        assert 'repro_lat_s_bucket{sid="a",le="1"} 1' in text
+        assert 'repro_lat_s_sum{sid="a"} 0.5' in text
+        assert 'repro_lat_s_count{sid="a"} 1' in text

@@ -269,3 +269,155 @@ class TestLengthlessSources:
         ).run(_EndlessSource(frame), 30.0, max_windows=6)
         assert run.stats.windows == 6
         assert run.stats.new_frame_windows == 3
+
+
+class TestStreamingSimulator:
+    """The incremental (push-driven) walker behind ``repro serve``."""
+
+    def _offline(self, config, scheme, frames, **kw):
+        return FrameWindowSimulator(config, scheme).run(
+            frames, 30.0, retain="summary", engine="scalar", **kw
+        )
+
+    def _payload(self, run):
+        import json
+
+        return json.dumps(run.summary.to_payload(), sort_keys=True)
+
+    @pytest.mark.parametrize(
+        "scheme_factory, needs_drfb",
+        [
+            (ConventionalScheme, False),
+            (BurstLinkScheme, True),
+        ],
+    )
+    def test_byte_parity_with_offline_summary(
+        self, scheme_factory, needs_drfb
+    ):
+        from repro.pipeline import StreamingSimulator
+
+        config = skylake_tablet(FHD)
+        if needs_drfb:
+            config = config.with_drfb()
+        frames = AnalyticContentModel().frames(FHD, 24, seed=9)
+        streaming = StreamingSimulator(config, scheme_factory(), 30.0)
+        for frame in frames:
+            streaming.push(frame)
+        streaming.end()
+        live = streaming.result()
+        offline = self._offline(config, scheme_factory(), frames)
+        assert self._payload(live) == self._payload(offline)
+        assert live.stats == offline.stats
+
+    def test_stateful_scheme_parity(self):
+        from repro.baselines import VipScheme
+        from repro.pipeline import StreamingSimulator
+
+        config = skylake_tablet(FHD)
+        frames = AnalyticContentModel().frames(FHD, 24, seed=9)
+        streaming = StreamingSimulator(config, VipScheme(), 30.0)
+        for frame in frames:
+            streaming.push(frame)
+        streaming.end()
+        offline = self._offline(config, VipScheme(), frames)
+        assert self._payload(streaming.result()) == self._payload(
+            offline
+        )
+
+    def test_prefix_decisions_are_final(self, frames):
+        """Windows advanced mid-stream never get re-planned: the
+        conservative horizon means every prefix decision matches the
+        completed offline run."""
+        from repro.pipeline import StreamingSimulator
+
+        config = skylake_tablet(FHD).with_drfb()
+        streaming = StreamingSimulator(config, BurstLinkScheme(), 30.0)
+        advanced = 0
+        for frame in frames:
+            windows = streaming.push(frame)
+            for window in windows:
+                assert not window.plan.is_new_frame or (
+                    window.plan.frame_index < streaming.frames_seen
+                )
+            advanced += len(windows)
+        assert streaming.stalled
+        advanced += len(streaming.end())
+        assert advanced == streaming.windows_simulated
+        assert streaming.finished
+
+    def test_max_windows_matches_offline(self, frames):
+        from repro.pipeline import StreamingSimulator
+
+        config = skylake_tablet(FHD)
+        streaming = StreamingSimulator(
+            config, ConventionalScheme(), 30.0, max_windows=7
+        )
+        for frame in frames:
+            streaming.push(frame)
+        streaming.end()
+        live = streaming.result()
+        offline = self._offline(
+            config, ConventionalScheme(), frames, max_windows=7
+        )
+        assert live.stats.windows == 7
+        assert self._payload(live) == self._payload(offline)
+
+    def test_empty_stream_rejected(self):
+        from repro.pipeline import StreamingSimulator
+
+        streaming = StreamingSimulator(
+            skylake_tablet(FHD), ConventionalScheme(), 30.0
+        )
+        with pytest.raises(SimulationError):
+            streaming.end()
+
+    def test_push_after_end_rejected(self, frames):
+        from repro.pipeline import StreamingSimulator
+
+        streaming = StreamingSimulator(
+            skylake_tablet(FHD), ConventionalScheme(), 30.0
+        )
+        streaming.push(frames[0])
+        streaming.end()
+        with pytest.raises(SimulationError):
+            streaming.push(frames[1])
+        # result() is idempotent.
+        assert streaming.result() is streaming.result()
+
+    def test_result_before_end_rejected(self, frames):
+        from repro.pipeline import StreamingSimulator
+
+        streaming = StreamingSimulator(
+            skylake_tablet(FHD), ConventionalScheme(), 30.0
+        )
+        streaming.push(frames[0])
+        with pytest.raises(SimulationError):
+            streaming.result()
+
+    def test_collapse_hits_on_repeat_windows(self):
+        from repro.pipeline import StreamingSimulator
+        from repro.video.source import FrameDescriptor
+        from repro.video.frames import FrameType
+
+        config = skylake_tablet(FHD)
+        # 10 fps video on the 60 Hz panel: five consecutive repeat
+        # windows per frame, and consecutive repeats share a collapse
+        # key (the collapse cache holds exactly the previous window).
+        streaming = StreamingSimulator(
+            config, ConventionalScheme(), 10.0
+        )
+        windows = []
+        for index in range(4):
+            windows += streaming.push(
+                FrameDescriptor(
+                    index=index,
+                    frame_type=FrameType.I,
+                    encoded_bytes=200_000,
+                    decoded_bytes=FHD.width * FHD.height * 3,
+                )
+            )
+        windows += streaming.end()
+        assert sum(w.collapsed for w in windows) > 0
+        run = streaming.result()
+        assert run.stats.windows == streaming.windows_simulated
+        assert run.stats.windows == len(windows)
