@@ -1,0 +1,72 @@
+"""Throughput of the statistics pipeline's hot paths.
+
+The replication engine re-simulates exhibits (covered by the per-figure
+regeneration benches); everything *after* that — bootstrap resampling
+per metric, interval merging, and spec/CSV emission — must stay cheap
+enough to run over every metric of every exhibit on each ``repro stats
+run``.  These micro-benches time those stages on representative input
+sizes (a 16-exhibit replication produces on the order of a hundred
+metrics at a handful of seeds each)."""
+
+from repro.analysis.figures import (
+    figure_csv,
+    get_figure,
+    merge_seed_records,
+    vega_lite_spec,
+)
+from repro.stats import bootstrap_mean, estimate_metrics, stable_seed
+
+
+def _samples(metrics: int = 100, seeds: int = 5) -> dict:
+    return {
+        f"bench.metric_{index}": [
+            100.0 + index + 0.7 * seed for seed in range(seeds)
+        ]
+        for index in range(metrics)
+    }
+
+
+def test_bootstrap_mean_single_metric(benchmark):
+    values = [100.0, 101.3, 99.2, 100.9, 98.7]
+    estimate = benchmark(
+        bootstrap_mean, values, seed=stable_seed("bench.single")
+    )
+    assert estimate.lo <= estimate.mean <= estimate.hi
+
+
+def test_estimate_metrics_replication_sized(benchmark):
+    samples = _samples(metrics=100, seeds=5)
+    estimates = benchmark(estimate_metrics, samples)
+    assert len(estimates) == 100
+    print()
+    print(
+        f"  {len(samples)} metrics x 5 seeds, 2000 resamples each"
+    )
+
+
+def test_merge_seed_records_and_emit(benchmark):
+    figure = get_figure("fig09")
+    per_seed = [
+        [
+            {
+                "resolution": res,
+                "technique": tech,
+                "value": 0.3 + 0.01 * seed,
+            }
+            for res in ("FHD", "QHD", "4K")
+            for tech in ("bypass", "burst", "burstlink")
+        ]
+        for seed in range(5)
+    ]
+
+    def merge_and_emit():
+        records = merge_seed_records(figure, per_seed)
+        return figure_csv(figure, records), vega_lite_spec(
+            figure, interval=True
+        )
+
+    csv_text, spec = benchmark(merge_and_emit)
+    assert "value_lo" in csv_text.splitlines()[0]
+    assert [layer["mark"]["type"] for layer in spec["layer"]] == [
+        "bar", "errorbar",
+    ]

@@ -30,7 +30,7 @@ for each.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..baselines import (
     FrameBufferCompressionScheme,
@@ -52,6 +52,7 @@ from ..core import (
     FrameBufferBypassScheme,
     FrameBurstingScheme,
 )
+from ..errors import ConfigurationError
 from ..pipeline.conventional import ConventionalScheme
 from ..pipeline.sim import FrameWindowSimulator, RunResult
 from ..power.breakdown import SystemBreakdown, breakdown_report
@@ -69,9 +70,40 @@ from .energy import compare_schemes, energy_reduction
 #: variation while keeping a full-suite regeneration fast.
 DEFAULT_FRAMES = 30
 
+#: Process-wide Monte Carlo seed offset.  Every exhibit draws its
+#: content from a deterministic per-workload base seed; the replication
+#: engine (:mod:`repro.stats.replicate`) shifts all of them at once by
+#: setting this offset, so "seed s" means "every workload's content
+#: re-drawn under base_seed + s".  Offset 0 is byte-identical to the
+#: pre-offset behavior (golden traces, drift gate, figure bytes).
+_seed_offset = 0
+
+
+def set_seed_offset(offset: int) -> int:
+    """Install a content-seed offset; returns the previous offset."""
+    global _seed_offset
+    offset = int(offset)
+    if offset < 0:
+        raise ConfigurationError("seed offset must be >= 0")
+    previous = _seed_offset
+    _seed_offset = offset
+    return previous
+
+
+def seed_offset() -> int:
+    """The active content-seed offset."""
+    return _seed_offset
+
+
+def content_seed(base: int = 0) -> int:
+    """The effective content seed for a workload's ``base`` seed."""
+    return base + _seed_offset
+
 
 def _streaming_frames(resolution: Resolution, count: int = DEFAULT_FRAMES):
-    return AnalyticContentModel().frames(resolution, count)
+    return AnalyticContentModel().frames(
+        resolution, count, seed=content_seed()
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -198,7 +230,9 @@ def fig04_browsing_then_streaming(seed: int = 0) -> Fig04Result:
     """Fig. 4: web browsing followed by FHD 60 FPS streaming."""
     config = skylake_tablet(FHD)
     model = PowerModel()
-    browse = browsing_timeline(config, duration_s=2.0, seed=seed)
+    browse = browsing_timeline(
+        config, duration_s=2.0, seed=content_seed(seed)
+    )
     browse_report = model.report_timeline(
         browse, config.panel, scheme="browsing"
     )
@@ -379,6 +413,9 @@ def fig11a_vr_workloads(frame_count: int = DEFAULT_FRAMES) -> Fig11aResult:
     reductions: dict[str, float] = {}
     baseline_power: dict[str, float] = {}
     for name, workload in VR_WORKLOADS.items():
+        workload = replace(
+            workload, seed=content_seed(workload.seed)
+        )
         base = model.report(
             vr_streaming_run(
                 workload, ConventionalScheme(), frame_count=frame_count
@@ -413,6 +450,7 @@ def fig11b_vr_resolutions(
     """Fig. 11b: reduction vs per-eye display resolution."""
     model = PowerModel()
     workload = VR_WORKLOADS[workload_name]
+    workload = replace(workload, seed=content_seed(workload.seed))
     reductions: dict[str, float] = {}
     for per_eye in VR_EYE_RESOLUTIONS:
         base = model.report(
@@ -558,7 +596,9 @@ def standby_ambient(
     alone (no full timeline is ever materialised).
     """
     workload = AmbientStandbyWorkload(
-        duration_s=duration_s, update_fps=update_fps
+        duration_s=duration_s,
+        update_fps=update_fps,
+        seed=content_seed(),
     )
     model = PowerModel(
         extras=PlatformExtras(streaming=False, local_playback=False)
@@ -613,6 +653,7 @@ def fig14a_local_playback() -> Fig14aResult:
             fps=min(refresh, 60.0),
             refresh_hz=refresh,
             local=True,
+            seed=content_seed(),
         )
         base = model.report(
             local_playback_run(workload, ConventionalScheme())

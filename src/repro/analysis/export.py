@@ -7,12 +7,50 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any
+import math
+from typing import Any, Sequence
 
 from ..errors import SimulationError
 from ..pipeline.sim import RunResult
 from ..pipeline.timeline import Timeline
 from ..power.model import EnergyReport
+
+
+def check_finite(records: Sequence[dict[str, Any]]) -> None:
+    """Reject records carrying non-finite floats.
+
+    NaN serializes as bare ``NaN`` in JSON (invalid per RFC 8259) and
+    as the string ``"nan"`` in CSV, both of which downstream tooling
+    reads as silent data corruption — so exports fail loudly instead.
+    """
+    for index, record in enumerate(records):
+        for name, value in record.items():
+            if isinstance(value, float) and not math.isfinite(value):
+                raise SimulationError(
+                    f"non-finite value {value!r} for field {name!r} "
+                    f"in record {index}; refusing to export"
+                )
+
+
+def records_to_csv(
+    records: Sequence[dict[str, Any]],
+    fieldnames: Sequence[str] | None = None,
+) -> str:
+    """Records as CSV text (header + one row each), finite-checked.
+
+    ``fieldnames`` pins the column order; it defaults to the first
+    record's key order.
+    """
+    if not records:
+        raise SimulationError("cannot export zero records")
+    check_finite(records)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(fieldnames or records[0])
+    )
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()
 
 
 def timeline_to_records(timeline: Timeline) -> list[dict[str, Any]]:
@@ -39,15 +77,16 @@ def timeline_to_records(timeline: Timeline) -> list[dict[str, Any]]:
 
 
 def timeline_to_csv(timeline: Timeline) -> str:
-    """The timeline as CSV text (header + one row per segment)."""
+    """The timeline as CSV text (header + one row per segment).
+
+    Raises :class:`~repro.errors.SimulationError` on an empty timeline
+    or on segments carrying non-finite floats (which would otherwise
+    land in the CSV as unparseable ``nan``/``inf`` cells).
+    """
     records = timeline_to_records(timeline)
     if not records:
         raise SimulationError("cannot export an empty timeline")
-    buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=list(records[0]))
-    writer.writeheader()
-    writer.writerows(records)
-    return buffer.getvalue()
+    return records_to_csv(records)
 
 
 def report_to_dict(report: EnergyReport) -> dict[str, Any]:
@@ -109,5 +148,17 @@ def run_to_dict(run: RunResult,
 
 
 def to_json(payload: Any, indent: int = 2) -> str:
-    """Serialize an export dictionary to JSON text."""
-    return json.dumps(payload, indent=indent, sort_keys=True)
+    """Serialize an export dictionary to JSON text.
+
+    Non-finite floats raise :class:`~repro.errors.SimulationError`
+    instead of emitting bare ``NaN``/``Infinity`` tokens, which are
+    not valid JSON and break every strict parser downstream.
+    """
+    try:
+        return json.dumps(
+            payload, indent=indent, sort_keys=True, allow_nan=False
+        )
+    except ValueError as error:
+        raise SimulationError(
+            f"non-finite float in JSON export payload: {error}"
+        ) from error

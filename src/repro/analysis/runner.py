@@ -863,23 +863,30 @@ def _exhibit_task(
     context: "dist.TraceContext | None" = None,
     task_index: int = 0,
     retain: str | None = None,
+    seed_offset: int = 0,
+    label: str | None = None,
 ) -> ExhibitOutcome:
     """Worker-process entry point: configure the worker's cache (or
-    disable memoization when the parent traced with it disabled) and
-    the retain default, then regenerate one exhibit under the shard
-    protocol so its spans, metrics and heartbeats reach the parent."""
+    disable memoization when the parent traced with it disabled), the
+    retain default, and the content-seed offset, then regenerate one
+    exhibit under the shard protocol so its spans, metrics and
+    heartbeats reach the parent.  ``label`` overrides the heartbeat
+    task name (the replication engine tags tasks ``name@s<seed>``)."""
+    from . import experiments
+
     if context is not None and context.disable_memo:
         sim.install_run_memo(None)
     else:
         _apply_cache_dir(cache_dir)
     if retain is not None:
         sim.set_default_retain(retain)
+    experiments.set_seed_offset(seed_offset)
     if context is None:
         return run_exhibit(name)
     return dist.run_worker_task(
         context,
         task_index,
-        name,
+        label or name,
         lambda: run_exhibit(name),
         summarize=_metrics_heartbeat,
     )
@@ -891,6 +898,7 @@ def run_exhibits(
     cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
     retain: str | None = None,
+    seed_offset: int = 0,
 ) -> list[ExhibitOutcome]:
     """Regenerate exhibits, fanning out over ``jobs`` worker processes.
 
@@ -901,6 +909,9 @@ def run_exhibits(
     ``retain`` sets the simulator's retain default for the batch
     (``"summary"`` drops per-segment timelines; exhibits that render
     segment-level figures pin ``retain="full"`` on their own runs).
+    ``seed_offset`` shifts every workload's content seed (see
+    :func:`repro.analysis.experiments.set_seed_offset`); 0 reproduces
+    the canonical exhibits exactly.
 
     Telemetry survives the fan-out: when a tracer is installed in the
     calling process, workers record per-task trace shards that merge
@@ -933,10 +944,13 @@ def run_exhibits(
         else None
     )
     if sequential:
+        from . import experiments
+
         _apply_cache_dir(cache_dir)
         previous_retain = (
             sim.set_default_retain(retain) if retain is not None else None
         )
+        previous_offset = experiments.set_seed_offset(seed_offset)
         try:
             outcomes = []
             # Publish start/done heartbeats to a pinned telemetry
@@ -963,6 +977,7 @@ def run_exhibits(
         finally:
             if previous_retain is not None:
                 sim.set_default_retain(previous_retain)
+            experiments.set_seed_offset(previous_offset)
     context = dist.new_context(
         collect_trace=tracer is not None,
         disable_memo=sim.active_run_memo() is None,
@@ -979,6 +994,7 @@ def run_exhibits(
                     context,
                     index,
                     retain,
+                    seed_offset,
                 )
                 for index, name in enumerate(selected)
             ]

@@ -153,6 +153,83 @@ class BarChart:
 #: The exhibits the figure set draws from, in emission order.
 FIGURE_EXHIBITS = ("fig01", "fig09", "fig12", "fig11a", "fig13", "fig14b")
 
+#: SVG presentation of each headline figure: output filename, y-axis
+#: label, and the series label used when the registry declares no
+#: color channel (single-series charts).  Data extraction and chart
+#: structure come from the figure registry
+#: (:mod:`repro.analysis.figures`); only rendering choices live here —
+#: SVG is one renderer over the registry, beside the Vega-Lite/CSV
+#: emitter.
+_SVG_PRESENTATION: tuple[tuple[str, str, str, str], ...] = (
+    ("fig01", "fig01_energy_breakdown.svg", "", ""),
+    ("fig09", "fig09_planar_30fps.svg", "energy reduction", ""),
+    ("fig12", "fig12_planar_60fps.svg", "energy reduction", ""),
+    ("fig11a", "fig11a_vr_workloads.svg", "energy reduction",
+     "BurstLink"),
+    ("fig13", "fig13_fbc.svg", "energy reduction", ""),
+    ("fig14b", "fig14b_mobile.svg", "energy reduction", ""),
+)
+
+
+def chart_from_records(
+    figure,
+    records: list[dict],
+    y_label: str = "",
+    percent: bool = True,
+    series_label: str = "",
+) -> BarChart:
+    """Build a :class:`BarChart` from a figure's tidy records.
+
+    Categories follow the x channel in first-seen order; series follow
+    the color channel (or collapse to one series named
+    ``series_label``).  Faceted figures have no 2-D bar rendering here
+    — emit them through the Vega-Lite path instead.
+    """
+    if figure.column is not None:
+        raise ConfigurationError(
+            f"figure {figure.name!r} is faceted; the SVG renderer "
+            "only draws x/color charts"
+        )
+    categories: list[str] = []
+    for record in records:
+        x = str(record[figure.x.field])
+        if x not in categories:
+            categories.append(x)
+    if figure.color is not None:
+        series_names: list[str] = []
+        for record in records:
+            c = str(record[figure.color.field])
+            if c not in series_names:
+                series_names.append(c)
+        values = {
+            (
+                str(record[figure.x.field]),
+                str(record[figure.color.field]),
+            ): record["value"]
+            for record in records
+        }
+        series = {
+            name: [values[(cat, name)] for cat in categories]
+            for name in series_names
+        }
+    else:
+        by_category = {
+            str(record[figure.x.field]): record["value"]
+            for record in records
+        }
+        series = {
+            series_label or figure.name: [
+                by_category[cat] for cat in categories
+            ]
+        }
+    return BarChart(
+        title=figure.title,
+        categories=categories,
+        series=series,
+        y_label=y_label,
+        percent=percent,
+    )
+
 
 def write_figures(
     output_dir: str | Path,
@@ -163,15 +240,18 @@ def write_figures(
 ) -> list[Path]:
     """Regenerate the headline evaluation figures as SVG files.
 
-    Returns the written paths.  Each chart is driven by the same
-    experiment functions the benches use, regenerated through the
-    parallel engine: ``jobs > 1`` fans the exhibits out over worker
-    processes (outputs are bit-identical either way),
+    Returns the written paths.  Every chart is declared once in the
+    figure registry (:mod:`repro.analysis.figures`) — this function
+    extracts each exhibit's tidy records through it and renders them
+    with the hand-rolled SVG bar renderer.  The exhibits regenerate
+    through the parallel engine: ``jobs > 1`` fans them out over
+    worker processes (outputs are bit-identical either way),
     ``metrics_sink``, when given, receives each exhibit's
     :class:`~repro.analysis.runner.ExperimentMetrics`, and
     ``progress``, when given, receives one live status line per
     exhibit start/finish.
     """
+    from .figures import figure_records, get_figure
     from .runner import run_exhibits
 
     output = Path(output_dir)
@@ -185,99 +265,16 @@ def write_figures(
     if metrics_sink is not None:
         metrics_sink.extend(outcome.metrics for outcome in outcomes)
 
-    def emit(name: str, chart: BarChart) -> None:
-        path = output / name
+    for name, filename, y_label, series_label in _SVG_PRESENTATION:
+        figure = get_figure(name)
+        records = figure_records(figure, results[figure.exhibit])
+        chart = chart_from_records(
+            figure,
+            records,
+            y_label=y_label,
+            series_label=series_label,
+        )
+        path = output / filename
         path.write_text(chart.to_svg(), encoding="utf-8")
         written.append(path)
-
-    fig01 = results["fig01"]
-    emit(
-        "fig01_energy_breakdown.svg",
-        BarChart(
-            title="Fig. 1 — energy vs resolution (norm. to FHD total)",
-            categories=list(fig01.normalised),
-            series={
-                "DRAM": [v[0] for v in fig01.normalised.values()],
-                "Display": [v[1] for v in fig01.normalised.values()],
-                "Others": [v[2] for v in fig01.normalised.values()],
-            },
-            percent=True,
-        ),
-    )
-
-    for name, result, title in (
-        ("fig09_planar_30fps.svg",
-         results["fig09"],
-         "Fig. 9 — energy reduction, 30 FPS"),
-        ("fig12_planar_60fps.svg",
-         results["fig12"],
-         "Fig. 12 — energy reduction, 60 FPS"),
-    ):
-        emit(
-            name,
-            BarChart(
-                title=title,
-                categories=list(result.reductions),
-                series={
-                    technique: [
-                        result.reductions[r][technique]
-                        for r in result.reductions
-                    ]
-                    for technique in ("burst", "bypass", "burstlink")
-                },
-                y_label="energy reduction",
-                percent=True,
-            ),
-        )
-
-    fig11a = results["fig11a"]
-    emit(
-        "fig11a_vr_workloads.svg",
-        BarChart(
-            title="Fig. 11a — VR energy reduction",
-            categories=list(fig11a.reductions),
-            series={"BurstLink": list(fig11a.reductions.values())},
-            y_label="energy reduction",
-            percent=True,
-        ),
-    )
-
-    fig13 = results["fig13"]
-    emit(
-        "fig13_fbc.svg",
-        BarChart(
-            title="Fig. 13 — FBC vs BurstLink (60 Hz)",
-            categories=list(fig13.reductions),
-            series={
-                technique: [
-                    fig13.reductions[r][technique]
-                    for r in fig13.reductions
-                ]
-                for technique in (
-                    "fbc-20", "fbc-30", "fbc-50", "burstlink",
-                )
-            },
-            y_label="energy reduction",
-            percent=True,
-        ),
-    )
-
-    fig14b = results["fig14b"]
-    workloads = list(next(iter(fig14b.reductions.values())))
-    emit(
-        "fig14b_mobile.svg",
-        BarChart(
-            title="Fig. 14b — Frame Bursting on mobile workloads",
-            categories=list(fig14b.reductions),
-            series={
-                workload: [
-                    fig14b.reductions[r][workload]
-                    for r in fig14b.reductions
-                ]
-                for workload in workloads
-            },
-            y_label="energy reduction",
-            percent=True,
-        ),
-    )
     return written

@@ -1,0 +1,150 @@
+"""Structural validation for emitted Vega-Lite specs.
+
+The real Vega-Lite v5 JSON schema is ~1 MB of draft-07 JSON Schema and
+needs a network fetch plus a schema library; CI validates against it
+directly (the ``stats-smoke`` job).  Offline, this module checks the
+structural contract our emitter relies on — enough to catch every
+class of mistake the registry could actually make (wrong channel
+shape, a facet channel inside a layered view, a dangling data URL)
+without any dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SimulationError
+
+#: The schema URL every emitted spec must declare.
+VEGA_LITE_SCHEMA_URL = "https://vega.github.io/schema/vega-lite/v5.json"
+
+#: Mark types the registry emits (subset of Vega-Lite's mark set).
+KNOWN_MARKS = frozenset(
+    {"bar", "line", "point", "area", "rect", "tick", "errorbar"}
+)
+
+#: Legal encoding-channel field types.
+KNOWN_FIELD_TYPES = frozenset(
+    {"quantitative", "nominal", "ordinal", "temporal"}
+)
+
+#: Channels the emitter uses.
+KNOWN_CHANNELS = frozenset(
+    {"x", "y", "y2", "x2", "color", "column", "row", "xOffset"}
+)
+
+
+def _check_channel(
+    name: str, channel: Any, problems: list[str], path: str
+) -> None:
+    if not isinstance(channel, dict):
+        problems.append(f"{path}.{name}: not an object")
+        return
+    if "field" not in channel:
+        problems.append(f"{path}.{name}: missing 'field'")
+    # y2/x2 inherit their type from the primary channel; offset
+    # channels default to nominal, so 'type' is optional there.
+    if name not in ("y2", "x2", "xOffset"):
+        if channel.get("type") not in KNOWN_FIELD_TYPES:
+            problems.append(
+                f"{path}.{name}: bad field type "
+                f"{channel.get('type')!r}"
+            )
+
+
+def _check_encoding(
+    encoding: Any, problems: list[str], path: str
+) -> None:
+    if not isinstance(encoding, dict) or not encoding:
+        problems.append(f"{path}: encoding missing or empty")
+        return
+    for name, channel in encoding.items():
+        if name not in KNOWN_CHANNELS:
+            problems.append(f"{path}: unknown channel {name!r}")
+            continue
+        _check_channel(name, channel, problems, path)
+    if "column" in encoding and path.endswith("layer-view"):
+        problems.append(
+            f"{path}: facet channel inside a layered view"
+        )
+
+
+def _check_mark(mark: Any, problems: list[str], path: str) -> None:
+    mark_type = mark.get("type") if isinstance(mark, dict) else mark
+    if mark_type not in KNOWN_MARKS:
+        problems.append(f"{path}: unknown mark {mark_type!r}")
+
+
+def _check_unit_or_layer(
+    view: Any, problems: list[str], path: str, in_facet: bool
+) -> None:
+    if not isinstance(view, dict):
+        problems.append(f"{path}: view is not an object")
+        return
+    if "layer" in view:
+        layers = view["layer"]
+        if not isinstance(layers, list) or not layers:
+            problems.append(f"{path}.layer: missing or empty")
+            return
+        for index, layer in enumerate(layers):
+            _check_mark(
+                layer.get("mark"), problems, f"{path}.layer[{index}]"
+            )
+            _check_encoding(
+                layer.get("encoding"),
+                problems,
+                f"{path}.layer[{index}].layer-view",
+            )
+        return
+    _check_mark(view.get("mark"), problems, path)
+    _check_encoding(view.get("encoding"), problems, f"{path}")
+
+
+def spec_problems(spec: Any) -> list[str]:
+    """Every structural problem found in ``spec`` (empty == valid)."""
+    problems: list[str] = []
+    if not isinstance(spec, dict):
+        return ["spec is not a JSON object"]
+    if spec.get("$schema") != VEGA_LITE_SCHEMA_URL:
+        problems.append(
+            f"$schema is {spec.get('$schema')!r}, expected "
+            f"{VEGA_LITE_SCHEMA_URL!r}"
+        )
+    data = spec.get("data")
+    if not isinstance(data, dict) or (
+        "url" not in data and "values" not in data
+    ):
+        problems.append("data: needs a 'url' or inline 'values'")
+    if "facet" in spec:
+        facet = spec["facet"]
+        if not isinstance(facet, dict) or not (
+            set(facet) & {"column", "row", "field"}
+        ):
+            problems.append(
+                "facet: needs a column/row/field definition"
+            )
+        if "spec" not in spec:
+            problems.append("facet operator without inner 'spec'")
+        else:
+            _check_unit_or_layer(
+                spec["spec"], problems, "spec", in_facet=True
+            )
+        for illegal in ("mark", "encoding", "layer"):
+            if illegal in spec:
+                problems.append(
+                    f"facet operator with top-level {illegal!r}"
+                )
+        return problems
+    _check_unit_or_layer(spec, problems, "spec", in_facet=False)
+    return problems
+
+
+def validate_spec(spec: Any, name: str = "spec") -> None:
+    """Raise :class:`~repro.errors.SimulationError` listing every
+    structural problem in ``spec``; no-op when it is clean."""
+    problems = spec_problems(spec)
+    if problems:
+        raise SimulationError(
+            f"invalid Vega-Lite spec {name!r}: "
+            + "; ".join(problems)
+        )

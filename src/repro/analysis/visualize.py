@@ -144,3 +144,46 @@ def _clip(segment, start: float, end: float):
         start=max(segment.start, start),
         end=min(segment.end, end),
     )
+
+
+def render_figure(figure, records, width: int = 40) -> str:
+    """A registry figure's tidy records as a text bar chart.
+
+    The terminal renderer over :mod:`repro.analysis.figures` — beside
+    the SVG and Vega-Lite emitters, any declared figure renders as one
+    labelled bar per record.  Interval records (``value_lo`` /
+    ``value_hi`` present, from a multi-seed merge) append their CI.
+    """
+    if not records:
+        raise SimulationError("cannot render zero records")
+    if width < 8:
+        raise SimulationError("bar width must be at least 8 columns")
+    percent = getattr(figure.y, "fmt", None) == ".0%"
+
+    def fmt(value: float) -> str:
+        return f"{value * 100:5.1f}%" if percent else f"{value:8.1f}"
+
+    labels = [
+        " ".join(str(record[field]) for field in figure.fields)
+        for record in records
+    ]
+    label_width = max(len(label) for label in labels)
+    peak = max(abs(r["value"]) for r in records)
+    peak = max(peak, 1e-12)
+    lines = [figure.title]
+    for record, label in zip(records, labels):
+        bar = "#" * max(
+            1 if record["value"] > 0 else 0,
+            int(round(width * abs(record["value"]) / peak)),
+        )
+        line = (
+            f"{label:>{label_width}s} {fmt(record['value'])} |{bar}"
+        )
+        if "value_lo" in record:
+            line += (
+                f"  [{fmt(record['value_lo']).strip()}, "
+                f"{fmt(record['value_hi']).strip()}] "
+                f"n={record['seeds']}"
+            )
+        lines.append(line)
+    return "\n".join(lines)

@@ -81,7 +81,9 @@ def cmd_list(_: argparse.Namespace) -> str:
         ("timeline", "Fig. 3/6/7-style text timeline for a scheme"),
         ("battery", "battery-life impact for a streaming session"),
         ("export", "a simulated run as JSON/CSV for plotting"),
-        ("figures", "the headline figures as SVG files"),
+        ("figures", "the figures as SVG and/or Vega-Lite + CSV"),
+        ("stats run", "multi-seed replication: bootstrap CIs + "
+                      "effect sizes"),
         ("bench-all", "every exhibit, with timing + cache metrics"),
         ("trace", "a deterministic span tree for a canonical run"),
         ("profile", "energy attribution + latency stats for a run"),
@@ -98,13 +100,21 @@ def cmd_list(_: argparse.Namespace) -> str:
 
 def cmd_validate(args: argparse.Namespace) -> tuple[str, int]:
     """The Sec. 5.3 accuracy table plus the paper-drift gate (exits
-    non-zero when any anchor leaves its tolerance band)."""
+    non-zero when any anchor leaves its tolerance band).  With
+    ``--seeds N`` every anchor is re-measured under N content seeds
+    and gated on CI-vs-paper-band overlap instead of the point
+    check."""
     from .obs import drift
 
     sections = (
         tuple(args.section) if args.section else drift.DRIFT_SECTIONS
     )
-    report = drift.check_drift(sections=sections)
+    if args.seeds > 1:
+        report = drift.check_drift_interval(
+            sections=sections, seeds=args.seeds, jobs=args.jobs
+        )
+    else:
+        report = drift.check_drift(sections=sections)
     validation = validate_against_paper() if not args.section else None
     code = 0 if report.ok else 1
     if args.json:
@@ -465,10 +475,23 @@ def _apply_engine_flags(args: argparse.Namespace) -> None:
 
 
 def cmd_figures(args: argparse.Namespace) -> str:
-    """Regenerate the headline evaluation figures as SVG files."""
+    """Regenerate the evaluation figures.
+
+    The default ``--format svg`` renders the six headline figures as
+    SVG; ``--format vega`` emits every registered exhibit as a
+    version-controllable Vega-Lite spec + CSV data pair (``--seeds N``
+    replicates under N content seeds and layers bootstrap error bands
+    over each chart); ``--format all`` does both."""
+    from .analysis.figures import write_exhibit_specs
     from .analysis.svg import write_figures
+    from .errors import ConfigurationError
 
     _apply_engine_flags(args)
+    if args.seeds > 1 and args.format == "svg":
+        raise ConfigurationError(
+            "--seeds needs the Vega-Lite emitter (error bands); use "
+            "--format vega or --format all"
+        )
     metrics: list = []
     progress = None
     if args.progress:
@@ -476,6 +499,31 @@ def cmd_figures(args: argparse.Namespace) -> str:
 
         def progress(line: str) -> None:
             print(line, file=sys.stderr, flush=True)
+
+    def emit() -> list:
+        written = []
+        if args.format in ("svg", "all"):
+            written.extend(
+                write_figures(
+                    args.out,
+                    jobs=args.jobs,
+                    metrics_sink=metrics,
+                    progress=progress,
+                    retain=args.retain,
+                )
+            )
+        if args.format in ("vega", "all"):
+            written.extend(
+                write_exhibit_specs(
+                    args.out,
+                    seeds=args.seeds,
+                    jobs=args.jobs,
+                    progress=progress,
+                    retain=args.retain,
+                    metrics_sink=metrics,
+                )
+            )
+        return written
 
     if args.trace:
         from .analysis.runner import cache_disabled
@@ -486,24 +534,14 @@ def cmd_figures(args: argparse.Namespace) -> str:
         # the capture: cache hits skip simulation (and its spans), so
         # an uncached run is the only jobs-invariant trace.
         with cache_disabled(), tracing() as tracer:
-            written = write_figures(
-                args.out,
-                jobs=args.jobs,
-                metrics_sink=metrics,
-                progress=progress,
-                retain=args.retain,
-            )
+            written = emit()
         tracer.write(args.trace)
     else:
-        written = write_figures(
-            args.out,
-            jobs=args.jobs,
-            metrics_sink=metrics,
-            progress=progress,
-            retain=args.retain,
-        )
+        written = emit()
     lines = [f"wrote {path}" for path in written]
-    lines.append(f"{len(written)} figures in {args.out}")
+    # Each figure is one SVG file or one spec (+ its CSV data file).
+    count = sum(1 for path in written if path.suffix != ".csv")
+    lines.append(f"{count} figures in {args.out}")
     if args.trace:
         lines.append(f"wrote trace {args.trace}")
     if args.verbose:
@@ -518,6 +556,117 @@ def cmd_figures(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def cmd_stats_run(args: argparse.Namespace) -> str:
+    """Run the multi-seed replication engine: every selected exhibit
+    under N content seeds, each metric summarized as mean, SD, and a
+    bootstrap CI, plus BurstLink-vs-conventional effect sizes."""
+    from .stats import variance_table
+    from .stats.replicate import replicate_exhibits
+
+    _apply_engine_flags(args)
+    progress = None
+    if args.progress:
+        import sys
+
+        def progress(line: str) -> None:
+            print(line, file=sys.stderr, flush=True)
+
+    from .analysis.figures import figure_registry
+
+    figures = args.figure or sorted(figure_registry())
+    exhibits = sorted(
+        {figure_registry()[f].exhibit for f in figures}
+    )
+    replication = replicate_exhibits(
+        exhibits,
+        seeds=args.seeds,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        progress=progress,
+        retain=args.retain,
+    )
+    samples = replication.metric_samples(figures)
+    estimates = replication.estimates(
+        figures,
+        confidence=args.confidence,
+        resamples=args.resamples,
+    )
+    effects = replication.effect_sizes(samples)
+    if args.out:
+        from .analysis.figures import (
+            figure_records,
+            get_figure,
+            merge_seed_records,
+            write_figure_files,
+        )
+
+        for name in figures:
+            figure = get_figure(name)
+            per_seed = [
+                figure_records(figure, result)
+                for result in replication.results[figure.exhibit]
+            ]
+            if args.seeds > 1:
+                records = merge_seed_records(
+                    figure, per_seed,
+                    confidence=args.confidence,
+                    resamples=args.resamples,
+                )
+            else:
+                records = per_seed[0]
+            write_figure_files(
+                args.out, figure, records,
+                interval=args.seeds > 1,
+            )
+    if args.json:
+        import json as json_module
+        import math as math_module
+
+        payload = {
+            "seeds": args.seeds,
+            "confidence": args.confidence,
+            "metrics": {
+                key: est.to_dict()
+                for key, est in estimates.items()
+            },
+            "effect_sizes": {
+                key: (d if math_module.isfinite(d) else None)
+                for key, d in effects.items()
+            },
+            "tasks": {
+                o.metrics.name: {
+                    "wall_s": o.metrics.wall_clock_s,
+                    "cache_hits": o.metrics.cache_hits,
+                    "cache_misses": o.metrics.cache_misses,
+                }
+                for o in replication.outcomes
+            },
+        }
+        return json_module.dumps(payload, indent=2, sort_keys=True)
+    from .analysis.runner import metrics_table
+
+    lines = [
+        f"replication: {len(exhibits)} exhibits x {args.seeds} seeds "
+        f"({args.confidence:.0%} bootstrap CIs)",
+        "",
+        variance_table(estimates),
+    ]
+    if effects:
+        lines.append("")
+        lines.append("effect sizes (Cohen's d, vs conventional):")
+        lines.extend(
+            f"  {key}: {value:+.2f}"
+            for key, value in effects.items()
+        )
+    if args.out:
+        lines.append("")
+        lines.append(f"wrote Vega-Lite specs + CSVs to {args.out}")
+    if args.verbose:
+        lines.append("")
+        lines.append(metrics_table(replication.outcomes))
+    return "\n".join(lines)
+
+
 def cmd_bench_all(args: argparse.Namespace) -> tuple[str, int]:
     """Regenerate every exhibit through the parallel engine, with
     per-exhibit wall-clock and cache metrics; ``--record`` persists a
@@ -526,23 +675,44 @@ def cmd_bench_all(args: argparse.Namespace) -> tuple[str, int]:
     from .analysis.runner import run_exhibits, metrics_table
 
     _apply_engine_flags(args)
+    if args.repeat < 1:
+        from .errors import ConfigurationError
+
+        raise ConfigurationError("--repeat must be >= 1")
+    wall_samples: dict[str, list[float]] | None = None
     outcomes = run_exhibits(
         names=args.only or None,
         jobs=args.jobs,
         cache_dir=None if args.no_cache_dir else args.cache_dir,
     )
+    if args.repeat > 1:
+        wall_samples = {
+            o.name: [o.metrics.wall_clock_s] for o in outcomes
+        }
+        for _ in range(args.repeat - 1):
+            for o in run_exhibits(
+                names=args.only or None,
+                jobs=args.jobs,
+                cache_dir=(
+                    None if args.no_cache_dir else args.cache_dir
+                ),
+            ):
+                wall_samples[o.name].append(o.metrics.wall_clock_s)
     total = sum(o.metrics.wall_clock_s for o in outcomes)
     lines = [
         metrics_table(outcomes),
         "",
         f"{len(outcomes)} exhibits in {total:.2f}s "
-        f"(jobs={args.jobs})",
+        f"(jobs={args.jobs})"
+        + (f", {args.repeat} repeats" if args.repeat > 1 else ""),
     ]
     code = 0
     if args.record:
         from .obs.drift import record_bench
 
-        path = record_bench(outcomes, args.history_dir)
+        path = record_bench(
+            outcomes, args.history_dir, wall_samples=wall_samples
+        )
         lines.append(f"recorded {path}")
     if args.check:
         from .obs.drift import check_bench
@@ -834,6 +1004,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="check only these drift sections (repeatable; "
              f"choices: {', '.join(DRIFT_SECTIONS)})",
     )
+    validate.add_argument(
+        "--seeds", type=int, default=1,
+        help="re-measure each anchor under this many content seeds "
+             "and gate on bootstrap-CI/paper-band overlap (default 1: "
+             "the exact point check)",
+    )
+    validate.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for multi-seed anchor measurement",
+    )
     validate.set_defaults(handler=cmd_validate)
 
     timeline = commands.add_parser(
@@ -862,6 +1042,17 @@ def build_parser() -> argparse.ArgumentParser:
     figures = commands.add_parser("figures", help=cmd_figures.__doc__)
     figures.add_argument(
         "--out", default="figures", help="output directory"
+    )
+    figures.add_argument(
+        "--format", choices=("svg", "vega", "all"), default="svg",
+        help="svg: the six headline SVG charts (default); vega: "
+             "every exhibit as a Vega-Lite spec + CSV pair; all: both",
+    )
+    figures.add_argument(
+        "--seeds", type=int, default=1,
+        help="replicate exhibits under this many content seeds and "
+             "layer bootstrap error bands over the Vega-Lite charts "
+             "(requires --format vega/all)",
     )
     figures.add_argument(
         "--jobs", type=int, default=1,
@@ -1072,12 +1263,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_report.set_defaults(handler=cmd_fleet_report)
 
+    stats = commands.add_parser(
+        "stats",
+        help="statistical observability: multi-seed replication, "
+             "bootstrap CIs, effect sizes",
+    )
+    stats_commands = stats.add_subparsers(
+        dest="stats_command", required=True
+    )
+    stats_run = stats_commands.add_parser(
+        "run", help=cmd_stats_run.__doc__
+    )
+    stats_run.add_argument(
+        "--seeds", type=int, default=5,
+        help="content seeds to replicate each exhibit under "
+             "(default 5)",
+    )
+    stats_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the (exhibit x seed) fan-out",
+    )
+    stats_run.add_argument(
+        "--figure", action="append", metavar="FIGURE", default=None,
+        help="replicate only this figure (repeatable; default: the "
+             "full registry)",
+    )
+    stats_run.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="two-sided bootstrap confidence level (default 0.95)",
+    )
+    stats_run.add_argument(
+        "--resamples", type=int, default=2000,
+        help="bootstrap resamples per metric (default 2000)",
+    )
+    stats_run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also emit interval Vega-Lite specs + CSVs to DIR",
+    )
+    stats_run.add_argument(
+        "--json", action="store_true",
+        help="emit estimates, effect sizes and task costs as JSON",
+    )
+    stats_run.add_argument(
+        "--cache-dir", default=None,
+        help="shared on-disk simulation cache directory",
+    )
+    stats_run.add_argument(
+        "--retain", choices=("full", "summary"), default=None,
+        help="simulator retain mode for the replication batch",
+    )
+    stats_run.add_argument(
+        "--progress", action="store_true",
+        help="stream per-task progress lines to stderr",
+    )
+    stats_run.add_argument(
+        "--verbose", action="store_true",
+        help="append the per-task wall-clock/cache metrics table",
+    )
+    stats_run.add_argument(
+        "--plan-cache", action="store_true",
+        help="enable the cross-run plan cache for the replication",
+    )
+    stats_run.add_argument(
+        "--engine", choices=("auto", "batch", "scalar"), default=None,
+        help="simulator window engine for the replication",
+    )
+    stats_run.set_defaults(handler=cmd_stats_run)
+
     bench_all = commands.add_parser(
         "bench-all", help=cmd_bench_all.__doc__
     )
     bench_all.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for exhibit regeneration",
+    )
+    bench_all.add_argument(
+        "--repeat", type=int, default=1,
+        help="repeat the whole bench N times and record per-exhibit "
+             "bootstrap CI half-widths beside the wall-clock means",
     )
     bench_all.add_argument(
         "--cache-dir", default=".repro_cache",

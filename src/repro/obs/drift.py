@@ -31,6 +31,7 @@ from ..errors import ConfigurationError, SimulationError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.runner import ExhibitOutcome
     from ..power.calibration import ComponentPowerLibrary
+    from ..stats.bootstrap import IntervalEstimate
 
 #: Default location of the bench history (relative to the repo root).
 DEFAULT_HISTORY_DIR = "benchmarks/history"
@@ -95,14 +96,34 @@ class Expectation:
         )
         return DriftRow(expectation=self, actual=actual, ok=ok)
 
+    def check_interval(
+        self, estimate: "IntervalEstimate"
+    ) -> "DriftRow":
+        """Interval semantics: pass when the reproduction's CI
+        intersects the paper band.  A single-seed estimate has a
+        zero-width CI at its point value, so this degenerates to
+        exactly :meth:`check`."""
+        ok = (
+            math.isfinite(estimate.mean)
+            and estimate.overlaps(self.low, self.high)
+        )
+        return DriftRow(
+            expectation=self,
+            actual=estimate.mean,
+            ok=ok,
+            estimate=estimate,
+        )
+
 
 @dataclass(frozen=True)
 class DriftRow:
-    """One checked expectation."""
+    """One checked expectation (point or interval mode)."""
 
     expectation: Expectation
     actual: float
     ok: bool
+    #: Multi-seed CI behind ``actual`` (``None`` in point mode).
+    estimate: "IntervalEstimate | None" = None
 
     @property
     def deviation(self) -> float:
@@ -126,60 +147,94 @@ class DriftReport:
     def failures(self) -> list[DriftRow]:
         return [row for row in self.rows if not row.ok]
 
+    @property
+    def interval(self) -> bool:
+        """Whether any row carries a multi-seed CI."""
+        return any(row.estimate is not None for row in self.rows)
+
     def summary(self) -> str:
-        """The aligned drift table ``repro validate`` appends."""
+        """The aligned drift table ``repro validate`` appends.
+
+        Interval reports grow a ``ci`` column (the bootstrap CI the
+        overlap check used) and quote the seed count in the verdict.
+        """
         from ..analysis.report import format_table
 
-        table_rows = [
-            (
+        interval = self.interval
+        table_rows = []
+        for row in self.rows:
+            cells = [
                 row.expectation.key,
                 row.expectation.description,
                 f"{row.expectation.paper:g} {row.expectation.unit}",
                 f"±{row.expectation.tolerance:g}",
                 f"{row.actual:.2f}",
-                "ok" if row.ok else "DRIFT",
+            ]
+            if interval:
+                est = row.estimate
+                cells.append(
+                    f"[{est.lo:.2f}, {est.hi:.2f}]"
+                    if est is not None else "-"
+                )
+            cells.append("ok" if row.ok else "DRIFT")
+            table_rows.append(tuple(cells))
+        mode = ""
+        if interval:
+            seeds = max(
+                (r.estimate.n for r in self.rows if r.estimate),
+                default=1,
             )
-            for row in self.rows
-        ]
+            mode = f", CI overlap over {seeds} seeds"
         verdict = (
-            f"drift gate: PASS ({len(self.rows)} anchors in band)"
+            f"drift gate: PASS ({len(self.rows)} anchors in "
+            f"band{mode})"
             if self.ok
             else (
                 f"drift gate: FAIL ({len(self.failures)} of "
-                f"{len(self.rows)} anchors out of band: "
+                f"{len(self.rows)} anchors out of band{mode}: "
                 + ", ".join(r.expectation.key for r in self.failures)
                 + ")"
             )
         )
         if self.skipped:
             verdict += f"  [skipped: {', '.join(self.skipped)}]"
+        headers = ["anchor", "what", "paper", "band", "actual"]
+        if interval:
+            headers.append("ci")
+        headers.append("status")
         return (
-            format_table(
-                ("anchor", "what", "paper", "band", "actual", "status"),
-                table_rows,
-            )
+            format_table(tuple(headers), table_rows)
             + "\n\n"
             + verdict
         )
 
     def to_dict(self) -> dict[str, Any]:
+        anchors = []
+        for row in self.rows:
+            anchor = {
+                "key": row.expectation.key,
+                "section": row.expectation.section,
+                "description": row.expectation.description,
+                "paper": row.expectation.paper,
+                "unit": row.expectation.unit,
+                "low": row.expectation.low,
+                "high": row.expectation.high,
+                # Short aliases + the explicit half-width, so JSON
+                # consumers need not re-derive the band.
+                "lo": row.expectation.low,
+                "hi": row.expectation.high,
+                "tolerance": row.expectation.tolerance,
+                "actual": row.actual,
+                "deviation": row.deviation,
+                "ok": row.ok,
+            }
+            if row.estimate is not None:
+                anchor["ci"] = row.estimate.to_dict()
+            anchors.append(anchor)
         return {
             "ok": self.ok,
-            "anchors": [
-                {
-                    "key": row.expectation.key,
-                    "section": row.expectation.section,
-                    "description": row.expectation.description,
-                    "paper": row.expectation.paper,
-                    "unit": row.expectation.unit,
-                    "low": row.expectation.low,
-                    "high": row.expectation.high,
-                    "actual": row.actual,
-                    "deviation": row.deviation,
-                    "ok": row.ok,
-                }
-                for row in self.rows
-            ],
+            "mode": "interval" if self.interval else "point",
+            "anchors": anchors,
             "skipped": list(self.skipped),
         }
 
@@ -304,6 +359,7 @@ def expectations_for(
 def _measure_table2(
     library: "ComponentPowerLibrary | None",
 ) -> dict[str, float]:
+    from ..analysis.experiments import content_seed
     from ..config import FHD, skylake_tablet
     from ..core.burstlink import BurstLinkScheme
     from ..pipeline.conventional import ConventionalScheme
@@ -317,7 +373,9 @@ def _measure_table2(
         else PowerModel()
     )
     config = skylake_tablet(FHD)
-    frames = AnalyticContentModel().frames(FHD, 60)
+    frames = AnalyticContentModel().frames(
+        FHD, 60, seed=content_seed()
+    )
     base_run = FrameWindowSimulator(
         config, ConventionalScheme()
     ).run(frames, 30.0)
@@ -360,6 +418,7 @@ def _measure_fig01() -> dict[str, float]:
 def _measure_fig04(
     library: "ComponentPowerLibrary | None",
 ) -> dict[str, float]:
+    from ..analysis.experiments import content_seed
     from ..config import FHD, skylake_tablet
     from ..pipeline.conventional import ConventionalScheme
     from ..pipeline.sim import FrameWindowSimulator
@@ -371,7 +430,9 @@ def _measure_fig04(
         else PowerModel()
     )
     config = skylake_tablet(FHD)
-    frames = AnalyticContentModel().frames(FHD, 60)
+    frames = AnalyticContentModel().frames(
+        FHD, 60, seed=content_seed()
+    )
     run = FrameWindowSimulator(
         config, ConventionalScheme()
     ).run(frames, 60.0)
@@ -468,18 +529,73 @@ def check_drift(
     return report
 
 
+def check_drift_interval(
+    samples: dict[str, list[float]] | None = None,
+    sections: tuple[str, ...] = DRIFT_SECTIONS,
+    seeds: int = 1,
+    jobs: int = 1,
+    library: "ComponentPowerLibrary | None" = None,
+    confidence: float | None = None,
+    resamples: int | None = None,
+) -> DriftReport:
+    """The uncertainty-aware drift gate.
+
+    Each anchor is re-measured once per seed offset (``samples`` maps
+    anchor key -> per-seed values; measured live through
+    :func:`repro.stats.replicate.replicate_expectations` when not
+    supplied), summarized as a bootstrap CI, and passes when that CI
+    *overlaps* the paper band.  With one seed the CI is zero-width at
+    the point value, so the verdict — and every anchor's ok flag — is
+    identical to :func:`check_drift`.
+    """
+    from ..stats import bootstrap
+    from ..stats.replicate import replicate_expectations
+
+    selected = expectations_for(sections)
+    if samples is None:
+        samples = replicate_expectations(
+            sections, seeds=seeds, jobs=jobs, library=library
+        )
+    kwargs: dict[str, Any] = {}
+    if confidence is not None:
+        kwargs["confidence"] = confidence
+    if resamples is not None:
+        kwargs["resamples"] = resamples
+    report = DriftReport()
+    for expectation in selected:
+        values = samples.get(expectation.key)
+        if not values:
+            report.skipped.append(expectation.key)
+            continue
+        estimate = bootstrap.bootstrap_mean(
+            values,
+            seed=bootstrap.stable_seed(expectation.key),
+            **kwargs,
+        )
+        report.rows.append(expectation.check_interval(estimate))
+    return report
+
+
 # ---------------------------------------------------------------------------
 # Bench history — the wall-clock regression gate
 # ---------------------------------------------------------------------------
 
 
 def bench_snapshot(
-    outcomes: "list[ExhibitOutcome]", date: str | None = None
+    outcomes: "list[ExhibitOutcome]",
+    date: str | None = None,
+    wall_samples: dict[str, list[float]] | None = None,
 ) -> dict[str, Any]:
-    """One recordable history entry for a ``bench-all`` run."""
+    """One recordable history entry for a ``bench-all`` run.
+
+    ``wall_samples`` (exhibit -> per-repeat wall-clock seconds, from
+    ``bench-all --repeat N``) adds a bootstrap CI half-width per
+    exhibit plus ``total_wall_ci_half_s``/``repeat`` — still format 1,
+    the extra fields are optional for readers.
+    """
     if not outcomes:
         raise SimulationError("cannot snapshot an empty bench run")
-    return {
+    snapshot: dict[str, Any] = {
         "format": 1,
         "date": date or datetime.date.today().isoformat(),
         "total_wall_s": sum(
@@ -501,16 +617,41 @@ def bench_snapshot(
             for o in outcomes
         },
     }
+    if wall_samples:
+        from ..stats import bootstrap
+
+        repeats = max(len(v) for v in wall_samples.values())
+        half_widths = {}
+        for name, values in wall_samples.items():
+            if name not in snapshot["exhibits"]:
+                continue
+            estimate = bootstrap.bootstrap_mean(
+                values, seed=bootstrap.stable_seed(f"bench.{name}")
+            )
+            entry = snapshot["exhibits"][name]
+            entry["wall_ci_half_s"] = estimate.half_width
+            entry["wall_mean_s"] = estimate.mean
+            half_widths[name] = estimate.half_width
+        snapshot["repeat"] = repeats
+        # Conservative total: half-widths add (perfectly correlated
+        # worst case), matching how total_wall_s sums means.
+        snapshot["total_wall_ci_half_s"] = sum(
+            half_widths.values()
+        )
+    return snapshot
 
 
 def record_bench(
     outcomes: "list[ExhibitOutcome]",
     directory: str | Path = DEFAULT_HISTORY_DIR,
     date: str | None = None,
+    wall_samples: dict[str, list[float]] | None = None,
 ) -> Path:
     """Persist one snapshot as ``BENCH_<date>.json`` (same-day re-runs
     overwrite, so the history holds at most one entry per day)."""
-    snapshot = bench_snapshot(outcomes, date=date)
+    snapshot = bench_snapshot(
+        outcomes, date=date, wall_samples=wall_samples
+    )
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{snapshot['date']}.json"
@@ -607,6 +748,13 @@ def check_bench(
         notes.append(
             f"  note: cache hits {payload['total_cache_hits']} -> "
             f"{current['total_cache_hits']}"
+        )
+    baseline_half = payload.get("total_wall_ci_half_s")
+    if baseline_half is not None:
+        notes.append(
+            f"  note: baseline noise ±{baseline_half:.2f}s "
+            f"(CI half-width over {payload.get('repeat', '?')} "
+            "repeats)"
         )
     return BenchCheck(
         ok=ok,

@@ -225,3 +225,141 @@ class TestParallelTraceSmoke:
             if record["ph"] == "M" and record["name"] == "thread_name"
         }
         assert {"main", "worker 1", "worker 2"} <= names
+
+
+class TestFiguresFormats:
+    def test_vega_emits_spec_and_csv_for_every_exhibit(
+        self, capsys, tmp_path
+    ):
+        from repro.analysis.figures import figure_registry
+        from repro.analysis.vega import spec_problems
+
+        out = tmp_path / "specs"
+        code, text = run_cli(
+            capsys, "figures", "--format", "vega", "--out", str(out)
+        )
+        assert code == 0
+        assert f"{len(figure_registry())} figures" in text
+        for name in figure_registry():
+            spec = json.loads(
+                (out / f"{name}.vl.json").read_text(encoding="utf-8")
+            )
+            assert spec_problems(spec) == [], name
+            assert (out / f"{name}.csv").exists()
+
+    def test_default_svg_output_unchanged(self, capsys, tmp_path):
+        code, text = run_cli(
+            capsys, "figures", "--out", str(tmp_path / "figs")
+        )
+        assert code == 0
+        assert "6 figures" in text
+
+    def test_svg_format_rejects_multi_seed(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "figures", "--seeds", "2",
+            "--out", str(tmp_path / "figs"),
+        )
+        assert code == 1
+        assert "error:" in out and "--format vega" in out
+
+
+class TestStatsRunCommand:
+    def test_json_payload(self, capsys, tmp_path):
+        out = tmp_path / "specs"
+        code, text = run_cli(
+            capsys, "stats", "run", "--figure", "fig04",
+            "--figure", "standby", "--seeds", "2",
+            "--out", str(out), "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["seeds"] == 2
+        est = payload["metrics"]["fig04.browsing"]
+        assert est["n"] == 2
+        assert est["lo"] <= est["mean"] <= est["hi"]
+        assert (
+            "standby.burstlink.power_mw vs "
+            "standby.conventional.power_mw"
+        ) in payload["effect_sizes"]
+        # Replication task labels carry cache counters.
+        assert "fig04@s0" in payload["tasks"]
+        assert {"cache_hits", "cache_misses"} <= set(
+            payload["tasks"]["fig04@s0"]
+        )
+        # Interval artifacts land next to each other.
+        spec = json.loads(
+            (out / "fig04.vl.json").read_text(encoding="utf-8")
+        )
+        assert "layer" in spec
+        header = (out / "fig04.csv").read_text(
+            encoding="utf-8"
+        ).splitlines()[0]
+        assert header.endswith("value_lo,value_hi,value_sd,seeds")
+
+    def test_text_report(self, capsys):
+        code, text = run_cli(
+            capsys, "stats", "run", "--figure", "fig04",
+            "--seeds", "2",
+        )
+        assert code == 0
+        assert "replication: 1 exhibits x 2 seeds" in text
+        assert "fig04.browsing" in text
+
+
+class TestValidateIntervalMode:
+    def test_multi_seed_section_passes(self, capsys):
+        code, text = run_cli(
+            capsys, "validate", "--section", "fig04", "--seeds", "2"
+        )
+        assert code == 0
+        assert "CI overlap over 2 seeds" in text
+
+    def test_multi_seed_json_reports_ci(self, capsys):
+        code, text = run_cli(
+            capsys, "validate", "--section", "fig04",
+            "--seeds", "2", "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["drift"]["mode"] == "interval"
+        anchor = payload["drift"]["anchors"][0]
+        assert anchor["ci"]["n"] == 2
+        assert {"lo", "hi", "tolerance"} <= set(anchor)
+
+    def test_single_seed_json_stays_point_mode(self, capsys):
+        code, text = run_cli(
+            capsys, "validate", "--section", "fig04", "--json"
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["drift"]["mode"] == "point"
+        assert "ci" not in payload["drift"]["anchors"][0]
+
+
+class TestBenchAllRepeat:
+    def test_repeat_records_ci_half_widths(self, capsys, tmp_path):
+        history = tmp_path / "history"
+        code, text = run_cli(
+            capsys, "bench-all", "--only", "fig04", "--no-cache-dir",
+            "--record", "--repeat", "2",
+            "--history-dir", str(history),
+        )
+        assert code == 0
+        assert "2 repeats" in text
+        snapshot = json.loads(
+            next(history.glob("BENCH_*.json")).read_text(
+                encoding="utf-8"
+            )
+        )
+        assert snapshot["repeat"] == 2
+        assert "total_wall_ci_half_s" in snapshot
+        assert "wall_ci_half_s" in snapshot["exhibits"]["fig04"]
+
+    def test_repeat_must_be_positive(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "bench-all", "--only", "fig04", "--no-cache-dir",
+            "--record", "--repeat", "0",
+            "--history-dir", str(tmp_path / "h"),
+        )
+        assert code == 1
+        assert "error:" in out and "--repeat" in out

@@ -114,3 +114,65 @@ class TestRunExport:
         payload = run_to_dict(baseline)
         assert payload["panel"]["drfb"] is False
         assert "C9" not in payload["residency"]
+
+
+class TestNonFiniteRejection:
+    """Regression: NaN/inf must never reach an emitted artifact.
+
+    ``json.dumps`` would happily write bare ``NaN`` (invalid JSON) and
+    ``csv`` the string ``"nan"``; both are silent corruption for any
+    downstream reader, so the exporters fail loudly instead."""
+
+    def test_records_to_csv_rejects_nan(self):
+        from repro.analysis.export import records_to_csv
+
+        with pytest.raises(SimulationError, match="non-finite"):
+            records_to_csv([{"a": 1.0}, {"a": float("nan")}])
+
+    def test_records_to_csv_rejects_inf(self):
+        from repro.analysis.export import records_to_csv
+
+        with pytest.raises(SimulationError, match="non-finite"):
+            records_to_csv([{"a": float("inf")}])
+
+    def test_error_names_field_and_record(self):
+        from repro.analysis.export import check_finite
+
+        with pytest.raises(
+            SimulationError, match=r"'power'.*record 1"
+        ):
+            check_finite(
+                [{"power": 1.0}, {"power": float("-inf")}]
+            )
+
+    def test_to_json_rejects_nan(self):
+        with pytest.raises(SimulationError, match="non-finite"):
+            to_json({"value": float("nan")})
+
+    def test_to_json_rejects_nested_inf(self):
+        with pytest.raises(SimulationError, match="non-finite"):
+            to_json({"rows": [{"value": float("inf")}]})
+
+    def test_finite_payloads_unaffected(self):
+        from repro.analysis.export import records_to_csv
+
+        assert json.loads(to_json({"v": 1.5}))["v"] == 1.5
+        assert records_to_csv([{"v": 1.5}]).splitlines() == [
+            "v", "1.5",
+        ]
+
+
+class TestRecordsToCsv:
+    def test_pinned_fieldnames_order(self):
+        from repro.analysis.export import records_to_csv
+
+        text = records_to_csv(
+            [{"b": 2, "a": 1}], fieldnames=("a", "b")
+        )
+        assert text.splitlines()[0] == "a,b"
+
+    def test_rejects_zero_records(self):
+        from repro.analysis.export import records_to_csv
+
+        with pytest.raises(SimulationError):
+            records_to_csv([])

@@ -122,3 +122,182 @@ class TestLiveMeasurement:
     def test_summary_mentions_pass(self):
         report = check_drift(sections=("table2",))
         assert "drift gate: PASS" in report.summary()
+
+
+class TestIntervalSemantics:
+    """The uncertainty-aware gate: a CI that overlaps the paper band
+    passes; one seed degenerates to exactly the point check."""
+
+    def _expectation(self):
+        return Expectation("k", "s", "d", 40.0, "%", tol_abs=3.0)
+
+    def test_overlapping_ci_passes(self):
+        from repro.stats.bootstrap import IntervalEstimate
+
+        e = self._expectation()
+        # Mean outside the band but CI reaching into it still passes —
+        # the reproduction is *consistent* with the paper value.
+        row = e.check_interval(IntervalEstimate(
+            n=3, mean=44.0, sd=1.5, lo=42.5, hi=45.5,
+        ))
+        assert row.ok
+        assert row.estimate is not None
+
+    def test_disjoint_ci_fails(self):
+        from repro.stats.bootstrap import IntervalEstimate
+
+        e = self._expectation()
+        row = e.check_interval(IntervalEstimate(
+            n=3, mean=50.0, sd=1.0, lo=49.0, hi=51.0,
+        ))
+        assert not row.ok
+
+    def test_single_seed_equals_point_check(self):
+        from repro.stats.bootstrap import bootstrap_mean
+
+        e = self._expectation()
+        for value in (36.9, 37.0, 40.0, 43.0, 43.1):
+            degenerate = e.check_interval(bootstrap_mean([value]))
+            point = e.check(value)
+            assert degenerate.ok == point.ok
+            assert degenerate.actual == point.actual
+
+    def test_non_finite_mean_fails(self):
+        from repro.stats.bootstrap import IntervalEstimate
+
+        e = self._expectation()
+        nan = float("nan")
+        row = e.check_interval(IntervalEstimate(
+            n=2, mean=nan, sd=0.0, lo=nan, hi=nan,
+        ))
+        assert not row.ok
+
+
+class TestCheckDriftInterval:
+    def _samples(self, **overrides):
+        samples = {
+            e.key: [e.paper, e.paper] for e in PAPER_EXPECTATIONS
+        }
+        samples.update(overrides)
+        return samples
+
+    def test_supplied_samples_pass(self):
+        from repro.obs.drift import check_drift_interval
+
+        report = check_drift_interval(samples=self._samples())
+        assert report.ok and report.interval
+        assert len(report.rows) == len(PAPER_EXPECTATIONS)
+        assert all(r.estimate.n == 2 for r in report.rows)
+
+    def test_out_of_band_samples_fail(self):
+        from repro.obs.drift import check_drift_interval
+
+        report = check_drift_interval(samples=self._samples(
+            **{"table2.reduction_pct": [0.0, 0.1]}
+        ))
+        assert not report.ok
+        assert [r.expectation.key for r in report.failures] == [
+            "table2.reduction_pct"
+        ]
+
+    def test_missing_anchor_skipped(self):
+        from repro.obs.drift import check_drift_interval
+
+        samples = self._samples()
+        del samples["fig01.dram_share_fhd_pct"]
+        report = check_drift_interval(samples=samples)
+        assert report.ok
+        assert report.skipped == ["fig01.dram_share_fhd_pct"]
+
+    def test_summary_gains_ci_column_and_seed_count(self):
+        from repro.obs.drift import check_drift_interval
+
+        text = check_drift_interval(
+            samples=self._samples()
+        ).summary()
+        assert "ci" in text.splitlines()[0]
+        assert "CI overlap over 2 seeds" in text
+
+    def test_point_summary_has_no_ci_column(self):
+        actuals = {e.key: e.paper for e in PAPER_EXPECTATIONS}
+        text = check_drift(actuals=actuals).summary()
+        assert "ci" not in text.splitlines()[0]
+        assert "CI overlap" not in text
+
+    def test_to_dict_carries_interval_fields(self):
+        from repro.obs.drift import check_drift_interval
+
+        payload = check_drift_interval(
+            samples=self._samples()
+        ).to_dict()
+        assert payload["mode"] == "interval"
+        anchor = payload["anchors"][0]
+        assert {"lo", "hi", "tolerance", "ci"} <= set(anchor)
+        assert anchor["ci"]["n"] == 2
+        assert anchor["ci"]["lo"] <= anchor["ci"]["hi"]
+
+    def test_point_to_dict_keeps_aliases_without_ci(self):
+        actuals = {e.key: e.paper for e in PAPER_EXPECTATIONS}
+        payload = check_drift(actuals=actuals).to_dict()
+        assert payload["mode"] == "point"
+        anchor = payload["anchors"][0]
+        assert {"lo", "hi", "tolerance"} <= set(anchor)
+        assert "ci" not in anchor
+        assert anchor["lo"] == anchor["low"]
+        assert anchor["hi"] == anchor["high"]
+
+    def test_live_two_seed_fig04_passes(self):
+        from repro.obs.drift import check_drift_interval
+
+        report = check_drift_interval(
+            sections=("fig04",), seeds=2
+        )
+        assert report.ok, report.summary()
+        assert report.interval
+        assert all(r.estimate.n == 2 for r in report.rows)
+
+
+class TestBenchCiFields:
+    def _outcomes(self):
+        from repro.analysis.runner import run_exhibit
+
+        return [run_exhibit("fig04")]
+
+    def test_snapshot_without_samples_unchanged(self):
+        from repro.obs.drift import bench_snapshot
+
+        snapshot = bench_snapshot(self._outcomes(), date="2026-01-01")
+        assert snapshot["format"] == 1
+        assert "repeat" not in snapshot
+        assert "total_wall_ci_half_s" not in snapshot
+        assert "wall_ci_half_s" not in snapshot["exhibits"]["fig04"]
+
+    def test_snapshot_with_samples_adds_ci_fields(self):
+        from repro.obs.drift import bench_snapshot
+
+        snapshot = bench_snapshot(
+            self._outcomes(),
+            date="2026-01-01",
+            wall_samples={"fig04": [1.0, 1.2, 1.1]},
+        )
+        assert snapshot["format"] == 1
+        assert snapshot["repeat"] == 3
+        entry = snapshot["exhibits"]["fig04"]
+        assert entry["wall_mean_s"] == pytest.approx(1.1)
+        assert entry["wall_ci_half_s"] >= 0.0
+        assert snapshot["total_wall_ci_half_s"] == (
+            entry["wall_ci_half_s"]
+        )
+
+    def test_check_bench_reports_baseline_noise(self, tmp_path):
+        from repro.obs.drift import check_bench, record_bench
+
+        outcomes = self._outcomes()
+        record_bench(
+            outcomes, tmp_path, date="2026-01-01",
+            wall_samples={"fig04": [1.0, 1.2]},
+        )
+        check = check_bench(outcomes, tmp_path)
+        assert any(
+            "baseline noise" in note for note in check.notes
+        )

@@ -1,0 +1,128 @@
+"""Bootstrap interval estimation: determinism, degenerate cases, and
+effect sizes."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.stats import (
+    IntervalEstimate,
+    bootstrap_mean,
+    cohens_d,
+    estimate_metrics,
+    stable_seed,
+    variance_table,
+)
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("fig09.FHD.burstlink") == stable_seed(
+            "fig09.FHD.burstlink"
+        )
+
+    def test_distinct_names_distinct_streams(self):
+        assert stable_seed("a") != stable_seed("b")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= stable_seed("anything") < 2**64
+
+
+class TestBootstrapMean:
+    def test_interval_brackets_mean(self):
+        est = bootstrap_mean([10.0, 11.0, 12.0, 9.0, 10.5], seed=7)
+        assert est.n == 5
+        assert est.lo <= est.mean <= est.hi
+        assert est.sd > 0
+        assert est.half_width == pytest.approx(
+            (est.hi - est.lo) / 2
+        )
+
+    def test_deterministic_under_same_seed(self):
+        samples = [3.0, 4.0, 5.0]
+        assert bootstrap_mean(samples, seed=1) == bootstrap_mean(
+            samples, seed=1
+        )
+
+    def test_single_sample_degenerates_to_point(self):
+        est = bootstrap_mean([42.0])
+        assert est == IntervalEstimate(
+            n=1, mean=42.0, sd=0.0, lo=42.0, hi=42.0
+        )
+        assert est.half_width == 0.0
+
+    def test_degenerate_overlap_is_the_point_check(self):
+        # The drift gate's seeds=1 collapse: CI-overlap with a
+        # zero-width interval is exactly "low <= value <= high".
+        est = bootstrap_mean([40.0])
+        assert est.overlaps(37.0, 43.0)
+        assert not est.overlaps(41.0, 43.0)
+        assert not est.overlaps(30.0, 39.0)
+
+    def test_wider_confidence_widens_interval(self):
+        samples = [10.0, 12.0, 9.0, 11.0, 10.5]
+        narrow = bootstrap_mean(samples, confidence=0.5, seed=3)
+        wide = bootstrap_mean(samples, confidence=0.99, seed=3)
+        assert wide.hi - wide.lo >= narrow.hi - narrow.lo
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean([])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(SimulationError):
+            bootstrap_mean([1.0, float("nan")])
+        with pytest.raises(SimulationError):
+            bootstrap_mean([1.0, float("inf")])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean([1.0, 2.0], confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean([1.0, 2.0], resamples=0)
+
+    def test_to_dict_round_trips_fields(self):
+        est = bootstrap_mean([1.0, 2.0, 3.0], seed=5)
+        payload = est.to_dict()
+        assert payload["n"] == 3
+        assert payload["mean"] == est.mean
+        assert payload["lo"] == est.lo
+        assert payload["hi"] == est.hi
+        assert payload["half_width"] == est.half_width
+
+
+class TestEstimateMetrics:
+    def test_per_metric_stable_seeding(self):
+        samples = {"m.a": [1.0, 2.0, 3.0], "m.b": [1.0, 2.0, 3.0]}
+        first = estimate_metrics(samples)
+        second = estimate_metrics(dict(reversed(samples.items())))
+        # Processing order must not change any estimate.
+        assert first["m.a"] == second["m.a"]
+        assert first["m.b"] == second["m.b"]
+
+
+class TestCohensD:
+    def test_known_direction_and_magnitude(self):
+        d = cohens_d([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        assert d == pytest.approx(-3.0)
+
+    def test_zero_variance_equal_means(self):
+        assert cohens_d([5.0, 5.0], [5.0, 5.0]) == 0.0
+
+    def test_zero_variance_shifted_means_is_signed_inf(self):
+        assert cohens_d([6.0, 6.0], [5.0, 5.0]) == math.inf
+        assert cohens_d([4.0, 4.0], [5.0, 5.0]) == -math.inf
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ConfigurationError):
+            cohens_d([], [1.0])
+
+
+class TestVarianceTable:
+    def test_lists_every_metric(self):
+        table = variance_table(
+            estimate_metrics({"x.one": [1.0, 2.0], "x.two": [3.0]})
+        )
+        assert "x.one" in table and "x.two" in table
+        assert "half-width" in table

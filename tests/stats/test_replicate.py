@@ -1,0 +1,125 @@
+"""The multi-seed replication engine over the runner/cache substrate."""
+
+import pytest
+
+from repro.analysis.experiments import seed_offset
+from repro.errors import ConfigurationError
+from repro.stats.replicate import (
+    EFFECT_PAIRS,
+    _task_label,
+    replicate_exhibits,
+    replicate_expectations,
+)
+
+
+@pytest.fixture(scope="module")
+def replication():
+    """One shared 2-seed fan-out over the two cheapest exhibits that
+    exercise both a seed-sensitive and a near-invariant metric."""
+    return replicate_exhibits(["fig04", "standby"], seeds=2)
+
+
+class TestReplicateExhibits:
+    def test_cross_product_shape(self, replication):
+        assert replication.seeds == 2
+        assert len(replication.outcomes) == 4
+        assert sorted(replication.results) == ["fig04", "standby"]
+        assert all(
+            len(results) == 2
+            for results in replication.results.values()
+        )
+
+    def test_outcomes_carry_task_labels(self, replication):
+        labels = [o.metrics.name for o in replication.outcomes]
+        assert labels == [
+            "fig04@s0", "fig04@s1", "standby@s0", "standby@s1",
+        ]
+        # outcome.name stays the plain exhibit name for grouping.
+        assert {o.name for o in replication.outcomes} == {
+            "fig04", "standby",
+        }
+
+    def test_seed_offset_restored(self, replication):
+        assert seed_offset() == 0
+
+    def test_seed_zero_matches_canonical_run(self, replication):
+        from repro.analysis.runner import run_exhibit
+
+        canonical = run_exhibit("fig04").result
+        replayed = replication.results["fig04"][0]
+        assert replayed.browsing_power_mw == (
+            canonical.browsing_power_mw
+        )
+
+    def test_seeds_produce_distinct_content(self, replication):
+        first, second = replication.results["fig04"]
+        assert first.browsing_power_mw != second.browsing_power_mw
+
+    def test_metric_samples_one_value_per_seed(self, replication):
+        samples = replication.metric_samples()
+        assert all(len(v) == 2 for v in samples.values())
+        assert "fig04.browsing" in samples
+        assert "standby.burstlink.power_mw" in samples
+
+    def test_estimates_bracket_samples(self, replication):
+        estimates = replication.estimates()
+        est = estimates["fig04.browsing"]
+        samples = replication.metric_samples()["fig04.browsing"]
+        assert est.n == 2
+        assert min(samples) <= est.mean <= max(samples)
+
+    def test_effect_sizes_cover_present_pairs(self, replication):
+        effects = replication.effect_sizes()
+        # Only the standby pair's exhibits are in this replication.
+        assert list(effects) == [
+            "standby.burstlink.power_mw vs "
+            "standby.conventional.power_mw"
+        ]
+        # BurstLink draws less standby power than conventional.
+        assert all(d < 0 for d in effects.values())
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            replicate_exhibits(["fig04"], seeds=0)
+        with pytest.raises(ConfigurationError):
+            replicate_exhibits(["fig04"], seeds=2, jobs=0)
+        with pytest.raises(ConfigurationError):
+            replicate_exhibits(["nope"], seeds=2)
+
+
+class TestTaskLabel:
+    def test_format(self):
+        assert _task_label("fig04", 3) == "fig04@s3"
+
+
+class TestEffectPairs:
+    def test_pairs_reference_registered_metric_keys(self):
+        # Both sides of every pair must be producible by the figure
+        # registry, or the effect-size report silently goes empty.
+        from repro.analysis.figures import figure_registry
+
+        prefixes = tuple(figure_registry())
+        for treatment, baseline in EFFECT_PAIRS:
+            assert treatment.startswith(prefixes)
+            assert baseline.startswith(prefixes)
+
+
+class TestReplicateExpectations:
+    def test_single_seed_matches_direct_measurement(self):
+        from repro.obs.drift import measure_expectations
+
+        samples = replicate_expectations(("fig04",), seeds=1)
+        direct = measure_expectations(("fig04",))
+        assert set(samples) == set(direct)
+        assert all(
+            samples[key] == [direct[key]] for key in direct
+        )
+
+    def test_multi_seed_sample_lists(self):
+        samples = replicate_expectations(("fig04",), seeds=2)
+        assert all(len(v) == 2 for v in samples.values())
+        assert seed_offset() == 0
+
+    def test_rejects_unknown_section(self):
+        with pytest.raises(ConfigurationError):
+            replicate_expectations(("nope",), seeds=1)

@@ -16,6 +16,7 @@ DOCS = [
     ROOT / "EXPERIMENTS.md",
     ROOT / "docs" / "MODEL.md",
     ROOT / "docs" / "OBSERVABILITY.md",
+    ROOT / "docs" / "STATS.md",
 ]
 
 
