@@ -230,6 +230,34 @@ def _extract_standby(result: Any) -> list[dict[str, Any]]:
     return _rows(*triples, fields=fields)
 
 
+def _extract_oled(result: Any) -> list[dict[str, Any]]:
+    fields = ("scheme", "brightness")
+    triples = []
+    for scheme in ("conventional", "burstlink"):
+        for brightness in result.brightness_levels:
+            triples.append(
+                ((scheme, brightness),
+                 result.power_mw[scheme][brightness])
+            )
+    return _rows(*triples, fields=fields)
+
+
+def _extract_netstream(result: Any) -> list[dict[str, Any]]:
+    fields = ("condition", "series", "measure")
+    triples = []
+    for condition in result.bandwidth_mbps:
+        for scheme in ("conventional", "burstlink"):
+            triples.append(
+                ((condition, scheme, "power_mw"),
+                 result.power_mw[condition][scheme])
+            )
+        triples.append(
+            ((condition, "source", "stall_ratio"),
+             result.stall_ratio[condition])
+        )
+    return _rows(*triples, fields=fields)
+
+
 # ---------------------------------------------------------------------------
 # The registry — every exhibit, in the paper's presentation order
 # ---------------------------------------------------------------------------
@@ -392,6 +420,30 @@ FIGURES: dict[str, Figure] = {
             extract=_extract_standby,
             x=Channel("scheme", title="scheme"),
             y=Channel(VALUE_FIELD, "quantitative", "value"),
+            column=Channel("measure", title="measure"),
+        ),
+        Figure(
+            name="oled", exhibit="oled",
+            title="OLED — brightness sweep, FHD 30 FPS",
+            fields=("scheme", "brightness"),
+            extract=_extract_oled,
+            mark="line",
+            x=Channel(
+                "brightness", "quantitative", "panel brightness"
+            ),
+            y=Channel(
+                VALUE_FIELD, "quantitative", "average power (mW)"
+            ),
+            color=Channel("scheme", title="scheme"),
+        ),
+        Figure(
+            name="netstream", exhibit="netstream",
+            title="Netstream — ABR playback vs network bandwidth",
+            fields=("condition", "series", "measure"),
+            extract=_extract_netstream,
+            x=Channel("condition", title="bandwidth condition"),
+            y=Channel(VALUE_FIELD, "quantitative", "value"),
+            color=Channel("series", title="series"),
             column=Channel("measure", title="measure"),
         ),
     )

@@ -84,12 +84,14 @@ from ..soc.cstates import PackageCState
 #: plan-cache entries (``<key>.plan.json``, ``kind: "plan"``) beside
 #: the run payloads; run payloads themselves are unchanged, so format-2
 #: runs written by older builds still read cleanly.
-_DISK_FORMAT = 3
+_DISK_FORMAT = 4
 
-#: Formats :func:`run_from_payload` accepts.  Format 2 run payloads are
-#: field-compatible with format 3, so a cache directory written before
-#: the bump stays warm.
-_READABLE_FORMATS = frozenset({2, 3})
+#: Formats :func:`run_from_payload` accepts.  Format 4 appends the
+#: content-attribute columns (segment ``apl``, class ``apl_seconds``)
+#: to the positional records; older payloads read back with zeros —
+#: exactly the values a content-agnostic run would have written — so a
+#: cache directory written before the bump stays warm.
+_READABLE_FORMATS = frozenset({2, 3, 4})
 
 #: Default number of runs the in-process LRU retains.
 DEFAULT_CAPACITY = 128
@@ -154,6 +156,7 @@ def _segment_to_record(segment: Segment) -> list[Any]:
         segment.dc_active,
         segment.panel_mode.name,
         segment.drfb_active,
+        segment.apl,
     ]
 
 
@@ -173,6 +176,7 @@ def _segment_from_record(record: list[Any]) -> Segment:
         dc_active=record[11],
         panel_mode=PanelMode[record[12]],
         drfb_active=record[13],
+        apl=record[14] if len(record) > 14 else 0.0,
     )
 
 
@@ -196,6 +200,7 @@ def _class_to_record(
         totals.dram_read_bytes,
         totals.dram_write_bytes,
         totals.edp_bytes,
+        totals.apl_seconds,
     ]
 
 
@@ -221,6 +226,7 @@ def _class_from_record(
         dram_read_bytes=record[13],
         dram_write_bytes=record[14],
         edp_bytes=record[15],
+        apl_seconds=record[16] if len(record) > 16 else 0.0,
     )
     return cls_key, totals
 
@@ -767,6 +773,8 @@ def exhibit_registry() -> dict[str, Callable[[], Any]]:
         "fig14a": experiments.fig14a_local_playback,
         "fig14b": experiments.fig14b_mobile_workloads,
         "standby": experiments.standby_ambient,
+        "oled": experiments.oled_brightness_sweep,
+        "netstream": experiments.network_streamed_playback,
     }
 
 

@@ -1,0 +1,335 @@
+"""Exhibit commands: the paper tables and figures as terminal text."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..analysis import experiments
+from ..analysis.report import (
+    format_table,
+    render_cstate_table,
+    render_reductions,
+)
+
+
+def cmd_list(_: argparse.Namespace) -> str:
+    """Enumerate the available commands."""
+    rows = [
+        ("validate", "Sec. 5.3 accuracy table + the paper-drift gate"),
+        ("table2", "Table 2: per-C-state power/residency, both schemes"),
+        ("fig01", "Fig. 1: baseline energy breakdown vs resolution"),
+        ("fig09", "Fig. 9: 30 FPS reduction sweep"),
+        ("fig11", "Fig. 11: VR workloads and per-eye resolutions"),
+        ("fig12", "Fig. 12: 60 FPS reduction sweep"),
+        ("fig13", "Fig. 13: frame-buffer compression comparison"),
+        ("fig14", "Fig. 14: local playback + mobile workloads"),
+        ("sec64", "Sec. 6.4: Zhang et al. and VIP at 4K"),
+        ("standby", "ambient standby via the streaming summary path"),
+        ("oled", "OLED brightness sweep: luminance-priced panel term"),
+        ("netstream", "ABR network streaming with stalls/rebuffers"),
+        ("timeline", "Fig. 3/6/7-style text timeline for a scheme"),
+        ("battery", "battery-life impact for a streaming session"),
+        ("export", "a simulated run as JSON/CSV for plotting"),
+        ("figures", "the figures as SVG and/or Vega-Lite + CSV"),
+        ("stats run", "multi-seed replication: bootstrap CIs + "
+                      "effect sizes"),
+        ("bench-all", "every exhibit, with timing + cache metrics"),
+        ("trace", "a deterministic span tree for a canonical run"),
+        ("profile", "energy attribution + latency stats for a run"),
+        ("metrics", "the process-wide metrics registry"),
+        ("serve", "live power-advisor service + /metrics endpoint"),
+        ("obs diff", "structural diff of traces/profiles/fleet reports"),
+        ("obs chrome", "a JSONL trace as Perfetto-loadable JSON"),
+        ("fleet run", "a population sweep from a scenario-matrix spec"),
+        ("fleet report", "the population report in a checkpoint"),
+        ("constants", "the calibrated power library"),
+    ]
+    return format_table(("command", "what it regenerates"), rows)
+
+
+def cmd_table2(_: argparse.Namespace) -> str:
+    """Table 2."""
+    result = experiments.table2_power_comparison()
+    return "\n\n".join(
+        [
+            render_cstate_table(
+                "Baseline (paper AvgP 2162 mW):",
+                result.baseline_rows,
+                result.baseline_avg_mw,
+            ),
+            render_cstate_table(
+                "BurstLink (paper AvgP 1274 mW):",
+                result.burstlink_rows,
+                result.burstlink_avg_mw,
+            ),
+            f"reduction: {result.reduction:.1%}",
+        ]
+    )
+
+
+def cmd_fig01(_: argparse.Namespace) -> str:
+    """Fig. 1."""
+    result = experiments.fig01_energy_breakdown()
+    rows = [
+        (
+            name,
+            f"{dram * 100:.0f}%",
+            f"{display * 100:.0f}%",
+            f"{others * 100:.0f}%",
+            f"{result.dram_fraction(name) * 100:.0f}%",
+        )
+        for name, (dram, display, others) in result.normalised.items()
+    ]
+    return format_table(
+        ("Display", "DRAM", "Panel", "Others", "DRAM share"), rows
+    )
+
+
+def _reduction_sweep(result) -> str:
+    rows = [
+        (
+            name,
+            f"{result.baseline_power_mw[name]:.0f}",
+            f"-{d['burst'] * 100:.1f}%",
+            f"-{d['bypass'] * 100:.1f}%",
+            f"-{d['burstlink'] * 100:.1f}%",
+        )
+        for name, d in result.reductions.items()
+    ]
+    return format_table(
+        ("Display", "Baseline mW", "Burst", "Bypass", "BurstLink"),
+        rows,
+    )
+
+
+def cmd_fig09(_: argparse.Namespace) -> str:
+    """Fig. 9."""
+    return _reduction_sweep(experiments.fig09_planar_reduction_30fps())
+
+
+def cmd_fig12(_: argparse.Namespace) -> str:
+    """Fig. 12."""
+    return _reduction_sweep(experiments.fig12_planar_reduction_60fps())
+
+
+def cmd_fig11(_: argparse.Namespace) -> str:
+    """Fig. 11."""
+    a = experiments.fig11a_vr_workloads()
+    b = experiments.fig11b_vr_resolutions()
+    return "\n\n".join(
+        [
+            render_reductions("VR workloads (Fig. 11a):", a.reductions),
+            render_reductions(
+                "Rhino vs per-eye resolution (Fig. 11b):",
+                b.reductions,
+            ),
+        ]
+    )
+
+
+def cmd_fig13(_: argparse.Namespace) -> str:
+    """Fig. 13."""
+    result = experiments.fig13_fbc_comparison()
+    rows = [
+        (
+            name,
+            f"-{d['fbc-20'] * 100:.1f}%",
+            f"-{d['fbc-30'] * 100:.1f}%",
+            f"-{d['fbc-50'] * 100:.1f}%",
+            f"-{d['burstlink'] * 100:.1f}%",
+        )
+        for name, d in result.reductions.items()
+    ]
+    return format_table(
+        ("Display", "FBC-20", "FBC-30", "FBC-50", "BurstLink"), rows
+    )
+
+
+def cmd_fig14(_: argparse.Namespace) -> str:
+    """Fig. 14."""
+    a = experiments.fig14a_local_playback()
+    b = experiments.fig14b_mobile_workloads()
+    workloads = list(next(iter(b.reductions.values())))
+    rows = [
+        (name,) + tuple(
+            f"-{d[w] * 100:.1f}%" for w in workloads
+        )
+        for name, d in b.reductions.items()
+    ]
+    return "\n\n".join(
+        [
+            render_reductions(
+                "Local playback, Bypass only (Fig. 14a):",
+                a.reductions,
+            ),
+            format_table(("Display",) + tuple(workloads), rows),
+        ]
+    )
+
+
+def cmd_sec64(_: argparse.Namespace) -> str:
+    """Sec. 6.4."""
+    result = experiments.sec64_related_work()
+    rows = [
+        (
+            name,
+            f"-{result.reductions[name] * 100:.1f}%",
+            f"-{result.dram_bw_reduction[name] * 100:.1f}%",
+        )
+        for name in ("zhang", "vip", "burstlink")
+    ]
+    return format_table(
+        ("Technique", "Energy", "DRAM bandwidth"), rows
+    )
+
+
+def cmd_standby(args: argparse.Namespace) -> str:
+    """Ambient (screen-on, rarely-updating) standby under conventional
+    vs BurstLink, simulated through the streaming summary path with
+    repeat-window collapsing."""
+    result = experiments.standby_ambient(
+        duration_s=args.duration, update_fps=args.update_fps
+    )
+    rows = [
+        (
+            label,
+            f"{result.power_mw[label]:.0f}",
+            f"{result.repeat_fraction[label] * 100:.1f}%",
+        )
+        for label in ("conventional", "burstlink")
+    ]
+    return "\n\n".join(
+        [
+            f"ambient standby: {args.duration:g}s at "
+            f"{args.update_fps:g} updates/s (FHD, 60 Hz)",
+            format_table(
+                ("scheme", "avg mW", "repeat windows"), rows
+            ),
+            f"reduction: {result.reduction:.1%}",
+        ]
+    )
+
+
+def cmd_oled(_: argparse.Namespace) -> str:
+    """OLED brightness sweep: the luminance-priced panel term under
+    conventional vs BurstLink across display brightness levels (the
+    emissive floor the link/DRAM techniques cannot touch grows with
+    brightness x APL)."""
+    result = experiments.oled_brightness_sweep()
+    rows = [
+        (
+            f"{brightness:.0%}",
+            f"{result.power_mw['conventional'][brightness]:.0f}",
+            f"{result.power_mw['burstlink'][brightness]:.0f}",
+            f"-{result.reduction(brightness) * 100:.1f}%",
+            f"{result.panel_fraction[brightness] * 100:.1f}%",
+        )
+        for brightness in result.brightness_levels
+    ]
+    return "\n\n".join(
+        [
+            "OLED video (FHD 30FPS, natural content):",
+            format_table(
+                (
+                    "brightness",
+                    "conventional mW",
+                    "burstlink mW",
+                    "reduction",
+                    "panel share",
+                ),
+                rows,
+            ),
+        ]
+    )
+
+
+def cmd_netstream(_: argparse.Namespace) -> str:
+    """Network-streamed (ABR) playback under three bandwidth regimes:
+    per-condition power for both schemes plus the streaming health
+    stats (rung occupancy, stall ratio, rebuffer events) that stress
+    the repeat-window machinery."""
+    result = experiments.network_streamed_playback()
+    rows = [
+        (
+            condition,
+            f"{result.bandwidth_mbps[condition]:g}",
+            f"{result.power_mw[condition]['conventional']:.0f}",
+            f"{result.power_mw[condition]['burstlink']:.0f}",
+            f"-{result.reduction(condition) * 100:.1f}%",
+            f"{result.mean_tier[condition]:.2f}",
+            f"{result.stall_ratio[condition] * 100:.1f}%",
+            f"{result.rebuffer_events[condition]}",
+        )
+        for condition in result.power_mw
+    ]
+    return "\n\n".join(
+        [
+            "network-streamed playback (FHD 30FPS, ABR ladder):",
+            format_table(
+                (
+                    "condition",
+                    "Mbps",
+                    "conventional mW",
+                    "burstlink mW",
+                    "reduction",
+                    "mean tier",
+                    "stalls",
+                    "rebuffers",
+                ),
+                rows,
+            ),
+        ]
+    )
+
+
+def cmd_constants(_: argparse.Namespace) -> str:
+    """Dump the calibrated power library (the constants behind every
+    energy number, with the Skylake anchors they were solved from)."""
+    from ..power.calibration import SKYLAKE_TABLET_POWER as lib
+
+    rows = [("soc_floor[" + state.label + "]", f"{value:.0f} mW")
+            for state, value in sorted(
+                lib.soc_floor.items(), key=lambda kv: kv[0].depth
+            )]
+    rows += [
+        ("always_on", f"{lib.always_on:.0f} mW"),
+        ("cpu_active", f"{lib.cpu_active:.0f} mW"),
+        ("vd_active / low-power / gated",
+         f"{lib.vd_active:.0f} / {lib.vd_low_power:.0f} / "
+         f"{lib.vd_clock_gated:.0f} mW"),
+        ("gpu_active", f"{lib.gpu_active:.0f} mW"),
+        ("dc_base + slope",
+         f"{lib.dc_base:.0f} mW + {lib.dc_mw_per_gbs:.0f} mW/GBps"),
+        ("edp_base + slope",
+         f"{lib.edp_base:.0f} mW + {lib.edp_mw_per_gbps:.1f} mW/Gbps"),
+        ("drfb_active", f"{lib.drfb_active:.0f} mW"),
+        ("panel base + per-Mpix",
+         f"{lib.panel_base:.0f} mW + "
+         f"{lib.panel_per_megapixel:.0f} mW/Mpix"),
+        ("panel_rx_active", f"{lib.panel_rx_active:.0f} mW"),
+        ("wifi_streaming / storage / idle",
+         f"{lib.wifi_streaming:.0f} / {lib.storage_playback:.0f} / "
+         f"{lib.platform_idle:.0f} mW"),
+        ("transition_extra", f"{lib.transition_extra:.0f} mW"),
+        ("dram read / write slopes",
+         f"{lib.dram.read_mw_per_gbs:.0f} / "
+         f"{lib.dram.write_mw_per_gbs:.0f} mW/GBps"),
+    ]
+    return format_table(("constant", "value"), rows)
+
+
+__all__ = [
+    "cmd_constants",
+    "cmd_fig01",
+    "cmd_fig09",
+    "cmd_fig11",
+    "cmd_fig12",
+    "cmd_fig13",
+    "cmd_fig14",
+    "cmd_list",
+    "cmd_netstream",
+    "cmd_oled",
+    "cmd_sec64",
+    "cmd_standby",
+    "cmd_table2",
+]

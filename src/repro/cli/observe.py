@@ -1,0 +1,133 @@
+"""Observability commands: trace, profile, metrics, obs diff/chrome."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..errors import ReproError
+
+
+def cmd_trace(args: argparse.Namespace) -> str:
+    """Trace one canonical run (windows, C-state segments, power
+    accounting) and print its span tree; ``--jsonl`` writes the
+    byte-stable golden format."""
+    from ..obs import metrics as obs_metrics
+    from ..obs.golden import capture_trace
+    from ..obs.trace import render_span_tree
+
+    tracer, run = capture_trace(args.exhibit)
+    lines = [
+        f"{args.exhibit}: {run.scheme} — {run.stats.windows} windows, "
+        f"{len(tracer.events)} trace events",
+        "",
+        render_span_tree(tracer),
+    ]
+    if args.jsonl:
+        tracer.write(args.jsonl)
+        lines.append("")
+        lines.append(
+            f"wrote {args.jsonl} ({len(tracer.events)} events)"
+        )
+    if args.chrome:
+        from ..obs.export import write_chrome_trace
+
+        count = write_chrome_trace(tracer, args.chrome)
+        lines.append("")
+        lines.append(
+            f"wrote {args.chrome} ({count} trace events) — load it "
+            "at https://ui.perfetto.dev or chrome://tracing"
+        )
+    if args.metrics:
+        lines.append("")
+        lines.append(obs_metrics.metrics_table())
+    return "\n".join(lines)
+
+
+def cmd_profile(args: argparse.Namespace) -> str:
+    """Trace one canonical run and print its energy-attribution
+    ledger (component x C-state x window kind), span/window timing
+    percentiles, and the trace-vs-model reconciliation."""
+    from ..obs.profile import (
+        profile_exhibit,
+        render_profile,
+    )
+
+    profile = profile_exhibit(args.exhibit, retain=args.retain)
+    if args.json:
+        return profile.to_json(indent=2)
+    return render_profile(profile)
+
+
+def cmd_metrics(args: argparse.Namespace) -> str:
+    """Dump the process-wide metrics registry (optionally populated by
+    one traced canonical run first)."""
+    from ..obs import metrics as obs_metrics
+
+    if args.exhibit:
+        from ..obs.golden import capture_trace
+
+        capture_trace(args.exhibit)
+    registry = obs_metrics.registry()
+    if args.prom:
+        from ..obs.export import prometheus_text
+
+        return prometheus_text(registry).rstrip("\n")
+    if args.json:
+        return registry.to_json()
+    if not len(registry):
+        return (
+            "metrics registry is empty (run with --exhibit NAME to "
+            "populate it from a canonical traced run)"
+        )
+    return registry.table()
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> tuple[str, int]:
+    """Structurally diff two traces (JSONL) or profiles (JSON):
+    added/removed/count-shifted spans, counter deltas, simulated
+    duration shifts.  Exits non-zero when anything drifted."""
+    from ..obs.diff import diff_artifacts
+
+    diff = diff_artifacts(args.a, args.b, tolerance=args.tolerance)
+    code = 0 if diff.ok else 1
+    if args.json:
+        import json as json_module
+
+        return (
+            json_module.dumps(
+                diff.to_dict(), indent=2, sort_keys=True
+            ),
+            code,
+        )
+    return diff.summary(), code
+
+
+def cmd_obs_chrome(args: argparse.Namespace) -> str:
+    """Convert a JSONL trace (including a merged ``--jobs N`` trace,
+    which renders one thread track per worker) to Chrome trace-event
+    JSON for Perfetto / chrome://tracing."""
+    import json as json_module
+
+    from ..obs.diff import load_artifact
+    from ..obs.export import chrome_trace_from_events
+
+    kind, events = load_artifact(args.trace)
+    if kind != "trace":
+        raise ReproError(f"{args.trace} is not a JSONL trace")
+    payload = chrome_trace_from_events(events)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json_module.dump(payload, handle, sort_keys=True)
+    return (
+        f"wrote {args.out} ({len(payload['traceEvents'])} trace "
+        "events) — load it at https://ui.perfetto.dev or "
+        "chrome://tracing"
+    )
+
+
+__all__ = [
+    "cmd_metrics",
+    "cmd_obs_chrome",
+    "cmd_obs_diff",
+    "cmd_profile",
+    "cmd_trace",
+]

@@ -161,6 +161,14 @@ class PanelConfig:
     supports_psr2: bool = True
     #: Number of remote frame buffers in the T-con: 1 = RFB, 2 = DRFB.
     remote_buffers: int = 1
+    #: Emission technology: ``"lcd"`` (backlit, content-independent
+    #: panel power — the paper's reference tablet) or ``"oled"``
+    #: (emissive, power scales with displayed luminance).
+    technology: str = "lcd"
+    #: Peak-brightness setting, 0 < b <= 1.  Scales the emission part
+    #: of OLED panel power; LCD backlight is folded into the calibrated
+    #: base and ignores this knob.
+    brightness: float = 1.0
 
     def __post_init__(self) -> None:
         if self.refresh_hz <= 0:
@@ -173,6 +181,15 @@ class PanelConfig:
             )
         if self.remote_buffers == 0 and self.supports_psr:
             raise ConfigurationError("PSR requires at least one remote buffer")
+        if self.technology not in ("lcd", "oled"):
+            raise ConfigurationError(
+                f"panel technology must be 'lcd' or 'oled', "
+                f"got {self.technology!r}"
+            )
+        if not 0.0 < self.brightness <= 1.0:
+            raise ConfigurationError(
+                f"panel brightness must be in (0, 1], got {self.brightness}"
+            )
 
     @property
     def frame_window(self) -> float:
@@ -196,9 +213,18 @@ class PanelConfig:
         """Whether the panel carries a double remote frame buffer."""
         return self.remote_buffers == 2
 
+    @property
+    def is_oled(self) -> bool:
+        """Whether the panel is emissive (content-dependent power)."""
+        return self.technology == "oled"
+
     def with_drfb(self) -> "PanelConfig":
         """This panel extended with a DRFB (the BurstLink hardware change)."""
         return replace(self, remote_buffers=2)
+
+    def with_oled(self, brightness: float = 1.0) -> "PanelConfig":
+        """This panel swapped for an emissive OLED at ``brightness``."""
+        return replace(self, technology="oled", brightness=brightness)
 
 
 # ---------------------------------------------------------------------------

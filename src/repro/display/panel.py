@@ -102,3 +102,22 @@ class DisplayPanel:
         if isinstance(self.remote_buffer, DoubleRemoteFrameBuffer):
             return self.remote_buffer.displayable_frame is not None
         return self.remote_buffer.holds_frame
+
+    # -- emissive-panel helpers ------------------------------------------------
+
+    @property
+    def is_oled(self) -> bool:
+        """Whether this panel is emissive (per-pixel, content-dependent
+        power) rather than backlit."""
+        return self.config.is_oled
+
+    def emission_power_mw(self, library, apl: float) -> float:
+        """Content-dependent emission power at average picture level
+        ``apl`` (0..1), given a :class:`~repro.power.calibration.
+        ComponentPowerLibrary`.  Zero for backlit (LCD) panels, whose
+        scan power is content-independent."""
+        if not 0.0 <= apl <= 1.0:
+            raise ConfigurationError("APL must be within [0, 1]")
+        if not self.is_oled:
+            return 0.0
+        return library.oled_emission_mw(self.config) * apl

@@ -30,9 +30,14 @@ from ..config import Resolution, skylake_tablet
 from ..errors import SimulationError
 from ..power.model import PowerModel
 from ..video.source import AnalyticFrameSource, AnalyticContentModel
+from ..workloads.oled import OledVideoWorkload, oled_video_run
 from ..workloads.standby import (
     AmbientStandbyWorkload,
     ambient_standby_run,
+)
+from ..workloads.streaming import (
+    NetworkStreamWorkload,
+    network_stream_run,
 )
 from .spec import RESOLUTIONS, SCHEMES, FleetSpec, WorkloadSpec
 
@@ -167,6 +172,54 @@ def _standby_reports(
     return power
 
 
+def _oled_reports(
+    spec: FleetSpec, sample: DeviceSample
+) -> dict[str, float]:
+    """Per-scheme average power (mW) for an OLED video session."""
+    workload = OledVideoWorkload(
+        resolution=sample.resolution,
+        fps=sample.fps,
+        refresh_hz=sample.refresh_hz,
+        brightness=sample.workload.brightness,
+        content=sample.workload.content_class,
+        frame_count=sample.workload.frames,
+        seed=sample.content_seed,
+    )
+    model = PowerModel()
+    power: dict[str, float] = {}
+    for label in spec.scheme_labels():
+        factory, needs_drfb = SCHEMES[label]
+        run = oled_video_run(
+            workload, factory(), with_drfb=needs_drfb
+        )
+        power[label] = model.report(run).average_power_mw
+    return power
+
+
+def _netstream_reports(
+    spec: FleetSpec, sample: DeviceSample
+) -> dict[str, float]:
+    """Per-scheme average power (mW) for an ABR-streamed session."""
+    workload = NetworkStreamWorkload(
+        resolution=sample.resolution,
+        fps=sample.fps,
+        refresh_hz=sample.refresh_hz,
+        bandwidth_mbps=sample.workload.bandwidth_mbps,
+        content=sample.workload.content_class,
+        frame_count=sample.workload.frames,
+        seed=sample.content_seed,
+    )
+    model = PowerModel()
+    power: dict[str, float] = {}
+    for label in spec.scheme_labels():
+        factory, needs_drfb = SCHEMES[label]
+        run = network_stream_run(
+            workload, factory(), with_drfb=needs_drfb
+        )
+        power[label] = model.report(run).average_power_mw
+    return power
+
+
 def simulate_device(
     spec: FleetSpec, sample: DeviceSample
 ) -> dict[str, Any]:
@@ -174,6 +227,10 @@ def simulate_device(
     result record (a JSON-safe dict — the aggregate's input unit)."""
     if sample.workload.kind == "video":
         power = _video_reports(spec, sample)
+    elif sample.workload.kind == "oled":
+        power = _oled_reports(spec, sample)
+    elif sample.workload.kind == "netstream":
+        power = _netstream_reports(spec, sample)
     else:
         power = _standby_reports(spec, sample)
     battery = {

@@ -88,7 +88,7 @@ CONTENT_CLASSES: dict[str, ContentClass] = {
 }
 
 #: Workload kinds a spec may declare.
-WORKLOAD_KINDS = ("video", "standby")
+WORKLOAD_KINDS = ("video", "standby", "oled", "netstream")
 
 
 def _positive_weights(
@@ -152,11 +152,15 @@ class WorkloadSpec:
     kind: str
     weight: float = 1.0
     content: str = "natural"
-    #: Video: frames per streaming session.
+    #: Video/OLED/netstream: frames per streaming session.
     frames: int = 48
     #: Standby: session length and content-update cadence.
     duration_s: float = 20.0
     update_fps: float = 1.0
+    #: OLED: panel brightness setting, (0, 1].
+    brightness: float = 1.0
+    #: Netstream: mean network bandwidth, Mbps.
+    bandwidth_mbps: float = 10.0
 
     def __post_init__(self) -> None:
         if self.kind not in WORKLOAD_KINDS:
@@ -174,9 +178,20 @@ class WorkloadSpec:
             raise ConfigurationError(
                 f"workload {self.name!r}: weight must be > 0"
             )
-        if self.kind == "video" and self.frames < 1:
+        if self.kind in ("video", "oled", "netstream") and (
+            self.frames < 1
+        ):
             raise ConfigurationError(
                 f"workload {self.name!r}: frames must be >= 1"
+            )
+        if not 0.0 < self.brightness <= 1.0:
+            raise ConfigurationError(
+                f"workload {self.name!r}: brightness must be "
+                "in (0, 1]"
+            )
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError(
+                f"workload {self.name!r}: bandwidth must be > 0"
             )
         if self.kind == "standby":
             if self.duration_s <= 0:
@@ -201,6 +216,8 @@ class WorkloadSpec:
             "frames": self.frames,
             "duration_s": self.duration_s,
             "update_fps": self.update_fps,
+            "brightness": self.brightness,
+            "bandwidth_mbps": self.bandwidth_mbps,
         }
 
 
@@ -434,6 +451,8 @@ def spec_from_dict(data: dict[str, Any]) -> FleetSpec:
                     "frames",
                     "duration_s",
                     "update_fps",
+                    "brightness",
+                    "bandwidth_mbps",
                 }
             )
             if extra:
@@ -450,6 +469,10 @@ def spec_from_dict(data: dict[str, Any]) -> FleetSpec:
                     frames=int(entry.get("frames", 48)),
                     duration_s=float(entry.get("duration_s", 20.0)),
                     update_fps=float(entry.get("update_fps", 1.0)),
+                    brightness=float(entry.get("brightness", 1.0)),
+                    bandwidth_mbps=float(
+                        entry.get("bandwidth_mbps", 10.0)
+                    ),
                 )
             )
         workloads = tuple(entries)

@@ -431,7 +431,7 @@ class PowerAdvisorService:
     def _op_open(self, payload: dict[str, Any]) -> dict[str, Any]:
         # Imported lazily: cli imports serve for cmd_serve, so serve
         # importing cli at module level would be a cycle.
-        from ..cli import _RESOLUTIONS, _SCHEMES, _config_for
+        from ..cli._helpers import _RESOLUTIONS, _SCHEMES, _config_for
 
         scheme_label = str(payload.get("scheme", "burstlink"))
         if scheme_label not in _SCHEMES:
@@ -509,7 +509,7 @@ class PowerAdvisorService:
         is exact).
         """
         session = self._session(payload)
-        from ..cli import _RESOLUTIONS
+        from ..cli._helpers import _RESOLUTIONS
 
         count = int(payload.get("count", 0))
         if count <= 0:

@@ -53,6 +53,7 @@ class PlanMatrix:
     dram_read_bytes: np.ndarray
     dram_write_bytes: np.ndarray
     edp_bytes: np.ndarray
+    apl_seconds: np.ndarray
     #: The exact seconds the source timeline spans (its ``duration``,
     #: kept verbatim so digests replay the scalar path bit for bit).
     covered: float = 0.0
@@ -89,12 +90,13 @@ class PlanMatrix:
                 [s.dram_write_bytes for s in segments]
             ),
             edp_bytes=np.array([s.edp_bytes for s in segments]),
+            apl_seconds=np.array([s.apl_seconds for s in segments]),
             covered=timeline.duration,
         )
 
     def quantities(self) -> np.ndarray:
-        """Per-class ``(seconds, read bytes, write bytes, eDP bytes)``
-        as a ``(classes, 4)`` array — the quantity matrix
+        """Per-class ``(seconds, read bytes, write bytes, eDP bytes,
+        APL-seconds)`` as a ``(classes, 5)`` array — the quantity matrix
         :meth:`~repro.power.model.PowerModel.price_plan_matrix` prices.
 
         ``np.bincount`` folds same-class segments in row order, so the
@@ -111,6 +113,7 @@ class PlanMatrix:
                     self.dram_read_bytes,
                     self.dram_write_bytes,
                     self.edp_bytes,
+                    self.apl_seconds,
                 )
             ],
             axis=1,
@@ -132,6 +135,7 @@ class PlanMatrix:
                 dram_read_bytes=float(quantities[slot, 1]),
                 dram_write_bytes=float(quantities[slot, 2]),
                 edp_bytes=float(quantities[slot, 3]),
+                apl_seconds=float(quantities[slot, 4]),
             )
         digest.close_window(kind, duration, self.covered)
         return digest

@@ -28,7 +28,7 @@ from ..obs import trace as obs_trace
 from ..soc.cstates import PackageCState
 from ..video.source import FrameDescriptor, FrameSource, as_frame_source
 from .batch import CachedPlan, PlanMatrix
-from .timeline import Timeline, TimelineSummary
+from .timeline import PanelMode, Timeline, TimelineSummary
 
 #: What a run keeps: the full per-segment timeline, or only the online
 #: summary (O(1) memory for hours-long traces).
@@ -65,6 +65,34 @@ def _plan_digest(
             kind, duration
         )
     return TimelineSummary.window_digest(timeline, kind, duration)
+
+
+def _stamp_content(
+    result: "WindowResult", frame: "FrameDescriptor | None"
+) -> "WindowResult":
+    """Stamp the presented frame's content attributes onto a planned
+    window.
+
+    Schemes plan from frame sizes/type alone (see
+    :class:`DisplayScheme`), so displayed-content attributes ride on
+    the frame and are applied *after* planning: every displaying
+    segment inherits the frame's APL, which content-aware power terms
+    integrate through the summary's ``apl_seconds``.  Content-agnostic
+    frames (no attributes, or APL 0) return the result unchanged —
+    byte-identical to the historical pipeline.
+    """
+    attributes = frame.attributes if frame is not None else None
+    if attributes is None or attributes.apl == 0.0:
+        return result
+    apl = attributes.apl
+    segments = [
+        dataclasses.replace(segment, apl=apl)
+        if segment.panel_mode is not PanelMode.OFF
+        and segment.apl != apl
+        else segment
+        for segment in result.timeline.segments
+    ]
+    return dataclasses.replace(result, timeline=Timeline(segments))
 
 
 @dataclass(frozen=True)
@@ -733,7 +761,9 @@ class FrameWindowSimulator:
                 summary.absorb(digest)
                 state = collapse_entry.final_state
                 continue
-            result = self.scheme.plan_window(ctx)
+            result = _stamp_content(
+                self.scheme.plan_window(ctx), current_frame
+            )
             self._validate_window(plan, result)
             if result.deadline_missed and self.config.strict_deadlines:
                 raise DeadlineMissError(
@@ -983,7 +1013,9 @@ class FrameWindowSimulator:
                 vr=current_vr,
                 initial_state=state,
             )
-            result = scheme.plan_window(ctx)
+            result = _stamp_content(
+                scheme.plan_window(ctx), current_frame
+            )
             self._validate_window(plan, result)
             if result.deadline_missed and strict:
                 raise DeadlineMissError(
@@ -1079,6 +1111,7 @@ class FrameWindowSimulator:
                 current_frame.frame_type,
                 current_frame.encoded_bytes,
                 current_frame.decoded_bytes,
+                current_frame.attributes,
             )
             wkey = (
                 plan_key,
@@ -1458,7 +1491,9 @@ class StreamingSimulator:
                 collapsed=True,
                 deadline_missed=entry.result.deadline_missed,
             )
-        result = self.scheme.plan_window(ctx)
+        result = _stamp_content(
+            self.scheme.plan_window(ctx), self._current_frame
+        )
         self._validate_window(plan, result)
         if result.deadline_missed and self.config.strict_deadlines:
             raise DeadlineMissError(

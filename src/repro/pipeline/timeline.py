@@ -66,6 +66,11 @@ class Segment:
     panel_mode: PanelMode = PanelMode.SELF_REFRESH
     #: The DRFB is being written (its +58 mW overhead applies).
     drfb_active: bool = False
+    #: Average picture level of the displayed content during this
+    #: segment (0..1; 0 means "content-agnostic", the historical
+    #: behavior).  Content-aware power terms (the OLED emission part of
+    #: the ``panel`` term) are linear in its time integral.
+    apl: float = 0.0
 
     def __post_init__(self) -> None:
         if self.end < self.start - _EPSILON:
@@ -76,6 +81,8 @@ class Segment:
             raise SimulationError("segment bandwidths must be >= 0")
         if self.edp_rate < 0:
             raise SimulationError("segment eDP rate must be >= 0")
+        if not 0.0 <= self.apl <= 1.0:
+            raise SimulationError("segment APL must be within [0, 1]")
         if (
             (self.dram_read_bw > 0 or self.dram_write_bw > 0)
             and self.state.dram_in_self_refresh
@@ -104,6 +111,11 @@ class Segment:
     def edp_bytes(self) -> float:
         """Bytes moved over the eDP link during this segment."""
         return self.edp_rate * self.duration
+
+    @property
+    def apl_seconds(self) -> float:
+        """Time integral of the content APL over this segment."""
+        return self.apl * self.duration
 
     def shifted(self, offset: float) -> "Segment":
         """This segment translated in time by ``offset``."""
@@ -351,6 +363,10 @@ class ClassTotals:
     dram_read_bytes: float = 0.0
     dram_write_bytes: float = 0.0
     edp_bytes: float = 0.0
+    #: Time integral of the content APL (content-agnostic runs leave
+    #: this 0.0, and every pricing term is linear through the origin in
+    #: it — so legacy quantities are unchanged byte for byte).
+    apl_seconds: float = 0.0
 
     def add(self, other: "ClassTotals") -> None:
         """Fold another totals record into this one."""
@@ -359,6 +375,7 @@ class ClassTotals:
         self.dram_read_bytes += other.dram_read_bytes
         self.dram_write_bytes += other.dram_write_bytes
         self.edp_bytes += other.edp_bytes
+        self.apl_seconds += other.apl_seconds
 
     def copy(self) -> "ClassTotals":
         return ClassTotals(
@@ -367,6 +384,7 @@ class ClassTotals:
             dram_read_bytes=self.dram_read_bytes,
             dram_write_bytes=self.dram_write_bytes,
             edp_bytes=self.edp_bytes,
+            apl_seconds=self.apl_seconds,
         )
 
 
@@ -403,6 +421,7 @@ class TimelineSummary:
         totals.dram_read_bytes += segment.dram_read_bytes
         totals.dram_write_bytes += segment.dram_write_bytes
         totals.edp_bytes += segment.edp_bytes
+        totals.apl_seconds += segment.apl_seconds
 
     def close_window(self, kind: str, duration: float,
                      covered: float) -> None:
@@ -454,6 +473,7 @@ class TimelineSummary:
             mine.dram_read_bytes += totals.dram_read_bytes * count
             mine.dram_write_bytes += totals.dram_write_bytes * count
             mine.edp_bytes += totals.edp_bytes * count
+            mine.apl_seconds += totals.apl_seconds * count
         self.windows += other.windows * count
         for kind, kind_count in other.window_counts.items():
             self.window_counts[kind] = (
@@ -516,6 +536,12 @@ class TimelineSummary:
                     "dram_read_bytes": totals.dram_read_bytes,
                     "dram_write_bytes": totals.dram_write_bytes,
                     "edp_bytes": totals.edp_bytes,
+                    # Emitted only for content-aware runs so legacy
+                    # artifacts stay byte-identical.
+                    **(
+                        {"apl_seconds": totals.apl_seconds}
+                        if totals.apl_seconds else {}
+                    ),
                 }
                 for key, totals in sorted(
                     (

@@ -102,6 +102,15 @@ class ComponentPowerLibrary:
     panel_refresh_slope_per_hz: float = 0.004
     #: Extra panel-side power while receiving a live eDP stream.
     panel_rx_active: float = 45.0
+    #: OLED panel: content-independent driver/T-con scan power (no
+    #: backlight — the emissive part is charged separately below).
+    oled_base: float = 120.0
+    #: OLED emission slope, mW per (unit APL × megapixel) at full
+    #: brightness.  Calibrated so a full-brightness FHD OLED showing
+    #: APL ≈ 0.45 natural content draws about what the calibrated LCD
+    #: does; color/brightness-guided reduction scenarios (Duinkharjav
+    #: et al. 2022) then trade this term against APL and brightness.
+    oled_mw_per_apl_megapixel: float = 700.0
     #: Average WiFi power while a streaming session is up.
     wifi_streaming: float = 170.0
     #: Average storage power during local playback.
@@ -130,6 +139,7 @@ class ComponentPowerLibrary:
             self.edp_base, self.edp_mw_per_gbps, self.drfb_active,
             self.panel_base, self.panel_per_megapixel,
             self.panel_refresh_slope_per_hz, self.panel_rx_active,
+            self.oled_base, self.oled_mw_per_apl_megapixel,
             self.wifi_streaming, self.storage_playback,
             self.platform_idle, self.transition_extra,
         ]
@@ -162,6 +172,33 @@ class ComponentPowerLibrary:
         if receiving:
             power += self.panel_rx_active
         return power
+
+    def oled_power(self, panel: PanelConfig, displaying: bool = True,
+                   receiving: bool = False) -> float:
+        """Content-independent OLED panel power (driver + T-con scan).
+
+        The emissive part — linear in displayed luminance — is charged
+        separately via :meth:`oled_emission_mw` times the content's
+        APL, so a black screen costs only this scan power.
+        """
+        if not displaying:
+            return 0.0
+        refresh_factor = 1.0 + self.panel_refresh_slope_per_hz * max(
+            0.0, panel.refresh_hz - 60.0
+        )
+        power = self.oled_base * refresh_factor
+        if receiving:
+            power += self.panel_rx_active
+        return power
+
+    def oled_emission_mw(self, panel: PanelConfig) -> float:
+        """OLED emission power at APL = 1 (full-white) for ``panel`` —
+        the slope multiplied by a segment's APL (or a bucket's
+        APL-seconds) yields the content-dependent part."""
+        megapixels = panel.resolution.pixels / 1e6
+        return (
+            self.oled_mw_per_apl_megapixel * megapixels * panel.brightness
+        )
 
     def dc_power(self, rate_bytes_per_s: float) -> float:
         """Display controller power while moving ``rate_bytes_per_s`` of

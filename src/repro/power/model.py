@@ -27,42 +27,46 @@ from ..obs import trace as obs_trace
 from ..pipeline.sim import RunResult
 from ..pipeline.timeline import (
     ClassTotals,
-    PanelMode,
     Segment,
     SegmentClass,
     Timeline,
     TimelineSummary,
-    VdMode,
 )
-from ..units import to_gbps
 from ..soc.cstates import PackageCState
 from .calibration import SKYLAKE_TABLET_POWER, ComponentPowerLibrary
-
-#: Component keys an :class:`EnergyReport` decomposes energy into.
-COMPONENT_KEYS = (
-    "soc_floor",
-    "always_on",
-    "cpu",
-    "vd",
-    "gpu",
-    "dc",
-    "edp",
-    "panel",
-    "drfb",
-    "dram_background",
-    "dram_traffic",
-    "platform",
-    "transition",
+from .terms import (
+    QUANTITY_COLUMNS,
+    PowerTerm,
+    PowerTermRegistry,
+    TermContext,
+    default_registry,
 )
+
+__all__ = [
+    "COMPONENT_IDS",
+    "COMPONENT_KEYS",
+    "CStateSummary",
+    "EnergyReport",
+    "PlatformExtras",
+    "PowerModel",
+    "PowerTerm",
+    "PowerTermRegistry",
+    "TermContext",
+    "component_id",
+    "default_registry",
+    "state_id",
+]
+
+#: Component keys an :class:`EnergyReport` decomposes energy into — the
+#: default power-term registry's keys (see :mod:`repro.power.terms`).
+COMPONENT_KEYS = default_registry().keys
 
 #: Stable component identifiers.  ``power.component`` trace events name
 #: components by these keys, and consumers (the attribution profiler,
 #: exporters) join on them — so the mapping is append-only: a component
 #: may be added, never renamed or renumbered.  Pinned by
 #: ``tests/obs/test_profile.py``.
-COMPONENT_IDS: dict[str, int] = {
-    key: index for index, key in enumerate(COMPONENT_KEYS)
-}
+COMPONENT_IDS: dict[str, int] = dict(default_registry().ids)
 
 
 def component_id(key: str) -> int:
@@ -170,12 +174,21 @@ class PowerModel:
         self,
         library: ComponentPowerLibrary = SKYLAKE_TABLET_POWER,
         extras: PlatformExtras | None = None,
+        registry: PowerTermRegistry | None = None,
     ) -> None:
         self.library = library
         self.extras = extras if extras is not None else PlatformExtras()
+        #: The power-term registry this model prices with.  The default
+        #: reproduces the historical ``COMPONENT_KEYS`` set byte-exactly.
+        self.registry = (
+            registry if registry is not None else default_registry()
+        )
+        self._context = TermContext(
+            library=self.library, extras=self.extras
+        )
         #: Per-(class, panel) pricing coefficients for the vectorized
         #: path (see :meth:`price_plan_matrix`).  Keyed per instance:
-        #: library and extras are fixed at construction.
+        #: library, extras, and registry are fixed at construction.
         self._coefficients: dict[tuple, np.ndarray] = {}
 
     # -- per-segment composition -------------------------------------------------
@@ -183,39 +196,13 @@ class PowerModel:
     def segment_component_powers(
         self, segment: Segment, panel: PanelConfig
     ) -> dict[str, float]:
-        """Instantaneous power per component during ``segment`` (mW)."""
-        lib = self.library
-        powers = dict.fromkeys(COMPONENT_KEYS, 0.0)
-        powers["soc_floor"] = lib.floor(segment.state)
-        powers["always_on"] = lib.always_on
-        if segment.transition:
-            powers["transition"] = lib.transition_extra
-        if segment.cpu_active:
-            powers["cpu"] = lib.cpu_active
-        if segment.vd_mode is VdMode.ACTIVE:
-            powers["vd"] = lib.vd_active
-        elif segment.vd_mode is VdMode.LOW_POWER:
-            powers["vd"] = lib.vd_low_power
-        elif segment.vd_mode is VdMode.HALTED:
-            powers["vd"] = lib.vd_clock_gated
-        if segment.gpu_active:
-            powers["gpu"] = lib.gpu_active
-        if segment.dc_active:
-            powers["dc"] = lib.dc_power(segment.edp_rate)
-        powers["edp"] = lib.edp_power(segment.edp_rate)
-        powers["panel"] = lib.panel_power(
-            panel,
-            displaying=segment.panel_mode is not PanelMode.OFF,
-            receiving=segment.edp_rate > 0,
-        )
-        if segment.drfb_active:
-            powers["drfb"] = lib.drfb_active
-        powers["dram_background"] = lib.dram_background(segment.state)
-        powers["dram_traffic"] = lib.dram.operating_power(
-            segment.dram_read_bw, segment.dram_write_bw
-        )
-        powers["platform"] = self.extras.power(lib)
-        return powers
+        """Instantaneous power per component during ``segment`` (mW),
+        keyed in registry order."""
+        context = self._context
+        return {
+            term.key: term.power(segment, panel, context)
+            for term in self.registry
+        }
 
     def segment_power(self, segment: Segment, panel: PanelConfig) -> float:
         """Total instantaneous power during ``segment`` (mW)."""
@@ -231,83 +218,39 @@ class PowerModel:
     ) -> dict[str, float]:
         """Energy per component (mJ) for one summary bucket.
 
-        Every component power is either constant over a segment class
-        (charged as power × accumulated seconds) or linear in a rate
-        whose time integral the bucket carries exactly (eDP payload
-        bytes, DRAM read/write bytes) — so summary-mode reports equal
-        timeline-mode reports up to float re-association.
+        Every term's energy is either constant-power over a segment
+        class (charged as power × accumulated seconds) or linear in a
+        quantity whose time integral the bucket carries exactly (eDP
+        payload bytes, DRAM read/write bytes, APL-seconds) — so
+        summary-mode reports equal timeline-mode reports up to float
+        re-association.
         """
-        lib = self.library
-        seconds = totals.seconds
-        energies = dict.fromkeys(COMPONENT_KEYS, 0.0)
-        energies["soc_floor"] = lib.floor(cls_key.state) * seconds
-        energies["always_on"] = lib.always_on * seconds
-        if cls_key.transition:
-            energies["transition"] = lib.transition_extra * seconds
-        if cls_key.cpu_active:
-            energies["cpu"] = lib.cpu_active * seconds
-        if cls_key.vd_mode is VdMode.ACTIVE:
-            energies["vd"] = lib.vd_active * seconds
-        elif cls_key.vd_mode is VdMode.LOW_POWER:
-            energies["vd"] = lib.vd_low_power * seconds
-        elif cls_key.vd_mode is VdMode.HALTED:
-            energies["vd"] = lib.vd_clock_gated * seconds
-        if cls_key.gpu_active:
-            energies["gpu"] = lib.gpu_active * seconds
-        if cls_key.dc_active:
-            # dc_power(rate) = dc_base + dc_mw_per_gbs * rate / 1e9;
-            # integrating the rate term over the bucket leaves its bytes.
-            energies["dc"] = (
-                lib.dc_base * seconds
-                + lib.dc_mw_per_gbs * totals.edp_bytes / 1e9
-            )
-        if cls_key.edp_active:
-            # edp_power is discontinuous at rate 0 (the link power-gates
-            # between transfers), which is why the class key carries the
-            # edp_active indicator.
-            energies["edp"] = (
-                lib.edp_base * seconds
-                + lib.edp_mw_per_gbps * to_gbps(totals.edp_bytes)
-            )
-        energies["panel"] = lib.panel_power(
-            panel,
-            displaying=cls_key.panel_mode is not PanelMode.OFF,
-            receiving=cls_key.edp_active,
-        ) * seconds
-        if cls_key.drfb_active:
-            energies["drfb"] = lib.drfb_active * seconds
-        energies["dram_background"] = (
-            lib.dram_background(cls_key.state) * seconds
-        )
-        energies["dram_traffic"] = lib.dram.traffic_energy(
-            totals.dram_read_bytes, totals.dram_write_bytes
-        )
-        energies["platform"] = self.extras.power(lib) * seconds
-        return energies
+        context = self._context
+        return {
+            term.key: term.energy(cls_key, totals, panel, context)
+            for term in self.registry
+        }
 
     #: Quantity columns a plan matrix prices: accumulated seconds, DRAM
-    #: read/write bytes, and eDP payload bytes per segment class.
-    QUANTITY_COLUMNS = (
-        "seconds", "dram_read_bytes", "dram_write_bytes", "edp_bytes",
-    )
+    #: read/write bytes, eDP payload bytes, and APL-seconds per segment
+    #: class (see :data:`repro.power.terms.QUANTITY_COLUMNS`).
+    QUANTITY_COLUMNS = QUANTITY_COLUMNS
 
     def _class_coefficients(
         self, cls_key: SegmentClass, panel: PanelConfig
     ) -> np.ndarray:
-        """The ``(4, components)`` pricing coefficients of one segment
-        class: every :meth:`class_component_energies` term is linear
-        (through the origin) in the four quantity columns, so probing
-        with unit quantities recovers the exact coefficient rows.
-        Cached per ``(class, panel)`` — the batch engine prices the same
-        handful of classes across thousands of reports."""
+        """The ``(quantities, components)`` pricing coefficients of one
+        segment class: every term's energy is linear (through the
+        origin) in the quantity columns, so probing with unit
+        quantities recovers the exact coefficient rows.  Cached per
+        ``(class, panel)`` — the batch engine prices the same handful
+        of classes across thousands of reports."""
         cache_key = (cls_key, panel)
         coefficients = self._coefficients.get(cache_key)
         if coefficients is None:
-            probes = (
-                ClassTotals(seconds=1.0),
-                ClassTotals(dram_read_bytes=1.0),
-                ClassTotals(dram_write_bytes=1.0),
-                ClassTotals(edp_bytes=1.0),
+            probes = tuple(
+                ClassTotals(**{column: 1.0})
+                for column in self.QUANTITY_COLUMNS
             )
             coefficients = np.array(
                 [
@@ -315,7 +258,7 @@ class PowerModel:
                         self.class_component_energies(
                             cls_key, probe, panel
                         )[key]
-                        for key in COMPONENT_KEYS
+                        for key in self.registry.keys
                     ]
                     for probe in probes
                 ]
@@ -331,22 +274,23 @@ class PowerModel:
     ) -> np.ndarray:
         """Price a quantity matrix in one vectorized pass.
 
-        ``quantities`` is ``(len(cls_keys), 4)`` with the
-        :data:`QUANTITY_COLUMNS` per class (e.g.
+        ``quantities`` is ``(len(cls_keys), len(QUANTITY_COLUMNS))``
+        with the :data:`QUANTITY_COLUMNS` per class (e.g.
         :meth:`repro.pipeline.batch.PlanMatrix.quantities`).  Returns
         the ``(classes, components)`` energy matrix in mJ, equal to
         calling :meth:`class_component_energies` per class up to float
         re-association — the batch-engine backbone behind summary
         reports.
         """
+        columns = len(self.QUANTITY_COLUMNS)
         quantities = np.asarray(quantities, dtype=float)
-        if quantities.shape != (len(cls_keys), 4):
+        if quantities.shape != (len(cls_keys), columns):
             raise SimulationError(
-                "quantity matrix must be (classes, 4), got "
+                f"quantity matrix must be (classes, {columns}), got "
                 f"{quantities.shape} for {len(cls_keys)} classes"
             )
         if not cls_keys:
-            return np.zeros((0, len(COMPONENT_KEYS)))
+            return np.zeros((0, len(self.registry)))
         coefficients = np.stack(
             [
                 self._class_coefficients(cls_key, panel)
@@ -411,13 +355,14 @@ class PowerModel:
                         totals.dram_read_bytes,
                         totals.dram_write_bytes,
                         totals.edp_bytes,
+                        totals.apl_seconds,
                     ]
                     for totals in summary.buckets.values()
                 ]
             )
             matrix = self.price_plan_matrix(cls_keys, quantities, panel)
             by_component = dict(
-                zip(COMPONENT_KEYS, matrix.sum(axis=0).tolist())
+                zip(self.registry.keys, matrix.sum(axis=0).tolist())
             )
             class_energies = matrix.sum(axis=1)
             for slot, cls_key in enumerate(cls_keys):
@@ -433,7 +378,7 @@ class PowerModel:
                 if cls_key.transition:
                     transition_energy += class_energy
         else:
-            by_component = dict.fromkeys(COMPONENT_KEYS, 0.0)
+            by_component = self.registry.zeros()
             for cls_key, totals in summary.buckets.items():
                 energies = self.class_component_energies(
                     cls_key, totals, panel
@@ -485,7 +430,7 @@ class PowerModel:
             "power.avg_mw", "run-average system power per report"
         ).observe(report.average_power_mw)
         if tracer is not None:
-            for key in COMPONENT_KEYS:
+            for key in self.registry.keys:
                 tracer.event(
                     "power.component", component=key,
                     energy_mj=by_component[key],
@@ -527,7 +472,7 @@ class PowerModel:
                 scheme=scheme,
                 segments=len(timeline),
             )
-        by_component = dict.fromkeys(COMPONENT_KEYS, 0.0)
+        by_component = self.registry.zeros()
         state_energy: dict[PackageCState, float] = {}
         state_seconds: dict[PackageCState, float] = {}
         transition_energy = 0.0
@@ -580,7 +525,7 @@ class PowerModel:
             "power.avg_mw", "run-average system power per report"
         ).observe(report.average_power_mw)
         if tracer is not None:
-            for key in COMPONENT_KEYS:
+            for key in self.registry.keys:
                 tracer.event(
                     "power.component", component=key,
                     energy_mj=by_component[key],

@@ -52,6 +52,48 @@ class ContentClass(enum.Enum):
         return self.value
 
 
+#: Representative average picture level per content family, used when a
+#: workload opts into content-aware (OLED) pricing.  Screen content is
+#: bright (white documents), high-motion/film skews dark.
+CONTENT_APL = {
+    ContentClass.NATURAL: 0.45,
+    ContentClass.ANIMATION: 0.60,
+    ContentClass.SCREEN: 0.85,
+    ContentClass.HIGH_MOTION: 0.40,
+}
+
+
+@dataclass(frozen=True)
+class ContentAttributes:
+    """Displayed-content attributes that power terms may price on.
+
+    Attached per frame; ``None`` on a :class:`FrameDescriptor` means
+    "content-agnostic" and reproduces the historical behavior exactly.
+    """
+
+    #: Average picture level (mean relative luminance), 0..1.
+    apl: float = 0.0
+    #: Rung index on the source's ABR ladder (0 = lowest).
+    bitrate_tier: int = 0
+    #: The frame is a stall repeat (rebuffering re-presented the
+    #: previous picture instead of advancing the stream).
+    stalled: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.apl <= 1.0:
+            raise ConfigurationError("APL must be within [0, 1]")
+        if self.bitrate_tier < 0:
+            raise ConfigurationError("bitrate tier must be >= 0")
+
+    def to_payload(self) -> dict[str, Any]:
+        """The attributes as a JSON-safe wire payload."""
+        return {
+            "apl": self.apl,
+            "bitrate_tier": self.bitrate_tier,
+            "stalled": self.stalled,
+        }
+
+
 @dataclass(frozen=True)
 class FrameDescriptor:
     """A lightweight stand-in for an encoded frame: everything the energy
@@ -61,6 +103,9 @@ class FrameDescriptor:
     frame_type: FrameType
     encoded_bytes: float
     decoded_bytes: float
+    #: Content attributes for content-aware power terms; ``None`` keeps
+    #: the frame content-agnostic (the historical default).
+    attributes: "ContentAttributes | None" = None
 
     def __post_init__(self) -> None:
         if self.encoded_bytes <= 0 or self.decoded_bytes <= 0:
@@ -68,13 +113,18 @@ class FrameDescriptor:
 
     def to_payload(self) -> dict[str, Any]:
         """The descriptor as a JSON-safe wire payload (the ``repro
-        serve`` session protocol ships frames in this shape)."""
-        return {
+        serve`` session protocol ships frames in this shape).  The
+        ``attributes`` key appears only for content-aware frames, so
+        historical payloads are unchanged byte for byte."""
+        payload = {
             "index": self.index,
             "type": self.frame_type.value,
             "encoded_bytes": self.encoded_bytes,
             "decoded_bytes": self.decoded_bytes,
         }
+        if self.attributes is not None:
+            payload["attributes"] = self.attributes.to_payload()
+        return payload
 
 
 def descriptor_from_payload(payload: dict[str, Any]) -> FrameDescriptor:
@@ -90,12 +140,30 @@ def descriptor_from_payload(payload: dict[str, Any]) -> FrameDescriptor:
         raise ConfigurationError(
             f"unknown frame type {payload.get('type')!r}"
         ) from None
+    attributes = None
+    raw_attributes = payload.get("attributes")
+    if raw_attributes is not None:
+        if not isinstance(raw_attributes, dict):
+            raise ConfigurationError(
+                "frame attributes must be an object"
+            )
+        try:
+            attributes = ContentAttributes(
+                apl=float(raw_attributes.get("apl", 0.0)),
+                bitrate_tier=int(raw_attributes.get("bitrate_tier", 0)),
+                stalled=bool(raw_attributes.get("stalled", False)),
+            )
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                "frame attributes need numeric apl/bitrate_tier"
+            ) from None
     try:
         return FrameDescriptor(
             index=int(payload.get("index", 0)),
             frame_type=frame_type,
             encoded_bytes=float(payload["encoded_bytes"]),
             decoded_bytes=float(payload["decoded_bytes"]),
+            attributes=attributes,
         )
     except (KeyError, TypeError, ValueError):
         raise ConfigurationError(
@@ -116,10 +184,17 @@ class AnalyticContentModel:
     gop: GopStructure = field(default_factory=GopStructure)
     #: Log-normal sigma of frame-to-frame size variation.
     variability: float = 0.18
+    #: Average picture level stamped on every generated frame (0
+    #: disables content attributes — the historical, content-agnostic
+    #: default).  Pass :data:`CONTENT_APL` values for representative
+    #: luminance per content family.
+    apl: float = 0.0
 
     def __post_init__(self) -> None:
         if self.variability < 0:
             raise ConfigurationError("variability must be >= 0")
+        if not 0.0 <= self.apl <= 1.0:
+            raise ConfigurationError("APL must be within [0, 1]")
 
     def _normalised_weights(self) -> dict[FrameType, float]:
         """Per-type size multipliers scaled so the GOP average equals the
@@ -149,6 +224,9 @@ class AnalyticContentModel:
             self.content.bits_per_pixel * resolution.pixels / 8.0
         )
         decoded = float(resolution.frame_bytes())
+        attributes = (
+            ContentAttributes(apl=self.apl) if self.apl > 0 else None
+        )
         for index in range(count):
             frame_type = self.gop.frame_type(index)
             noise = (
@@ -161,6 +239,7 @@ class AnalyticContentModel:
                 frame_type=frame_type,
                 encoded_bytes=size,
                 decoded_bytes=decoded,
+                attributes=attributes,
             )
 
     def frames(self, resolution: Resolution, count: int,

@@ -4,6 +4,8 @@ five 360-degree VR streams (Fig. 11), the Fig. 14b mobile workloads, and
 the Fig. 4 web-browsing phase."""
 
 from .capture import CaptureWorkload, capture_run
+from .oled import OledVideoWorkload, oled_video_run
+from .streaming import NetworkStreamWorkload, network_stream_run
 from .standby import (
     AmbientStandbyWorkload,
     ambient_standby_run,
@@ -36,6 +38,8 @@ __all__ = [
     "HeadTraceParams",
     "MOBILE_WORKLOADS",
     "MobileWorkload",
+    "NetworkStreamWorkload",
+    "OledVideoWorkload",
     "PlanarVideoWorkload",
     "VR_WORKLOADS",
     "VrWorkload",
@@ -43,6 +47,8 @@ __all__ = [
     "generate_head_trace",
     "local_playback_run",
     "mobile_workload_run",
+    "network_stream_run",
+    "oled_video_run",
     "planar_streaming_run",
     "vr_streaming_run",
 ]

@@ -1,0 +1,91 @@
+"""OLED video playback: luminance-aware panel power.
+
+An emissive panel's power is dominated by the light it emits, so —
+unlike the backlit LCD the paper instruments — it depends on *content*
+(average picture level) and on the user's brightness setting.  This
+workload swaps the reference tablet's LCD for an OLED via
+:meth:`~repro.config.PanelConfig.with_oled` and stamps every generated
+frame with its content family's representative APL, which the power
+registry's ``panel`` term prices through the timeline's APL-seconds
+column (Duinkharjav et al. 2022 exploit exactly this luminance lever
+for display-power savings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..config import FHD, Resolution, SystemConfig, skylake_tablet
+from ..errors import ConfigurationError
+from ..pipeline.sim import DisplayScheme, FrameWindowSimulator, RunResult
+from ..video.frames import GopStructure
+from ..video.source import (
+    CONTENT_APL,
+    AnalyticContentModel,
+    AnalyticFrameSource,
+    ContentClass,
+)
+
+
+@dataclass(frozen=True)
+class OledVideoWorkload:
+    """A planar video session on an emissive (OLED) panel.
+
+    Identical to the planar streaming workload except the panel is an
+    OLED at ``brightness`` and every frame carries its content class's
+    representative APL, making panel energy content-dependent.
+    """
+
+    resolution: Resolution = FHD
+    fps: float = 30.0
+    refresh_hz: float = 60.0
+    #: Panel brightness setting, (0, 1].
+    brightness: float = 1.0
+    content: ContentClass = ContentClass.NATURAL
+    gop: GopStructure = field(default_factory=GopStructure)
+    frame_count: int = 60
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.frame_count <= 0:
+            raise ConfigurationError("frame_count must be positive")
+        if self.fps <= 0 or self.refresh_hz <= 0:
+            raise ConfigurationError("rates must be positive")
+        if not 0.0 < self.brightness <= 1.0:
+            raise ConfigurationError("brightness must be in (0, 1]")
+
+    def content_model(self) -> AnalyticContentModel:
+        """The analytic model, with this content family's APL stamped on
+        every frame so the OLED emission term has luminance to price."""
+        return AnalyticContentModel(
+            content=self.content,
+            gop=self.gop,
+            apl=CONTENT_APL[self.content],
+        )
+
+    def source(self) -> AnalyticFrameSource:
+        """The session's frame stream (O(1) memory at any duration)."""
+        return AnalyticFrameSource(
+            self.content_model(), self.resolution, self.frame_count,
+            seed=self.seed,
+        )
+
+    def system_config(self) -> SystemConfig:
+        """The reference tablet with its panel swapped for an OLED."""
+        config = skylake_tablet(self.resolution, self.refresh_hz)
+        return replace(
+            config, panel=config.panel.with_oled(self.brightness)
+        )
+
+
+def oled_video_run(
+    workload: OledVideoWorkload,
+    scheme: DisplayScheme,
+    with_drfb: bool = False,
+) -> RunResult:
+    """Simulate an OLED video session under ``scheme``."""
+    config = workload.system_config()
+    if with_drfb:
+        config = config.with_drfb()
+    simulator = FrameWindowSimulator(config, scheme)
+    return simulator.run(workload.source(), workload.fps)

@@ -1,0 +1,87 @@
+"""Network-streamed playback under constrained bandwidth.
+
+The planar streaming workloads assume the network always keeps up; this
+one puts an ABR client (:class:`~repro.video.network.NetworkFrameSource`)
+in front of the pipeline, so bandwidth conditions shape what the display
+path sees: lower ladder rungs shrink the decode/DRAM work per frame,
+and rebuffering stalls re-present the last picture — repeat windows that
+exercise BurstLink's collapsing and PSR fallback machinery.  Herglotz
+et al.'s streaming-power measurements anchor the exhibit built on top:
+end-to-end power is display-dominated and moves only weakly with the
+delivered bitrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import FHD, Resolution, SystemConfig, skylake_tablet
+from ..errors import ConfigurationError
+from ..pipeline.sim import DisplayScheme, FrameWindowSimulator, RunResult
+from ..video.frames import GopStructure
+from ..video.network import NetworkFrameSource
+from ..video.source import AnalyticContentModel, ContentClass
+
+
+@dataclass(frozen=True)
+class NetworkStreamWorkload:
+    """A streamed video session behind a bandwidth-limited network."""
+
+    resolution: Resolution = FHD
+    fps: float = 30.0
+    refresh_hz: float = 60.0
+    #: Mean network bandwidth in megabits per second.
+    bandwidth_mbps: float = 10.0
+    content: ContentClass = ContentClass.NATURAL
+    gop: GopStructure = field(default_factory=GopStructure)
+    frame_count: int = 90
+    #: Peak-to-mean bandwidth fluctuation handed to the ABR client.
+    fluctuation: float = 0.3
+    #: Frames per ABR chunk.
+    chunk_frames: int = 24
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.frame_count <= 0:
+            raise ConfigurationError("frame_count must be positive")
+        if self.fps <= 0 or self.refresh_hz <= 0:
+            raise ConfigurationError("rates must be positive")
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+
+    def content_model(self) -> AnalyticContentModel:
+        return AnalyticContentModel(content=self.content, gop=self.gop)
+
+    def source(self) -> NetworkFrameSource:
+        """The ABR client fronting this session's frame stream."""
+        return NetworkFrameSource(
+            model=self.content_model(),
+            resolution=self.resolution,
+            count=self.frame_count,
+            fps=self.fps,
+            bandwidth_bps=self.bandwidth_mbps * 1e6,
+            fluctuation=self.fluctuation,
+            chunk_frames=self.chunk_frames,
+            seed=self.seed,
+        )
+
+    def system_config(self) -> SystemConfig:
+        """The platform for this workload."""
+        return skylake_tablet(self.resolution, self.refresh_hz)
+
+
+def network_stream_run(
+    workload: NetworkStreamWorkload,
+    scheme: DisplayScheme,
+    with_drfb: bool = False,
+) -> RunResult:
+    """Simulate a network-streamed session under ``scheme``.
+
+    Report the result with ``PlatformExtras(streaming=True)`` — the WiFi
+    NIC is up for the whole session.
+    """
+    config = workload.system_config()
+    if with_drfb:
+        config = config.with_drfb()
+    simulator = FrameWindowSimulator(config, scheme)
+    return simulator.run(workload.source(), workload.fps)

@@ -83,29 +83,33 @@ class TestPlanPayload:
 
 
 class TestFormatCompatibility:
-    def test_run_payloads_write_format_3(self):
+    def test_run_payloads_write_format_4(self):
         with cache_disabled():
             run = FrameWindowSimulator(
                 skylake_tablet(FHD), ConventionalScheme()
             ).run(
                 AnalyticContentModel().frames(FHD, 4, seed=1), 30.0
             )
-        assert run_to_payload(run)["format"] == 3
+        assert run_to_payload(run)["format"] == 4
 
-    def test_format_2_runs_still_read(self):
-        """A cache directory written before the bump stays warm: run
-        payloads are field-compatible, only the version changed."""
+    def test_older_format_runs_still_read(self):
+        """A cache directory written before the bump stays warm: format
+        4 only appends content-attribute columns, which older payloads
+        read back as zero — exactly what a content-agnostic run wrote."""
         with cache_disabled():
             run = FrameWindowSimulator(
                 skylake_tablet(FHD), ConventionalScheme()
             ).run(
                 AnalyticContentModel().frames(FHD, 4, seed=1), 30.0
             )
-        payload = json.loads(json.dumps(run_to_payload(run)))
-        payload["format"] = 2
-        rebuilt = run_from_payload(payload)
-        assert rebuilt.stats == run.stats
-        assert list(rebuilt.timeline) == list(run.timeline)
+        for older in (2, 3):
+            payload = json.loads(json.dumps(run_to_payload(run)))
+            payload["format"] = older
+            for record in payload["segments"]:
+                del record[14:]
+            rebuilt = run_from_payload(payload)
+            assert rebuilt.stats == run.stats
+            assert list(rebuilt.timeline) == list(run.timeline)
 
     def test_format_1_runs_rejected(self):
         with cache_disabled():

@@ -297,7 +297,7 @@ class TestUnfingerprintableInputs:
 
 class TestExhibitEngine:
     def test_registry_is_complete(self):
-        assert len(exhibit_registry()) == 16
+        assert len(exhibit_registry()) == 18
         from repro.analysis import experiments
 
         for name, function in exhibit_registry().items():

@@ -1,0 +1,127 @@
+"""The ABR network frame source: deterministic session planning, rung
+selection, stall accounting, and content-attribute tagging."""
+
+import pytest
+
+from repro.config import FHD
+from repro.errors import ConfigurationError
+from repro.video.network import NetworkFrameSource
+from repro.video.source import AnalyticContentModel
+
+
+def _source(**overrides):
+    params = dict(
+        model=AnalyticContentModel(),
+        resolution=FHD,
+        count=120,
+        bandwidth_bps=10e6,
+    )
+    params.update(overrides)
+    return NetworkFrameSource(**params)
+
+
+class TestValidation:
+    def test_rejects_descending_ladder(self):
+        with pytest.raises(ConfigurationError):
+            _source(ladder=(1.0, 0.5))
+
+    def test_rejects_rung_outside_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            _source(ladder=(0.5, 1.5))
+
+    def test_rejects_full_fluctuation(self):
+        with pytest.raises(ConfigurationError):
+            _source(fluctuation=1.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            _source(bandwidth_bps=0.0)
+
+    def test_rejects_zero_safety(self):
+        with pytest.raises(ConfigurationError):
+            _source(safety=0.0)
+
+
+class TestSessionPlan:
+    def test_presents_exactly_count_frames_in_order(self):
+        source = _source()
+        frames = list(source)
+        assert len(frames) == len(source) == 120
+        assert [f.index for f in frames] == list(range(120))
+
+    def test_deterministic_for_a_seed(self):
+        a = list(_source(seed=3))
+        b = list(_source(seed=3))
+        assert a == b
+        assert _source(seed=3).fingerprint_token() == _source(
+            seed=3
+        ).fingerprint_token()
+
+    def test_fingerprint_varies_with_conditions(self):
+        base = _source().fingerprint_token()
+        assert _source(seed=1).fingerprint_token() != base
+        assert _source(
+            bandwidth_bps=2e6
+        ).fingerprint_token() != base
+
+    def test_ample_bandwidth_rides_the_top_rung(self):
+        # FHD30 natural content tops out near 5 Mbps; 40 Mbps steady
+        # affords the full-quality rung on every chunk.
+        source = _source(bandwidth_bps=40e6, fluctuation=0.0)
+        top = len(source.ladder) - 1
+        assert source.mean_tier == top
+        assert source.tier_counts() == {top: 120}
+        assert source.stall_ratio == 0.0
+        assert source.rebuffer_events == 0
+
+    def test_constrained_bandwidth_stalls(self):
+        source = _source(bandwidth_bps=1.2e6)
+        assert source.rebuffer_events > 0
+        assert source.stall_ratio > 0.0
+        stalled = [f for f in source if f.attributes.stalled]
+        assert len(stalled) == pytest.approx(
+            source.stall_ratio * len(source)
+        )
+
+    def test_stats_agree_with_the_presented_stream(self):
+        source = _source(bandwidth_bps=3e6)
+        frames = list(source)
+        real = [f for f in frames if not f.attributes.stalled]
+        assert source.mean_tier == pytest.approx(
+            sum(f.attributes.bitrate_tier for f in real)
+            / len(frames)
+        )
+        counts = source.tier_counts()
+        assert sum(counts.values()) == len(frames)
+
+
+class TestFrameTagging:
+    def test_real_frames_scale_encoded_bytes_by_rung(self):
+        # Steady bandwidth affording only the lowest rung: every real
+        # frame is a quarter of its full-quality size.
+        low = _source(bandwidth_bps=1.6e6, fluctuation=0.0)
+        full = _source(bandwidth_bps=40e6, fluctuation=0.0)
+        low_real = [f for f in low if not f.attributes.stalled]
+        full_real = list(full)
+        assert low_real[0].attributes.bitrate_tier == 0
+        for a, b in zip(low_real, full_real):
+            if a.frame_type == b.frame_type:
+                assert a.encoded_bytes == pytest.approx(
+                    b.encoded_bytes * 0.25
+                )
+                break
+
+    def test_stall_repeats_the_previous_picture(self):
+        source = _source(bandwidth_bps=1.2e6)
+        frames = list(source)
+        for i, frame in enumerate(frames):
+            if frame.attributes.stalled:
+                previous = frames[i - 1]
+                assert frame.encoded_bytes == previous.encoded_bytes
+                assert frame.decoded_bytes == previous.decoded_bytes
+                assert frame.frame_type == previous.frame_type
+
+    def test_every_frame_carries_content_attributes(self):
+        for frame in _source(bandwidth_bps=2e6):
+            assert frame.attributes is not None
+            assert 0.0 <= frame.attributes.apl <= 1.0

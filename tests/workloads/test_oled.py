@@ -1,0 +1,97 @@
+"""The OLED video workload: luminance-aware panel pricing end to end."""
+
+import pytest
+
+from repro.config import FHD, skylake_tablet
+from repro.core import BurstLinkScheme
+from repro.errors import ConfigurationError
+from repro.pipeline import ConventionalScheme, FrameWindowSimulator
+from repro.power import PowerModel
+from repro.power.calibration import SKYLAKE_TABLET_POWER
+from repro.video.source import CONTENT_APL, ContentClass
+from repro.workloads.oled import OledVideoWorkload, oled_video_run
+
+
+class TestWorkloadShape:
+    def test_brightness_validated(self):
+        with pytest.raises(ConfigurationError):
+            OledVideoWorkload(brightness=0.0)
+        with pytest.raises(ConfigurationError):
+            OledVideoWorkload(brightness=1.2)
+
+    def test_config_swaps_the_panel_for_an_oled(self):
+        workload = OledVideoWorkload(brightness=0.6)
+        config = workload.system_config()
+        assert config.panel.is_oled
+        assert config.panel.brightness == 0.6
+        assert not skylake_tablet(FHD).panel.is_oled
+
+    def test_frames_carry_the_content_family_apl(self):
+        workload = OledVideoWorkload(content=ContentClass.SCREEN)
+        frame = next(iter(workload.source()))
+        assert frame.attributes is not None
+        assert frame.attributes.apl == CONTENT_APL[ContentClass.SCREEN]
+
+
+class TestLuminancePricing:
+    def _avg_power(self, brightness, scheme=None, with_drfb=False):
+        workload = OledVideoWorkload(
+            brightness=brightness, frame_count=30
+        )
+        run = oled_video_run(
+            workload,
+            scheme or ConventionalScheme(),
+            with_drfb=with_drfb,
+        )
+        return PowerModel().report(run)
+
+    def test_panel_energy_scales_with_brightness(self):
+        dim = self._avg_power(0.5)
+        full = self._avg_power(1.0)
+        assert full.by_component_mj["panel"] > dim.by_component_mj["panel"]
+        assert full.total_energy_mj > dim.total_energy_mj
+
+    def test_emission_is_linear_in_brightness(self):
+        # panel(b) = base + b * emission: the brightness-dependent part
+        # must double from 0.5 to 1.0.
+        quarter = self._avg_power(0.25).by_component_mj["panel"]
+        half = self._avg_power(0.5).by_component_mj["panel"]
+        full = self._avg_power(1.0).by_component_mj["panel"]
+        assert full - half == pytest.approx(
+            2.0 * (half - quarter), rel=1e-6
+        )
+
+    def test_reduction_shrinks_as_brightness_grows(self):
+        # The emissive floor grows with brightness, so BurstLink's
+        # relative saving falls — the Duinkharjav et al. trade-off.
+        def reduction(brightness):
+            base = self._avg_power(brightness).average_power_mw
+            burst = self._avg_power(
+                brightness, BurstLinkScheme(), with_drfb=True
+            ).average_power_mw
+            return 1.0 - burst / base
+
+        assert reduction(1.0) < reduction(0.4)
+
+    def test_oled_run_reconciles_per_segment_and_summary(self):
+        # The registry's panel term prices APL-seconds identically on
+        # the timeline path and the class-totals path.
+        workload = OledVideoWorkload(frame_count=30)
+        config = workload.system_config()
+        model = PowerModel()
+        full = model.report(
+            FrameWindowSimulator(config, ConventionalScheme()).run(
+                workload.source(), workload.fps, retain="full"
+            )
+        )
+        streamed = model.report(
+            FrameWindowSimulator(config, ConventionalScheme()).run(
+                workload.source(), workload.fps, retain="summary"
+            )
+        )
+        assert streamed.total_energy_mj == pytest.approx(
+            full.total_energy_mj
+        )
+        assert streamed.by_component_mj["panel"] == pytest.approx(
+            full.by_component_mj["panel"]
+        )
